@@ -1,0 +1,70 @@
+//===- bench_grammar_stats.cpp - experiment E1 (paper section 8) --------------===//
+//
+// Reproduces the paper's code generator statistics table:
+//
+//   "Our generic machine description grammar for the VAX, before type
+//    replication, has 458 productions, 115 terminals and 96 non-terminals.
+//    After type replication, the final grammar has 1073 productions, 219
+//    terminals, and 148 non-terminals, and yields an instruction selector
+//    with 2216 states."
+//
+// Our description covers the integer subset of the VAX, so the absolute
+// numbers are smaller; the shape to check is the replication growth
+// (productions roughly 2-2.5x, terminals roughly 2x) and a table
+// automaton in the hundreds-to-thousands of states.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "tablegen/Packing.h"
+
+using namespace gg;
+
+int main() {
+  ggbench::header("E1", "machine description statistics",
+                  "generic 458 prods / 115 terms / 96 nonterms -> "
+                  "replicated 1073 / 219 / 148 -> 2216 states");
+
+  struct Row {
+    const char *Name;
+    GrammarStats Generic, Final;
+    int States;
+    size_t DenseBytes, PackedBytes;
+  };
+  std::vector<Row> Rows;
+
+  for (bool Reverse : {true, false}) {
+    VaxGrammarOptions Opts;
+    Opts.ReverseOps = Reverse;
+    std::string Err;
+    std::unique_ptr<VaxTarget> T = VaxTarget::create(Err, Opts);
+    if (!T) {
+      fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    Row R;
+    R.Name = Reverse ? "full description" : "without reverse ops";
+    R.Generic = T->spec().genericStats();
+    R.Final = statsOf(T->grammar());
+    R.States = T->build().Tables.NumStates;
+    R.DenseBytes = T->build().Tables.memoryBytes();
+    R.PackedBytes = PackedTables::pack(T->build().Tables).memoryBytes();
+    Rows.push_back(R);
+  }
+
+  printf("%-22s %9s %9s %9s %9s %7s %10s %10s\n", "description", "gen.prod",
+         "rep.prod", "rep.term", "rep.nont", "states", "dense B", "packed B");
+  printf("%-22s %9d %9d %9d %9d %7d %10s %10s\n", "paper (full VAX)", 458,
+         1073, 219, 148, 2216, "-", "-");
+  for (const Row &R : Rows)
+    printf("%-22s %9zu %9zu %9zu %9zu %7d %10zu %10zu\n", R.Name,
+           R.Generic.Productions, R.Final.Productions, R.Final.Terminals,
+           R.Final.Nonterminals, R.States, R.DenseBytes, R.PackedBytes);
+
+  double Growth = double(Rows[0].Final.Productions) /
+                  double(Rows[0].Generic.Productions);
+  printf("\nreplication growth: %.2fx productions "
+         "(paper: 1073/458 = %.2fx)\n",
+         Growth, 1073.0 / 458.0);
+  return 0;
+}

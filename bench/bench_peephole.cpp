@@ -1,0 +1,68 @@
+//===- bench_peephole.cpp - experiment E11 (sections 6.1 / 9, future work) -----===//
+//
+// "We are examining the interaction between pattern-directed code
+//  generation with flow analysis and optimization, and the interface
+//  between our method for table-driven code generation and peephole
+//  optimization." (§9; §6.1 sketches a peephole-optimizer organization)
+//
+// This extension implements the syntactic half of that program: a
+// window optimizer over the emitted assembly (branch-to-next removal,
+// conditional inversion over unconditional branches, branch-chain
+// collapsing, unreachable-code removal). We measure its effect on the
+// table-driven backend's output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gg;
+
+int main() {
+  ggbench::header("E11 (extension)", "assembly peephole optimizer ablation",
+                  "future work in the paper; measured here");
+
+  std::vector<std::string> Corpus = ggbench::corpus(8, 6, 0xFEE7);
+  size_t PlainLines = 0, OptLines = 0;
+  uint64_t PlainRetired = 0, OptRetired = 0, PlainCycles = 0, OptCycles = 0;
+  PeepholeStats Totals;
+  bool AllAgree = true;
+
+  for (const std::string &Source : Corpus) {
+    CodeGenOptions Plain, Opt;
+    Opt.Peephole = true;
+    CodeGenStats SP, SO;
+    std::string AsmP = ggbench::compileGG(Source, Plain, &SP);
+    std::string AsmO = ggbench::compileGG(Source, Opt, &SO);
+    PlainLines += SP.AsmLines;
+    OptLines += SO.AsmLines;
+    Totals.BranchToNextRemoved += SO.Peephole.BranchToNextRemoved;
+    Totals.BranchesInverted += SO.Peephole.BranchesInverted;
+    Totals.ChainsCollapsed += SO.Peephole.ChainsCollapsed;
+    Totals.UnreachableRemoved += SO.Peephole.UnreachableRemoved;
+
+    SimResult RP = ggbench::mustRun(AsmP);
+    SimResult RO = ggbench::mustRun(AsmO);
+    PlainRetired += RP.Instructions;
+    OptRetired += RO.Instructions;
+    PlainCycles += RP.Cycles;
+    OptCycles += RO.Cycles;
+    AllAgree &= RP.Output == RO.Output &&
+                RP.ReturnValue == RO.ReturnValue;
+  }
+
+  printf("%-26s %12s %12s %9s\n", "", "plain", "peephole", "change");
+  printf("%-26s %12zu %12zu %+8.2f%%\n", "assembly lines", PlainLines,
+         OptLines, 100.0 * (double(OptLines) / PlainLines - 1));
+  printf("%-26s %12llu %12llu %+8.2f%%\n", "instructions retired",
+         (unsigned long long)PlainRetired, (unsigned long long)OptRetired,
+         100.0 * (double(OptRetired) / PlainRetired - 1));
+  printf("%-26s %12llu %12llu %+8.2f%%\n", "simulated cycles",
+         (unsigned long long)PlainCycles, (unsigned long long)OptCycles,
+         100.0 * (double(OptCycles) / PlainCycles - 1));
+  printf("\nrewrites: %u branch-to-next, %u inversions, %u chains, "
+         "%u unreachable\n",
+         Totals.BranchToNextRemoved, Totals.BranchesInverted,
+         Totals.ChainsCollapsed, Totals.UnreachableRemoved);
+  printf("outputs identical: %s\n", AllAgree ? "YES" : "NO -- BUG");
+  return AllAgree ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+//===- compile_minic.cpp - cc-like driver ------------------------------------===//
+//
+// Compiles a MiniC source file to VAX assembly on stdout.
+//
+//   compile_minic FILE [--backend=gg|pcc] [--trace] [--no-idioms]
+//                 [--no-reverse-ops] [--stats]
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "pcc/PccCodeGen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace gg;
+
+int main(int argc, char **argv) {
+  const char *File = nullptr;
+  bool UsePcc = false, Trace = false, Stats = false;
+  CodeGenOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--backend=pcc")
+      UsePcc = true;
+    else if (A == "--backend=gg")
+      UsePcc = false;
+    else if (A == "--trace")
+      Trace = true;
+    else if (A == "--stats")
+      Stats = true;
+    else if (A == "--no-idioms") {
+      Opts.Idioms.BindingIdioms = false;
+      Opts.Idioms.RangeIdioms = false;
+      Opts.Idioms.CCTracking = false;
+    } else if (A == "--no-reverse-ops")
+      Opts.Transform.ReverseOps = false;
+    else if (A[0] == '-') {
+      fprintf(stderr, "unknown option %s\n", A.c_str());
+      return 2;
+    } else
+      File = argv[I];
+  }
+  if (!File) {
+    fprintf(stderr,
+            "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
+            "[--no-idioms] [--no-reverse-ops] [--stats]\n");
+    return 2;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    fprintf(stderr, "cannot open %s\n", File);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Program Prog;
+  DiagnosticSink Diags;
+  if (!compileMiniC(Buffer.str(), Prog, Diags)) {
+    fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return 1;
+  }
+
+  std::string Asm, Err;
+  if (UsePcc) {
+    PccCodeGenerator CG;
+    if (!CG.compile(Prog, Asm, Err)) {
+      fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    if (Stats)
+      fprintf(stderr, "# pcc: %zu instructions, %zu lines, %.3fs\n",
+              CG.stats().Instructions, CG.stats().AsmLines,
+              CG.stats().Seconds);
+  } else {
+    std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+    if (!Target) {
+      fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    Opts.Trace = Trace;
+    GGCodeGenerator CG(*Target, Opts);
+    if (!CG.compile(Prog, Asm, Err)) {
+      fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    if (Trace)
+      fprintf(stderr, "%s", CG.trace().c_str());
+    if (Stats) {
+      const CodeGenStats &S = CG.stats();
+      fprintf(stderr,
+              "# gg: %zu trees, %zu instructions, %zu lines\n"
+              "# phases: transform %.4fs, match %.4fs, instr-gen %.4fs\n"
+              "# idioms: %u binding, %u range, %u cc-elide, %u pseudo\n"
+              "# registers: %u allocations, %u spills, %u unspills\n",
+              S.StatementTrees, S.Instructions, S.AsmLines,
+              S.TransformSeconds, S.MatchSeconds, S.InstrGenSeconds,
+              S.Idioms.BindingApplied, S.Idioms.RangeApplied,
+              S.Idioms.CCTestsElided, S.Idioms.PseudoExpansions,
+              S.Regs.Allocations, S.Regs.Spills, S.Regs.Unspills);
+    }
+  }
+  fputs(Asm.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+/* A tiny expression evaluator over a fixed token buffer: exercises
+   switch, chars, shorts, unsigned division and recursion. */
+char prog[32] = {'8', '*', '7', '+', '4', '/', '2', '-', '9', 0};
+int pos;
+
+int number(void) {
+  int v;
+  v = prog[pos] - '0';
+  pos++;
+  return v;
+}
+
+int term(void) {
+  int v; int op;
+  v = number();
+  while (prog[pos] == '*' || prog[pos] == '/') {
+    op = prog[pos];
+    pos++;
+    switch (op) {
+    case '*': v = v * number(); break;
+    case '/': v = v / (number() | 1); break;
+    }
+  }
+  return v;
+}
+
+int expr(void) {
+  int v;
+  v = term();
+  while (prog[pos] == '+' || prog[pos] == '-') {
+    if (prog[pos] == '+') { pos++; v = v + term(); }
+    else { pos++; v = v - term(); }
+  }
+  return v;
+}
+
+int main() {
+  unsigned big;
+  pos = 0;
+  print(expr());          /* 8*7 + 4/2 - 9 = 49 */
+  big = 3000000000;
+  print(big / 1000);      /* unsigned division via the runtime */
+  print(big % 7);
+  return 0;
+}

@@ -1,0 +1,17 @@
+/* Sieve of Eratosthenes: the classic 1980s compiler benchmark. */
+char flags[64];
+
+int main() {
+  int i; int k; int count;
+  count = 0;
+  for (i = 2; i < 64; i++) flags[i] = 1;
+  for (i = 2; i < 64; i++) {
+    if (flags[i]) {
+      print(i);
+      count++;
+      for (k = i + i; k < 64; k += i) flags[k] = 0;
+    }
+  }
+  print(count);
+  return count;
+}

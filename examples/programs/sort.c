@@ -1,0 +1,33 @@
+/* Insertion sort over a register-pointer walk, then a checksum. */
+int data[16];
+
+void fill(void) {
+  int i;
+  for (i = 0; i < 16; i++) data[i] = (i * 7919 + 13) % 100;
+}
+
+void sort(int n) {
+  int i; int j; int key;
+  for (i = 1; i < n; i++) {
+    key = data[i];
+    j = i - 1;
+    while (j >= 0 && data[j] > key) {
+      data[j + 1] = data[j];
+      j--;
+    }
+    data[j + 1] = key;
+  }
+}
+
+int main() {
+  register int *p;
+  int i; int sum;
+  fill();
+  sort(16);
+  for (i = 0; i < 16; i++) print(data[i]);
+  p = data;
+  sum = 0;
+  for (i = 0; i < 16; i++) sum += *p++;
+  print(sum);
+  return 0;
+}

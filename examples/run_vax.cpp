@@ -1,0 +1,135 @@
+//===- run_vax.cpp - compile and execute on the VAX simulator -----------------===//
+//
+// Compiles a MiniC program with the table-driven backend (or the PCC
+// baseline with --backend=pcc) and executes it on the VAX simulator,
+// reporting program output, exit value and the simulator's cost counters.
+//
+//   run_vax FILE [--backend=gg|pcc] [--compare]
+//
+// With --compare, runs both backends and the IR interpreter and reports
+// all three (the differential setup the test suite uses).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "ir/Interp.h"
+#include "pcc/PccCodeGen.h"
+#include "vaxsim/Simulator.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace gg;
+
+static bool loadProgram(const std::string &Source, Program &Prog) {
+  DiagnosticSink Diags;
+  if (!compileMiniC(Source, Prog, Diags)) {
+    fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return false;
+  }
+  return true;
+}
+
+int main(int argc, char **argv) {
+  const char *File = nullptr;
+  bool UsePcc = false, Compare = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--backend=pcc")
+      UsePcc = true;
+    else if (A == "--backend=gg")
+      UsePcc = false;
+    else if (A == "--compare")
+      Compare = true;
+    else
+      File = argv[I];
+  }
+  if (!File) {
+    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare]\n");
+    return 2;
+  }
+  std::ifstream In(File);
+  if (!In) {
+    fprintf(stderr, "cannot open %s\n", File);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  if (!Target) {
+    fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+
+  auto RunGG = [&](SimResult &R) -> bool {
+    Program P;
+    if (!loadProgram(Source, P))
+      return false;
+    GGCodeGenerator CG(*Target);
+    std::string Asm;
+    if (!CG.compile(P, Asm, Err)) {
+      fprintf(stderr, "gg: %s\n", Err.c_str());
+      return false;
+    }
+    R = assembleAndRun(Asm);
+    return true;
+  };
+  auto RunPcc = [&](SimResult &R) -> bool {
+    Program P;
+    if (!loadProgram(Source, P))
+      return false;
+    PccCodeGenerator CG;
+    std::string Asm;
+    if (!CG.compile(P, Asm, Err)) {
+      fprintf(stderr, "pcc: %s\n", Err.c_str());
+      return false;
+    }
+    R = assembleAndRun(Asm);
+    return true;
+  };
+
+  if (Compare) {
+    Program P;
+    if (!loadProgram(Source, P))
+      return 1;
+    InterpResult Oracle = interpret(P);
+    SimResult G, B;
+    if (!RunGG(G) || !RunPcc(B))
+      return 1;
+    printf("== interpreter: ret=%lld steps=%llu\n%s",
+           (long long)Oracle.ReturnValue,
+           (unsigned long long)Oracle.Steps, Oracle.Output.c_str());
+    printf("== gg backend:  ret=%lld insts=%llu cycles=%llu%s\n%s",
+           (long long)G.ReturnValue, (unsigned long long)G.Instructions,
+           (unsigned long long)G.Cycles, G.Ok ? "" : " (FAILED)",
+           G.Output.c_str());
+    printf("== pcc backend: ret=%lld insts=%llu cycles=%llu%s\n%s",
+           (long long)B.ReturnValue, (unsigned long long)B.Instructions,
+           (unsigned long long)B.Cycles, B.Ok ? "" : " (FAILED)",
+           B.Output.c_str());
+    bool Agree = Oracle.Ok && G.Ok && B.Ok && Oracle.Output == G.Output &&
+                 Oracle.Output == B.Output &&
+                 Oracle.ReturnValue == G.ReturnValue &&
+                 Oracle.ReturnValue == B.ReturnValue;
+    printf("== %s\n", Agree ? "ALL ENGINES AGREE" : "MISMATCH");
+    return Agree ? 0 : 1;
+  }
+
+  SimResult R;
+  if (!(UsePcc ? RunPcc(R) : RunGG(R)))
+    return 1;
+  if (!R.Ok) {
+    fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  fputs(R.Output.c_str(), stdout);
+  fprintf(stderr, "exit=%lld instructions=%llu cycles=%llu\n",
+          (long long)R.ReturnValue, (unsigned long long)R.Instructions,
+          (unsigned long long)R.Cycles);
+  return 0;
+}

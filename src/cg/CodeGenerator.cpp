@@ -1,0 +1,166 @@
+//===- CodeGenerator.cpp - the table-driven code generator --------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "ir/Linearize.h"
+#include "support/Strings.h"
+#include "support/Timer.h"
+
+using namespace gg;
+
+void gg::emitDataSection(const Program &Prog, AsmEmitter &Emit) {
+  if (Prog.Globals.empty())
+    return;
+  Emit.directive(".data");
+  for (const GlobalVar &G : Prog.Globals) {
+    Emit.directive(".align 2");
+    Emit.labelText(Prog.Syms.text(G.Name));
+    const char *Dir = sizeOfTy(G.ElemTy) == 1   ? ".byte"
+                      : sizeOfTy(G.ElemTy) == 2 ? ".word"
+                                                : ".long";
+    if (G.Init.empty()) {
+      Emit.directive(strf(".space %d", G.Count * sizeOfTy(G.ElemTy)));
+      continue;
+    }
+    for (int I = 0; I < G.Count; ++I) {
+      int64_t V = I < static_cast<int>(G.Init.size()) ? G.Init[I] : 0;
+      Emit.directive(strf("%s %lld", Dir, static_cast<long long>(V)));
+    }
+  }
+}
+
+bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
+                              std::string &Err) {
+  Stats = CodeGenStats();
+  Trace.clear();
+  AsmEmitter Emit(Prog.Syms);
+  Timer TransformT, MatchT, GenT;
+
+  emitDataSection(Prog, Emit);
+  Emit.directive(".text");
+
+  for (Function &F : Prog.Functions) {
+    {
+      TimerScope TS(TransformT);
+      TransformStats TF = runPhase1(Prog, F, Opts.Transform);
+      Stats.Transform.CondBranchRewrites += TF.CondBranchRewrites;
+      Stats.Transform.BoolValueRewrites += TF.BoolValueRewrites;
+      Stats.Transform.CallsFactored += TF.CallsFactored;
+      Stats.Transform.ConstantsFolded += TF.ConstantsFolded;
+      Stats.Transform.Canonicalizations += TF.Canonicalizations;
+      Stats.Transform.SubtreesSwapped += TF.SubtreesSwapped;
+      Stats.Transform.ReverseOpsUsed += TF.ReverseOpsUsed;
+      Stats.Transform.SpillSplits += TF.SpillSplits;
+    }
+
+    Emit.blank();
+    Emit.directive(strf(".globl %s", Prog.Syms.text(F.Name).c_str()));
+    Emit.labelText(Prog.Syms.text(F.Name));
+    Emit.directive(".word 0x0fc0"); // entry mask: save r6-r11
+    // The frame grows while compiling (spill cells, phase-1 temporaries of
+    // later statements): emit a placeholder and patch afterwards.
+    size_t PrologueLine = Emit.lines().size();
+    Emit.instRaw("subl2", {"$FRAME", "sp"});
+
+    VaxSemantics Sem(Emit, F, Opts.Idioms);
+
+    auto CompileTree = [&](Node *Tree) -> bool {
+      std::vector<LinToken> Input;
+      MatchResult MR;
+      {
+        TimerScope TS(MatchT);
+        Input = linearize(Tree);
+        Stats.MatcherTokens += Input.size();
+        MR = Target.matcher().match(Input);
+      }
+      if (!MR.Ok) {
+        Err = strf("%s\n  while matching: %s", MR.Error.c_str(),
+                   printLinear(Tree, Prog.Syms).c_str());
+        return false;
+      }
+      Stats.MatcherSteps += MR.Steps.size();
+      if (Opts.Trace) {
+        Trace += printLinear(Tree, Prog.Syms) + "\n";
+        Trace += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
+        Trace += "\n";
+      }
+      {
+        TimerScope TS(GenT);
+        std::string SemErr;
+        if (!Sem.replay(Target.grammar(), Input, MR.Steps, SemErr)) {
+          Err = strf("%s\n  while generating: %s", SemErr.c_str(),
+                     printLinear(Tree, Prog.Syms).c_str());
+          return false;
+        }
+      }
+      ++Stats.StatementTrees;
+      return true;
+    };
+
+    bool EndsWithRet = false;
+    for (Node *S : F.Body) {
+      EndsWithRet = false;
+      switch (S->Opcode) {
+      case Op::LabelDef:
+        Sem.emitLabel(S->Sym);
+        break;
+      case Op::Jump:
+        Sem.emitJump(S->left()->Sym);
+        break;
+      case Op::Ret:
+        if (S->left()) {
+          // Return value goes to r0: run "r0 := e" through the matcher.
+          Node *Copy = Prog.Arena->bin(Op::Assign, Ty::L,
+                                       Prog.Arena->dreg(RegR0, Ty::L),
+                                       S->left());
+          if (!CompileTree(Copy))
+            return false;
+        }
+        Sem.emitRet();
+        EndsWithRet = true;
+        break;
+      case Op::CallStmt: {
+        const Node *Call = S->right();
+        Sem.emitCall(Call->left()->Sym, static_cast<int>(Call->Value));
+        if (S->left()) {
+          Node *Copy = Prog.Arena->bin(Op::Assign, S->left()->Type,
+                                       S->left(),
+                                       Prog.Arena->dreg(RegR0, Ty::L));
+          if (!CompileTree(Copy))
+            return false;
+        }
+        break;
+      }
+      default:
+        if (!CompileTree(S))
+          return false;
+        break;
+      }
+    }
+    if (!EndsWithRet)
+      Sem.emitRet();
+
+    // Patch the prologue with the final frame size.
+    Emit.patchLine(PrologueLine, strf("\tsubl2\t$%d,sp", F.FrameSize));
+
+    Stats.Regs.Allocations += Sem.regStats().Allocations;
+    Stats.Regs.Spills += Sem.regStats().Spills;
+    Stats.Regs.Unspills += Sem.regStats().Unspills;
+    Stats.Regs.MaxLive = std::max(Stats.Regs.MaxLive,
+                                  Sem.regStats().MaxLive);
+    Stats.Idioms.BindingApplied += Sem.idiomStats().BindingApplied;
+    Stats.Idioms.RangeApplied += Sem.idiomStats().RangeApplied;
+    Stats.Idioms.CCTestsElided += Sem.idiomStats().CCTestsElided;
+    Stats.Idioms.PseudoExpansions += Sem.idiomStats().PseudoExpansions;
+  }
+
+  if (Opts.Peephole)
+    Stats.Peephole = runPeephole(Emit.linesMutable());
+
+  Stats.TransformSeconds = TransformT.seconds();
+  Stats.MatchSeconds = MatchT.seconds();
+  Stats.InstrGenSeconds = GenT.seconds();
+  Stats.Instructions = Emit.instructionCount();
+  Asm += Emit.text();
+  Stats.AsmLines = Emit.lineCount();
+  return true;
+}

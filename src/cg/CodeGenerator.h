@@ -1,0 +1,91 @@
+//===- CodeGenerator.h - the table-driven code generator --------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level code generator: "one single program structured into
+/// logical subphases" (paper Figure 2):
+///
+///   phase 1  tree transformation        (cg/Phase1.cpp)
+///   phase 2  pattern matching           (match/Matcher.cpp)
+///   phase 3  instruction generation     (vax/VaxSemantics.cpp)
+///   phase 4  output generation          (vax/Emitter.cpp, Operand.cpp)
+///
+/// Per-phase wall-clock accounting reproduces the paper's observation
+/// that "roughly one half the code generation time is spent in the
+/// pattern matching phase" (experiment E5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_CG_CODEGENERATOR_H
+#define GG_CG_CODEGENERATOR_H
+
+#include "cg/Peephole.h"
+#include "cg/Transform.h"
+#include "ir/Program.h"
+#include "vax/VaxSemantics.h"
+#include "vax/VaxTarget.h"
+
+#include <string>
+
+namespace gg {
+
+/// Options for a compilation.
+struct CodeGenOptions {
+  CgOptions Idioms;
+  TransformOptions Transform;
+  bool Trace = false;    ///< collect per-tree shift/reduce traces
+  /// Run the assembly-level peephole optimizer over the output (the
+  /// paper's section 6.1/9 future-work direction; off by default to
+  /// match the paper's configuration).
+  bool Peephole = false;
+};
+
+/// Aggregate statistics for one compile() call.
+struct CodeGenStats {
+  double TransformSeconds = 0;
+  double MatchSeconds = 0;
+  double InstrGenSeconds = 0;
+  size_t StatementTrees = 0;
+  size_t MatcherTokens = 0;
+  size_t MatcherSteps = 0;
+  size_t Instructions = 0;
+  size_t AsmLines = 0;
+  RegAllocStats Regs;
+  IdiomStats Idioms;
+  TransformStats Transform;
+  PeepholeStats Peephole;
+};
+
+/// Compiles IR programs to VAX assembly via the pattern matcher.
+class GGCodeGenerator {
+public:
+  GGCodeGenerator(const VaxTarget &Target, CodeGenOptions Opts = {})
+      : Target(Target), Opts(Opts) {}
+
+  /// Compiles \p Prog, appending assembly text to \p Asm. Returns false
+  /// and sets \p Err on a syntactic block or semantic failure (a
+  /// description bug, since phase 1 output must always be coverable).
+  bool compile(Program &Prog, std::string &Asm, std::string &Err);
+
+  const CodeGenStats &stats() const { return Stats; }
+
+  /// Shift/reduce traces collected when Trace is on (one per tree).
+  const std::string &trace() const { return Trace; }
+
+private:
+  const VaxTarget &Target;
+  CodeGenOptions Opts;
+  CodeGenStats Stats;
+  std::string Trace;
+};
+
+/// Emits the .data section for the program's globals (shared with the PCC
+/// baseline so both backends produce directly comparable modules).
+void emitDataSection(const Program &Prog, AsmEmitter &Emit);
+
+} // namespace gg
+
+#endif // GG_CG_CODEGENERATOR_H

@@ -1,0 +1,245 @@
+//===- Lexer.cpp - MiniC lexical analysis --------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "support/Strings.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace gg;
+
+const char *gg::tokName(Tok K) {
+  switch (K) {
+  case Tok::End:
+    return "end of input";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::Number:
+    return "number";
+  case Tok::KwInt:
+    return "'int'";
+  case Tok::KwChar:
+    return "'char'";
+  case Tok::KwShort:
+    return "'short'";
+  case Tok::KwUnsigned:
+    return "'unsigned'";
+  case Tok::KwVoid:
+    return "'void'";
+  case Tok::KwRegister:
+    return "'register'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwWhile:
+    return "'while'";
+  case Tok::KwFor:
+    return "'for'";
+  case Tok::KwDo:
+    return "'do'";
+  case Tok::KwBreak:
+    return "'break'";
+  case Tok::KwContinue:
+    return "'continue'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwSwitch:
+    return "'switch'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwDefault:
+    return "'default'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Assign:
+    return "'='";
+  case Tok::Question:
+    return "'?'";
+  case Tok::Colon:
+    return "':'";
+  default:
+    return "operator";
+  }
+}
+
+bool gg::lexMiniC(std::string_view Src, std::vector<Token> &Tokens,
+                  DiagnosticSink &Diags) {
+  static const std::unordered_map<std::string, Tok> Keywords = {
+      {"int", Tok::KwInt},           {"char", Tok::KwChar},
+      {"short", Tok::KwShort},       {"unsigned", Tok::KwUnsigned},
+      {"void", Tok::KwVoid},         {"register", Tok::KwRegister},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},       {"for", Tok::KwFor},
+      {"do", Tok::KwDo},             {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue}, {"return", Tok::KwReturn},
+      {"switch", Tok::KwSwitch},     {"case", Tok::KwCase},
+      {"default", Tok::KwDefault},
+  };
+
+  size_t I = 0, N = Src.size();
+  int Line = 1;
+  auto Push = [&](Tok K) { Tokens.push_back({K, "", 0, Line}); };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      if (I + 1 >= N) {
+        Diags.error("unterminated comment", Line);
+        return false;
+      }
+      I += 2;
+      continue;
+    }
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_'))
+        ++I;
+      std::string Word(Src.substr(Start, I - Start));
+      auto It = Keywords.find(Word);
+      if (It != Keywords.end())
+        Push(It->second);
+      else
+        Tokens.push_back({Tok::Ident, Word, 0, Line});
+      continue;
+    }
+    if (isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && (isalnum(static_cast<unsigned char>(Src[I]))))
+        ++I;
+      std::optional<int64_t> V = parseInt(Src.substr(Start, I - Start));
+      if (!V) {
+        Diags.error(strf("bad numeric literal '%s'",
+                         std::string(Src.substr(Start, I - Start)).c_str()),
+                    Line);
+        return false;
+      }
+      Tokens.push_back({Tok::Number, "", *V, Line});
+      continue;
+    }
+    if (C == '\'') {
+      // Character literal with the common escapes.
+      ++I;
+      if (I >= N) {
+        Diags.error("unterminated character literal", Line);
+        return false;
+      }
+      int64_t V;
+      if (Src[I] == '\\' && I + 1 < N) {
+        char E = Src[I + 1];
+        V = E == 'n' ? '\n' : E == 't' ? '\t' : E == '0' ? 0 : E;
+        I += 2;
+      } else {
+        V = Src[I];
+        ++I;
+      }
+      if (I >= N || Src[I] != '\'') {
+        Diags.error("unterminated character literal", Line);
+        return false;
+      }
+      ++I;
+      Tokens.push_back({Tok::Number, "", V, Line});
+      continue;
+    }
+
+    auto Two = [&](char A, char B, Tok K) -> bool {
+      if (C == A && I + 1 < N && Src[I + 1] == B) {
+        Push(K);
+        I += 2;
+        return true;
+      }
+      return false;
+    };
+    auto Three = [&](const char *S, Tok K) -> bool {
+      if (I + 2 < N && Src[I] == S[0] && Src[I + 1] == S[1] &&
+          Src[I + 2] == S[2]) {
+        Push(K);
+        I += 3;
+        return true;
+      }
+      return false;
+    };
+
+    if (Three("<<=", Tok::ShlAssign) || Three(">>=", Tok::ShrAssign))
+      continue;
+    if (Two('<', '<', Tok::Shl) || Two('>', '>', Tok::Shr) ||
+        Two('<', '=', Tok::LessEq) || Two('>', '=', Tok::GreaterEq) ||
+        Two('=', '=', Tok::EqEq) || Two('!', '=', Tok::NotEq) ||
+        Two('&', '&', Tok::AmpAmp) || Two('|', '|', Tok::PipePipe) ||
+        Two('+', '+', Tok::PlusPlus) || Two('-', '-', Tok::MinusMinus) ||
+        Two('+', '=', Tok::PlusAssign) || Two('-', '=', Tok::MinusAssign) ||
+        Two('*', '=', Tok::StarAssign) || Two('/', '=', Tok::SlashAssign) ||
+        Two('%', '=', Tok::PercentAssign) || Two('&', '=', Tok::AmpAssign) ||
+        Two('|', '=', Tok::PipeAssign) || Two('^', '=', Tok::CaretAssign))
+      continue;
+
+    Tok K;
+    switch (C) {
+    case '(': K = Tok::LParen; break;
+    case ')': K = Tok::RParen; break;
+    case '{': K = Tok::LBrace; break;
+    case '}': K = Tok::RBrace; break;
+    case '[': K = Tok::LBracket; break;
+    case ']': K = Tok::RBracket; break;
+    case ';': K = Tok::Semi; break;
+    case ',': K = Tok::Comma; break;
+    case '=': K = Tok::Assign; break;
+    case '?': K = Tok::Question; break;
+    case ':': K = Tok::Colon; break;
+    case '|': K = Tok::Pipe; break;
+    case '^': K = Tok::Caret; break;
+    case '&': K = Tok::Amp; break;
+    case '<': K = Tok::Less; break;
+    case '>': K = Tok::Greater; break;
+    case '+': K = Tok::Plus; break;
+    case '-': K = Tok::Minus; break;
+    case '*': K = Tok::Star; break;
+    case '/': K = Tok::Slash; break;
+    case '%': K = Tok::Percent; break;
+    case '~': K = Tok::Tilde; break;
+    case '!': K = Tok::Bang; break;
+    default:
+      Diags.error(strf("unexpected character '%c'", C), Line);
+      return false;
+    }
+    Push(K);
+    ++I;
+  }
+  Tokens.push_back({Tok::End, "", 0, Line});
+  return true;
+}

@@ -1,0 +1,108 @@
+//===- Lexer.h - MiniC lexical analysis -------------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset standing in for the paper's PCC
+/// first pass. See Parser.h for the language summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_FRONTEND_LEXER_H
+#define GG_FRONTEND_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  Number,
+  // keywords
+  KwInt,
+  KwChar,
+  KwShort,
+  KwUnsigned,
+  KwVoid,
+  KwRegister,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  AmpAssign,
+  PipeAssign,
+  CaretAssign,
+  ShlAssign,
+  ShrAssign,
+  Question,
+  Colon,
+  PipePipe,
+  AmpAmp,
+  Pipe,
+  Caret,
+  Amp,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  Shr,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  Tilde,
+  Bang,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;  ///< identifier spelling
+  int64_t Value = 0; ///< numeric value
+  int Line = 1;
+};
+
+/// Tokenizes \p Source; returns false on lexical errors.
+bool lexMiniC(std::string_view Source, std::vector<Token> &Tokens,
+              DiagnosticSink &Diags);
+
+/// Token spelling for diagnostics.
+const char *tokName(Tok K);
+
+} // namespace gg
+
+#endif // GG_FRONTEND_LEXER_H

@@ -1,0 +1,51 @@
+//===- Parser.h - MiniC parser and IR lowering ------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC: the C subset standing in for the paper's PCC first pass. It
+/// produces the same style of output PCC's first pass fed its second
+/// pass: a forest of typed expression trees per function, with
+/// short-circuit / selection / relational operators left *implicit* in
+/// the trees — phase 1a of the code generator makes them explicit, as in
+/// the paper.
+///
+/// Language summary:
+///   types        int, char, short, unsigned {,char,short}, one-level
+///                pointers (T*), one-dimensional arrays of scalars
+///   storage      globals (with scalar or brace initializers), locals,
+///                parameters, register locals (mapped to r6..r11)
+///   statements   blocks, if/else, while, do-while, for, break,
+///                continue, return, expression statements
+///   expressions  full C operator set over the above (assignment and
+///                compound assignment, ?:, || &&, bitwise, equality,
+///                relational, shifts, + - * / %, unary - ~ ! * & ++ --,
+///                calls, indexing); no structs, floats or multi-level
+///                pointers
+///   runtime      print(x) and printc(c) builtins (simulator syscalls)
+///
+/// Deliberate restrictions (diagnosed): compound assignment and ++/--
+/// require lvalues without embedded side effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_FRONTEND_PARSER_H
+#define GG_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace gg {
+
+/// Compiles MiniC \p Source into an IR \p Prog. Returns false with
+/// diagnostics on any lexical, syntax or semantic error.
+bool compileMiniC(std::string_view Source, Program &Prog,
+                  DiagnosticSink &Diags);
+
+} // namespace gg
+
+#endif // GG_FRONTEND_PARSER_H

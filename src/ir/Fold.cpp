@@ -1,0 +1,65 @@
+//===- Fold.cpp - shared arithmetic semantics --------------------------------===//
+
+#include "ir/Fold.h"
+#include "ir/Interp.h"
+
+using namespace gg;
+
+std::optional<int64_t> gg::foldBinaryOp(Op O, Ty T, int64_t A, int64_t B) {
+  A = truncateToTy(A, T);
+  B = truncateToTy(B, T);
+  if (isReverseOp(O)) {
+    std::swap(A, B);
+    O = reverseOp(O);
+  }
+  switch (O) {
+  case Op::Plus:
+    return truncateToTy(A + B, T);
+  case Op::Minus:
+    return truncateToTy(A - B, T);
+  case Op::Mul:
+    return truncateToTy(A * B, T);
+  case Op::Div:
+  case Op::Mod: {
+    if (B == 0)
+      return std::nullopt;
+    if (isUnsignedTy(T)) {
+      uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+      return truncateToTy(
+          static_cast<int64_t>(O == Op::Div ? UA / UB : UA % UB), T);
+    }
+    if (A == truncateToTy(INT64_MIN, T) && B == -1)
+      return truncateToTy(O == Op::Div ? A : 0, T); // wraps like the VAX
+    return truncateToTy(O == Op::Div ? A / B : A % B, T);
+  }
+  case Op::And:
+    return truncateToTy(A & B, T);
+  case Op::Or:
+    return truncateToTy(A | B, T);
+  case Op::Xor:
+    return truncateToTy(A ^ B, T);
+  case Op::Lsh:
+    return truncateToTy(vaxAshl32(B, A), T);
+  case Op::Rsh:
+    if (isUnsignedTy(T))
+      return truncateToTy(vaxLshr32(B, A), T);
+    return truncateToTy(vaxAshl32(-B, A), T);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<int64_t> gg::foldUnaryOp(Op O, Ty T, int64_t A) {
+  switch (O) {
+  case Op::Neg:
+    return truncateToTy(-truncateToTy(A, T), T);
+  case Op::Com:
+    return truncateToTy(~truncateToTy(A, T), T);
+  case Op::Not:
+    return A == 0 ? 1 : 0;
+  case Op::Conv:
+    return truncateToTy(A, T);
+  default:
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,33 @@
+//===- Fold.h - shared arithmetic semantics ---------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single definition of the binary/unary operator arithmetic, shared by
+/// the IR interpreter and the phase-1b constant folder so that folding can
+/// never diverge from execution semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_IR_FOLD_H
+#define GG_IR_FOLD_H
+
+#include "ir/Node.h"
+
+#include <optional>
+
+namespace gg {
+
+/// Computes `A op B` in type \p T with the project's defined semantics
+/// (wraparound, VAX shift behaviour). Returns nullopt for division or
+/// modulus by zero and for operators without pure arithmetic meaning.
+std::optional<int64_t> foldBinaryOp(Op O, Ty T, int64_t A, int64_t B);
+
+/// Computes unary `op A` in type \p T (Neg, Com, Not, Conv-as-truncate).
+std::optional<int64_t> foldUnaryOp(Op O, Ty T, int64_t A);
+
+} // namespace gg
+
+#endif // GG_IR_FOLD_H

@@ -1,0 +1,435 @@
+//===- Interp.cpp - reference IR interpreter ------------------------------===//
+
+#include "ir/Fold.h"
+#include "ir/Interp.h"
+#include "support/Error.h"
+#include "support/Strings.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace gg;
+
+int64_t gg::vaxAshl32(int64_t Count, int64_t Src) {
+  int8_t C = static_cast<int8_t>(Count);
+  int32_t V = static_cast<int32_t>(Src);
+  if (C >= 32)
+    return 0;
+  if (C <= -32)
+    return V < 0 ? -1 : 0;
+  if (C >= 0)
+    return static_cast<int32_t>(static_cast<uint32_t>(V) << C);
+  return V >> -C;
+}
+
+int64_t gg::vaxLshr32(int64_t Count, int64_t Src) {
+  if (Count < 0 || Count > 31)
+    return 0;
+  return static_cast<uint32_t>(Src) >> Count;
+}
+
+namespace {
+
+constexpr size_t MemBytes = 1u << 20;
+constexpr int64_t GlobalBase = 0x1000;
+
+/// A resolved lvalue: a register or a memory cell of a given type.
+struct LocRef {
+  bool IsReg = false;
+  int Reg = 0;
+  int64_t Addr = 0;
+  Ty Type = Ty::L;
+};
+
+class InterpState {
+public:
+  InterpState(const Program &P, uint64_t StepLimit)
+      : P(P), StepLimit(StepLimit), Mem(MemBytes, 0) {
+    layoutGlobals();
+    for (const Function &F : P.Functions)
+      FuncByName.emplace(F.Name.id(), &F);
+  }
+
+  InterpResult run(std::string_view Entry) {
+    InterpResult R;
+    const Function *F = nullptr;
+    for (const Function &Fn : P.Functions)
+      if (P.Syms.text(Fn.Name) == Entry)
+        F = &Fn;
+    if (!F) {
+      R.Error = strf("entry function '%s' not found",
+                     std::string(Entry).c_str());
+      return R;
+    }
+    Regs[RegSP] = static_cast<int64_t>(MemBytes) - 64;
+    int64_t Value = callFunction(F, {});
+    R.Ok = Err.empty();
+    R.Error = Err;
+    R.ReturnValue = Value;
+    R.Output = std::move(Output);
+    R.Steps = Steps;
+    return R;
+  }
+
+private:
+  const Program &P;
+  uint64_t StepLimit;
+  uint64_t Steps = 0;
+  std::vector<uint8_t> Mem;
+  int64_t Regs[NumRegs] = {};
+  std::string Output;
+  std::string Err;
+  std::unordered_map<uint32_t, int64_t> GlobalAddr;
+  std::unordered_map<uint32_t, const Function *> FuncByName;
+
+  void fail(const std::string &Message) {
+    if (Err.empty())
+      Err = Message;
+  }
+  bool failed() const { return !Err.empty(); }
+
+  void layoutGlobals() {
+    int64_t Next = GlobalBase;
+    for (const GlobalVar &G : P.Globals) {
+      Next = (Next + 3) & ~int64_t(3);
+      GlobalAddr[G.Name.id()] = Next;
+      int Elem = sizeOfTy(G.ElemTy);
+      for (int I = 0; I < G.Count; ++I) {
+        int64_t V = I < static_cast<int>(G.Init.size()) ? G.Init[I] : 0;
+        store(Next + static_cast<int64_t>(I) * Elem, G.ElemTy, V);
+      }
+      Next += static_cast<int64_t>(Elem) * G.Count;
+    }
+  }
+
+  bool checkAddr(int64_t Addr, int Width) {
+    if (Addr < 0 || Addr + Width > static_cast<int64_t>(Mem.size())) {
+      fail(strf("memory access out of range: addr=%lld width=%d",
+                static_cast<long long>(Addr), Width));
+      return false;
+    }
+    return true;
+  }
+
+  int64_t load(int64_t Addr, Ty T) {
+    int Width = sizeOfTy(T);
+    if (!checkAddr(Addr, Width))
+      return 0;
+    uint64_t Raw = 0;
+    for (int I = 0; I < Width; ++I)
+      Raw |= static_cast<uint64_t>(Mem[Addr + I]) << (8 * I);
+    return truncateToTy(static_cast<int64_t>(Raw), T);
+  }
+
+  void store(int64_t Addr, Ty T, int64_t Value) {
+    int Width = sizeOfTy(T);
+    if (!checkAddr(Addr, Width))
+      return;
+    uint64_t Raw = static_cast<uint64_t>(Value);
+    for (int I = 0; I < Width; ++I)
+      Mem[Addr + I] = static_cast<uint8_t>(Raw >> (8 * I));
+  }
+
+  int64_t readLoc(const LocRef &Loc) {
+    if (Loc.IsReg)
+      return truncateToTy(Regs[Loc.Reg], Loc.Type);
+    return load(Loc.Addr, Loc.Type);
+  }
+
+  void writeLoc(const LocRef &Loc, int64_t Value) {
+    if (Loc.IsReg) {
+      Regs[Loc.Reg] = truncateToTy(Value, Loc.Type);
+      return;
+    }
+    store(Loc.Addr, Loc.Type, Value);
+  }
+
+  /// Resolves an lvalue tree to a location.
+  LocRef lvalue(const Node *N) {
+    LocRef Loc;
+    Loc.Type = N->Type;
+    switch (N->Opcode) {
+    case Op::Name: {
+      auto It = GlobalAddr.find(N->Sym.id());
+      if (It == GlobalAddr.end()) {
+        fail(strf("undefined global '%s'", P.Syms.text(N->Sym).c_str()));
+        return Loc;
+      }
+      Loc.Addr = It->second;
+      return Loc;
+    }
+    case Op::Dreg:
+      Loc.IsReg = true;
+      Loc.Reg = N->Reg;
+      return Loc;
+    case Op::Indir:
+      Loc.Addr = eval(N->left());
+      return Loc;
+    default:
+      fail(strf("not an lvalue: %s", opName(N->Opcode)));
+      return Loc;
+    }
+  }
+
+  /// Evaluates an argument chain left to right.
+  void evalArgs(const Node *Chain, std::vector<int64_t> &Args) {
+    for (const Node *A = Chain; A; A = A->right()) {
+      assert(A->is(Op::Arg) && "malformed argument chain");
+      Args.push_back(truncateToTy(eval(A->left()), Ty::L));
+    }
+  }
+
+  int64_t doCall(const Node *N) {
+    std::vector<int64_t> Args;
+    if (!N->right() && N->Value > 0) {
+      // Post-transform call: phase 1a replaced the Arg chain with Push
+      // statements; the arguments sit on the stack, first argument on top.
+      int64_t SP = Regs[RegSP];
+      for (int64_t I = 0; I < N->Value; ++I)
+        Args.push_back(load(SP + 4 * I, Ty::L));
+      Regs[RegSP] += 4 * N->Value;
+    } else {
+      evalArgs(N->right(), Args);
+    }
+    if (failed())
+      return 0;
+    const Node *Callee = N->left();
+    if (!Callee || !Callee->is(Op::Gaddr)) {
+      fail("indirect calls are not supported");
+      return 0;
+    }
+    const std::string &Name = P.Syms.text(Callee->Sym);
+    if (Name == "print") {
+      int64_t V = Args.empty() ? 0 : Args[0];
+      Output += strf("%lld\n", static_cast<long long>(V));
+      return truncateToTy(V, N->Type);
+    }
+    if (Name == "printc") {
+      Output += static_cast<char>(Args.empty() ? 0 : Args[0]);
+      return 0;
+    }
+    auto It = FuncByName.find(Callee->Sym.id());
+    if (It == FuncByName.end()) {
+      fail(strf("call to undefined function '%s'", Name.c_str()));
+      return 0;
+    }
+    return truncateToTy(callFunction(It->second, Args), N->Type);
+  }
+
+  int64_t callFunction(const Function *F, const std::vector<int64_t> &Args) {
+    // Save the callee-saved machine state (register variables and the
+    // frame registers), mirroring the calls/ret convention.
+    int64_t Saved[NumRegs];
+    for (int I = 0; I < NumRegs; ++I)
+      Saved[I] = Regs[I];
+
+    int64_t SP = Regs[RegSP];
+    for (size_t I = Args.size(); I-- > 0;) {
+      SP -= 4;
+      store(SP, Ty::L, Args[I]);
+    }
+    SP -= 4;
+    store(SP, Ty::L, static_cast<int64_t>(Args.size()));
+    Regs[RegAP] = SP;
+    Regs[RegFP] = SP - 8;
+    Regs[RegSP] = Regs[RegFP] - F->FrameSize;
+    if (Regs[RegSP] < GlobalBase) {
+      fail("interpreter stack overflow");
+      return 0;
+    }
+
+    int64_t Result = execBody(F);
+
+    for (int I = 0; I < NumRegs; ++I)
+      Regs[I] = Saved[I];
+    return Result;
+  }
+
+  int64_t execBody(const Function *F) {
+    // Pre-scan label positions.
+    std::unordered_map<uint32_t, size_t> LabelIndex;
+    for (size_t I = 0, E = F->Body.size(); I != E; ++I)
+      if (F->Body[I]->is(Op::LabelDef))
+        LabelIndex[F->Body[I]->Sym.id()] = I;
+
+    auto JumpTo = [&](InternedString Sym, size_t &I) {
+      auto It = LabelIndex.find(Sym.id());
+      if (It == LabelIndex.end()) {
+        fail(strf("jump to undefined label '%s'", P.Syms.text(Sym).c_str()));
+        return;
+      }
+      I = It->second;
+    };
+
+    size_t I = 0;
+    while (I < F->Body.size() && !failed()) {
+      if (++Steps > StepLimit) {
+        fail("step limit exceeded (infinite loop?)");
+        return 0;
+      }
+      const Node *S = F->Body[I];
+      switch (S->Opcode) {
+      case Op::LabelDef:
+        break;
+      case Op::Jump:
+        JumpTo(S->left()->Sym, I);
+        continue;
+      case Op::CBranch: {
+        const Node *C = S->left();
+        assert(C->is(Op::Cmp) && "CBranch without Cmp");
+        int64_t A = truncateToTy(eval(C->left()), C->Type);
+        int64_t B = truncateToTy(eval(C->right()), C->Type);
+        if (failed())
+          return 0;
+        if (evalCond(C->CC, A, B, C->Type)) {
+          JumpTo(S->right()->Sym, I);
+          continue;
+        }
+        break;
+      }
+      case Op::Ret:
+        return S->left() ? truncateToTy(eval(S->left()), Ty::L) : 0;
+      case Op::Push: {
+        int64_t V = truncateToTy(eval(S->left()), Ty::L);
+        Regs[RegSP] -= 4;
+        store(Regs[RegSP], Ty::L, V);
+        break;
+      }
+      case Op::CallStmt: {
+        int64_t V = doCall(S->right());
+        if (S->left() && !failed()) {
+          LocRef Loc = lvalue(S->left());
+          writeLoc(Loc, V);
+        }
+        break;
+      }
+      default:
+        eval(S); // expression statement (typically Assign)
+        break;
+      }
+      ++I;
+    }
+    return 0; // fell off the end without Ret
+  }
+
+  /// Evaluates \p N; the result is truncated to N's type.
+  int64_t eval(const Node *N) {
+    if (failed() || !N)
+      return 0;
+    Ty T = N->Type;
+    switch (N->Opcode) {
+    case Op::Const:
+      return truncateToTy(N->Value, T);
+    case Op::Gaddr: {
+      auto It = GlobalAddr.find(N->Sym.id());
+      if (It == GlobalAddr.end()) {
+        fail(strf("undefined global '%s'", P.Syms.text(N->Sym).c_str()));
+        return 0;
+      }
+      // Value carries a folded byte offset (phase 1b address folding).
+      return It->second + N->Value;
+    }
+    case Op::Name:
+    case Op::Dreg:
+      return readLoc(lvalue(N));
+    case Op::Indir:
+      return load(eval(N->left()), T);
+    case Op::Neg:
+      return truncateToTy(-eval(N->left()), T);
+    case Op::Com:
+      return truncateToTy(~eval(N->left()), T);
+    case Op::Not:
+      return eval(N->left()) == 0 ? 1 : 0;
+    case Op::Conv:
+      return truncateToTy(eval(N->left()), T);
+    case Op::Assign:
+    case Op::AssignR: {
+      const Node *Dst = N->Opcode == Op::Assign ? N->left() : N->right();
+      const Node *Src = N->Opcode == Op::Assign ? N->right() : N->left();
+      // Evaluation order matches the generated code: destination address
+      // first for the forward form, source first for the reverse form.
+      if (N->Opcode == Op::Assign) {
+        LocRef Loc = lvalue(Dst);
+        int64_t V = truncateToTy(eval(Src), Dst->Type);
+        writeLoc(Loc, V);
+        return truncateToTy(V, T);
+      }
+      int64_t V = eval(Src);
+      LocRef Loc = lvalue(Dst);
+      V = truncateToTy(V, Dst->Type);
+      writeLoc(Loc, V);
+      return truncateToTy(V, T);
+    }
+    case Op::Rel: {
+      int64_t A = truncateToTy(eval(N->left()), operandTy(N));
+      int64_t B = truncateToTy(eval(N->right()), operandTy(N));
+      return evalCond(N->CC, A, B, operandTy(N)) ? 1 : 0;
+    }
+    case Op::AndAnd:
+      return eval(N->left()) != 0 && eval(N->right()) != 0 ? 1 : 0;
+    case Op::OrOr:
+      return eval(N->left()) != 0 || eval(N->right()) != 0 ? 1 : 0;
+    case Op::Select: {
+      const Node *Arms = N->right();
+      assert(Arms->is(Op::Colon) && "Select without Colon");
+      return truncateToTy(
+          eval(eval(N->left()) != 0 ? Arms->left() : Arms->right()), T);
+    }
+    case Op::Colon:
+      gg_unreachable("Colon evaluated outside Select");
+    case Op::PostInc: {
+      LocRef Loc = lvalue(N->left());
+      int64_t Old = readLoc(Loc);
+      writeLoc(Loc, Old + eval(N->right()));
+      return truncateToTy(Old, T);
+    }
+    case Op::PreDec: {
+      LocRef Loc = lvalue(N->left());
+      int64_t New = readLoc(Loc) - eval(N->right());
+      writeLoc(Loc, New);
+      return truncateToTy(New, T);
+    }
+    case Op::Call:
+      return doCall(N);
+    case Op::Arg:
+      gg_unreachable("Arg evaluated outside a call");
+    case Op::Cmp:
+      gg_unreachable("Cmp evaluated outside CBranch");
+    default:
+      break;
+    }
+
+    // Remaining cases: the plain and reverse binary arithmetic operators,
+    // evaluated left to right and folded through the shared semantics.
+    int64_t A = truncateToTy(eval(N->left()), T);
+    int64_t B = truncateToTy(eval(N->right()), T);
+    if (failed())
+      return 0;
+    if (std::optional<int64_t> V = foldBinaryOp(N->Opcode, T, A, B))
+      return *V;
+    Op Fwd = isReverseOp(N->Opcode) ? reverseOp(N->Opcode) : N->Opcode;
+    if (Fwd == Op::Div || Fwd == Op::Mod)
+      fail("division by zero");
+    else
+      fail(strf("interpreter cannot evaluate operator %s",
+                opName(N->Opcode)));
+    return 0;
+  }
+
+  /// Operand comparison type for Rel: the wider of the children's types,
+  /// as recorded by the front end in the node's CC/type fields. We use the
+  /// node's own type unless a child is wider.
+  Ty operandTy(const Node *N) {
+    Ty A = N->left()->Type, B = N->right()->Type;
+    return sizeOfTy(A) >= sizeOfTy(B) ? A : B;
+  }
+
+};
+
+} // namespace
+
+InterpResult gg::interpret(const Program &P, std::string_view Entry,
+                           uint64_t StepLimit) {
+  InterpState S(P, StepLimit);
+  return S.run(Entry);
+}

@@ -1,0 +1,54 @@
+//===- Interp.h - reference IR interpreter ----------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for IR programs, used as the semantic oracle the
+/// validation suites compare against (the paper validated against C /
+/// Pascal / Fortran77 suites; we validate differentially: interpreter
+/// output vs simulator output of generated code). It executes both
+/// pre-phase-1 trees (short-circuit, selection, relational-value operators)
+/// and post-transformation trees (reverse operators, explicit branches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_IR_INTERP_H
+#define GG_IR_INTERP_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gg {
+
+/// VAX "ashl" semantics at 32 bits: the count is taken as a signed byte;
+/// positive counts shift left, negative counts shift right arithmetically.
+/// Out-of-range counts fill with zero (left) or the sign (right).
+int64_t vaxAshl32(int64_t Count, int64_t Src);
+
+/// Logical 32-bit right shift with extzv-expansion semantics: counts
+/// outside [0,31] yield zero.
+int64_t vaxLshr32(int64_t Count, int64_t Src);
+
+/// Outcome of interpreting a program.
+struct InterpResult {
+  bool Ok = false;
+  std::string Error;       ///< diagnostic when !Ok
+  int64_t ReturnValue = 0; ///< value returned from the entry function
+  std::string Output;      ///< everything written via print/printc/prints
+  uint64_t Steps = 0;      ///< statements executed (loop guard metric)
+};
+
+/// Interprets \p P starting at \p Entry (default "main").
+///
+/// \p StepLimit bounds the number of executed statements so that runaway
+/// loops in randomly generated programs fail cleanly.
+InterpResult interpret(const Program &P, std::string_view Entry = "main",
+                       uint64_t StepLimit = 50'000'000);
+
+} // namespace gg
+
+#endif // GG_IR_INTERP_H

@@ -1,0 +1,59 @@
+//===- Linearize.cpp - prefix linearization of trees ----------------------===//
+
+#include "ir/Linearize.h"
+#include "support/Error.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+std::string gg::terminalName(const Node *N) {
+  assert(N && "terminalName on null node");
+  switch (N->Opcode) {
+  case Op::Const:
+    // The special long constants get their own terminal symbols (§6.4).
+    if (sizeClassOf(N->Type) == SizeClass::L) {
+      switch (N->Value) {
+      case 0:
+        return "Zero";
+      case 1:
+        return "One";
+      case 2:
+        return "Two";
+      case 4:
+        return "Four";
+      case 8:
+        return "Eight";
+      default:
+        break;
+      }
+    }
+    break;
+  case Op::Conv:
+    assert(N->left() && "Conv without operand");
+    return strf("Cvt_%c_%c", suffixChar(N->left()->Type),
+                suffixChar(N->Type));
+  case Op::CBranch:
+    return "CBranch";
+  case Op::Label:
+    return "Label";
+  default:
+    break;
+  }
+  return strf("%s_%c", opName(N->Opcode), suffixChar(N->Type));
+}
+
+namespace {
+void linearizeRec(const Node *N, std::vector<LinToken> &Out) {
+  if (!N)
+    return;
+  Out.push_back({terminalName(N), N});
+  for (const Node *Kid : N->Kids)
+    linearizeRec(Kid, Out);
+}
+} // namespace
+
+std::vector<LinToken> gg::linearize(const Node *Tree) {
+  std::vector<LinToken> Tokens;
+  linearizeRec(Tree, Tokens);
+  return Tokens;
+}

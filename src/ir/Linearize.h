@@ -1,0 +1,47 @@
+//===- Linearize.h - prefix linearization of trees --------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns an expression tree into the prefix token stream the pattern
+/// matcher parses. Each token names a grammar terminal symbol and carries
+/// the originating node so leaf shifts can capture semantic attributes.
+///
+/// Terminal naming conventions (these are the paper's, section 3.1/6.4):
+///  * typed operators append a size-class suffix: Plus_l, Const_b, Name_w;
+///  * conversions carry both size classes: Cvt_b_l;
+///  * the special long constants 0, 1, 2, 4 and 8 become their own
+///    terminals Zero, One, Two, Four, Eight ("because of the importance
+///    they play in comparisons and address construction");
+///  * CBranch and Label are untyped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_IR_LINEARIZE_H
+#define GG_IR_LINEARIZE_H
+
+#include "ir/Node.h"
+
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// One token of the matcher's input: a terminal name plus the node whose
+/// attributes the semantic actions read.
+struct LinToken {
+  std::string Term;
+  const Node *N = nullptr;
+};
+
+/// Grammar terminal name for a single node (no children).
+std::string terminalName(const Node *N);
+
+/// Prefix-linearizes \p Tree into matcher input tokens.
+std::vector<LinToken> linearize(const Node *Tree);
+
+} // namespace gg
+
+#endif // GG_IR_LINEARIZE_H

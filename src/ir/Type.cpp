@@ -1,0 +1,167 @@
+//===- Type.cpp - machine data types --------------------------------------===//
+
+#include "ir/Type.h"
+#include "support/Error.h"
+
+using namespace gg;
+
+const char *gg::tyName(Ty T) {
+  switch (T) {
+  case Ty::B:
+    return "b";
+  case Ty::W:
+    return "w";
+  case Ty::L:
+    return "l";
+  case Ty::UB:
+    return "ub";
+  case Ty::UW:
+    return "uw";
+  case Ty::UL:
+    return "ul";
+  }
+  return "?";
+}
+
+int64_t gg::truncateToTy(int64_t Value, Ty T) {
+  switch (T) {
+  case Ty::B:
+    return static_cast<int8_t>(Value);
+  case Ty::W:
+    return static_cast<int16_t>(Value);
+  case Ty::L:
+    return static_cast<int32_t>(Value);
+  case Ty::UB:
+    return static_cast<uint8_t>(Value);
+  case Ty::UW:
+    return static_cast<uint16_t>(Value);
+  case Ty::UL:
+    return static_cast<uint32_t>(Value);
+  }
+  return Value;
+}
+
+Cond gg::swapCond(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return Cond::EQ;
+  case Cond::NE:
+    return Cond::NE;
+  case Cond::LT:
+    return Cond::GT;
+  case Cond::LE:
+    return Cond::GE;
+  case Cond::GT:
+    return Cond::LT;
+  case Cond::GE:
+    return Cond::LE;
+  case Cond::ULT:
+    return Cond::UGT;
+  case Cond::ULE:
+    return Cond::UGE;
+  case Cond::UGT:
+    return Cond::ULT;
+  case Cond::UGE:
+    return Cond::ULE;
+  }
+  gg_unreachable("bad condition");
+}
+
+Cond gg::negateCond(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return Cond::NE;
+  case Cond::NE:
+    return Cond::EQ;
+  case Cond::LT:
+    return Cond::GE;
+  case Cond::LE:
+    return Cond::GT;
+  case Cond::GT:
+    return Cond::LE;
+  case Cond::GE:
+    return Cond::LT;
+  case Cond::ULT:
+    return Cond::UGE;
+  case Cond::ULE:
+    return Cond::UGT;
+  case Cond::UGT:
+    return Cond::ULE;
+  case Cond::UGE:
+    return Cond::ULT;
+  }
+  gg_unreachable("bad condition");
+}
+
+const char *gg::condName(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return "eql";
+  case Cond::NE:
+    return "neq";
+  case Cond::LT:
+    return "lss";
+  case Cond::LE:
+    return "leq";
+  case Cond::GT:
+    return "gtr";
+  case Cond::GE:
+    return "geq";
+  case Cond::ULT:
+    return "lssu";
+  case Cond::ULE:
+    return "lequ";
+  case Cond::UGT:
+    return "gtru";
+  case Cond::UGE:
+    return "gequ";
+  }
+  gg_unreachable("bad condition");
+}
+
+bool gg::evalCond(Cond C, int64_t A, int64_t B, Ty T) {
+  uint64_t UA = static_cast<uint64_t>(truncateToTy(A, T));
+  uint64_t UB = static_cast<uint64_t>(truncateToTy(B, T));
+  // For the unsigned conditions, reinterpret the bit patterns at the
+  // operand width; truncateToTy already sign- or zero-extended per T, so
+  // re-truncate through the unsigned flavour of the same size class.
+  switch (sizeClassOf(T)) {
+  case SizeClass::B:
+    UA = static_cast<uint8_t>(UA);
+    UB = static_cast<uint8_t>(UB);
+    break;
+  case SizeClass::W:
+    UA = static_cast<uint16_t>(UA);
+    UB = static_cast<uint16_t>(UB);
+    break;
+  case SizeClass::L:
+    UA = static_cast<uint32_t>(UA);
+    UB = static_cast<uint32_t>(UB);
+    break;
+  }
+  int64_t SA = truncateToTy(A, T);
+  int64_t SB = truncateToTy(B, T);
+  switch (C) {
+  case Cond::EQ:
+    return SA == SB;
+  case Cond::NE:
+    return SA != SB;
+  case Cond::LT:
+    return SA < SB;
+  case Cond::LE:
+    return SA <= SB;
+  case Cond::GT:
+    return SA > SB;
+  case Cond::GE:
+    return SA >= SB;
+  case Cond::ULT:
+    return UA < UB;
+  case Cond::ULE:
+    return UA <= UB;
+  case Cond::UGT:
+    return UA > UB;
+  case Cond::UGE:
+    return UA >= UB;
+  }
+  gg_unreachable("bad condition");
+}

@@ -1,0 +1,108 @@
+//===- Type.h - machine data types ------------------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine data types for the VAX integer subset. The paper's code
+/// generator types operands *syntactically*: every terminal symbol is
+/// replicated per machine type ("syntax for semantics", paper section 6.4).
+/// We replicate over size classes (byte / word / long); signedness is a
+/// semantic attribute consulted by the instruction selector, mirroring how
+/// the paper handles attributes the grammar does not encode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_IR_TYPE_H
+#define GG_IR_TYPE_H
+
+#include <cstdint>
+
+namespace gg {
+
+/// A machine data type: size class plus signedness.
+enum class Ty : uint8_t {
+  B,  ///< signed byte (8 bits)
+  W,  ///< signed word (16 bits)
+  L,  ///< signed long (32 bits)
+  UB, ///< unsigned byte
+  UW, ///< unsigned word
+  UL, ///< unsigned long
+};
+
+/// Size class of a type: the letter the VAX instruction suffix uses.
+enum class SizeClass : uint8_t { B, W, L };
+
+inline SizeClass sizeClassOf(Ty T) {
+  switch (T) {
+  case Ty::B:
+  case Ty::UB:
+    return SizeClass::B;
+  case Ty::W:
+  case Ty::UW:
+    return SizeClass::W;
+  case Ty::L:
+  case Ty::UL:
+    return SizeClass::L;
+  }
+  return SizeClass::L;
+}
+
+inline bool isUnsignedTy(Ty T) {
+  return T == Ty::UB || T == Ty::UW || T == Ty::UL;
+}
+
+/// Byte width of a type.
+inline int sizeOfTy(Ty T) {
+  switch (sizeClassOf(T)) {
+  case SizeClass::B:
+    return 1;
+  case SizeClass::W:
+    return 2;
+  case SizeClass::L:
+    return 4;
+  }
+  return 4;
+}
+
+/// VAX instruction suffix character for a size class ('b', 'w', 'l').
+inline char suffixChar(SizeClass SC) {
+  switch (SC) {
+  case SizeClass::B:
+    return 'b';
+  case SizeClass::W:
+    return 'w';
+  case SizeClass::L:
+    return 'l';
+  }
+  return 'l';
+}
+
+inline char suffixChar(Ty T) { return suffixChar(sizeClassOf(T)); }
+
+/// Human-readable type name ("b", "w", "l", "ub", "uw", "ul").
+const char *tyName(Ty T);
+
+/// Truncates \p Value to the range of \p T (sign- or zero-extending).
+int64_t truncateToTy(int64_t Value, Ty T);
+
+/// Signed/unsigned comparison condition codes used by Cmp and Rel nodes.
+enum class Cond : uint8_t { EQ, NE, LT, LE, GT, GE, ULT, ULE, UGT, UGE };
+
+/// Condition with operands swapped (a OP b == b swap(OP) a).
+Cond swapCond(Cond C);
+
+/// Logical negation of a condition.
+Cond negateCond(Cond C);
+
+/// Mnemonic fragment for a condition ("eql", "neq", "lss", ...), matching
+/// the VAX branch instruction family.
+const char *condName(Cond C);
+
+/// Evaluates \p C over two values already truncated to \p T.
+bool evalCond(Cond C, int64_t A, int64_t B, Ty T);
+
+} // namespace gg
+
+#endif // GG_IR_TYPE_H

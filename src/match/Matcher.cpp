@@ -1,0 +1,138 @@
+//===- Matcher.cpp - instruction pattern matcher ---------------------------===//
+
+#include "match/Matcher.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+Matcher::Matcher(const Grammar &G, const PackedTables &T) : G(G), T(T) {
+  assert(G.isFrozen() && "matcher requires a frozen grammar");
+}
+
+int Matcher::termIndexFor(const std::string &Name) const {
+  auto It = TermIndexCache.find(Name);
+  if (It != TermIndexCache.end())
+    return It->second;
+  SymId S = G.lookup(Name);
+  int Idx = (S >= 0 && G.isTerminal(S)) ? G.termIndex(S) : -1;
+  TermIndexCache.emplace(Name, Idx);
+  return Idx;
+}
+
+MatchResult Matcher::match(const std::vector<LinToken> &Input,
+                           const DynamicChooser &Chooser) const {
+  MatchResult R;
+  std::vector<int> StateStack{0};
+  R.Steps.reserve(Input.size() * 3);
+
+  size_t Pos = 0;
+  const size_t N = Input.size();
+  const int EofIdx = G.termIndex(G.eofSymbol());
+
+  while (true) {
+    int TermIdx;
+    if (Pos < N) {
+      TermIdx = termIndexFor(Input[Pos].Term);
+      if (TermIdx < 0) {
+        R.Error = strf("no terminal symbol '%s' in the machine description",
+                       Input[Pos].Term.c_str());
+        return R;
+      }
+    } else {
+      TermIdx = EofIdx;
+    }
+
+    int State = StateStack.back();
+    Action A = T.actionAt(State, TermIdx);
+    switch (A.Kind) {
+    case ActionType::Shift:
+      R.Steps.push_back(
+          {MatchStep::Shift, static_cast<int>(Pos), -1});
+      StateStack.push_back(A.Target);
+      ++Pos;
+      break;
+
+    case ActionType::Reduce: {
+      int Prod = A.Target;
+      if (Chooser) {
+        if (const std::vector<int> *Ties = T.dynChoicesAt(State, TermIdx)) {
+          std::vector<int> Cands;
+          Cands.reserve(Ties->size() + 1);
+          Cands.push_back(Prod);
+          Cands.insert(Cands.end(), Ties->begin(), Ties->end());
+          Prod = Chooser(State, Cands);
+        }
+      }
+      const Production &P = G.prod(Prod);
+      assert(StateStack.size() > P.Rhs.size() && "stack underflow on reduce");
+      StateStack.resize(StateStack.size() - P.Rhs.size());
+      int GotoState = T.gotoAt(StateStack.back(), G.ntIndex(P.Lhs));
+      if (GotoState < 0) {
+        R.Error = strf("internal error: missing goto for '%s' after "
+                       "reducing production %d",
+                       G.symbolName(P.Lhs).c_str(), Prod);
+        return R;
+      }
+      R.Steps.push_back({MatchStep::Reduce, -1, Prod});
+      StateStack.push_back(GotoState);
+      break;
+    }
+
+    case ActionType::Accept:
+      R.Ok = true;
+      return R;
+
+    case ActionType::Error: {
+      std::string At = Pos < N ? Input[Pos].Term : "$end";
+      // A parse error on well-formed input is a syntactic block (§6.2.2):
+      // the machine description cannot continue this viable prefix.
+      R.Error = strf("syntactic block in state %d at token %zu ('%s')",
+                     State, Pos, At.c_str());
+      return R;
+    }
+    }
+  }
+}
+
+std::string gg::renderTrace(const Grammar &G,
+                            const std::vector<LinToken> &Input,
+                            const MatchResult &R, const Interner &Syms) {
+  std::string Out;
+  for (const MatchStep &S : R.Steps) {
+    if (S.Kind == MatchStep::Shift) {
+      const LinToken &Tok = Input[S.TokenIndex];
+      Out += strf("shift   %s", Tok.Term.c_str());
+      if (Tok.N) {
+        switch (Tok.N->Opcode) {
+        case Op::Const:
+          Out += strf(" (%lld)", static_cast<long long>(Tok.N->Value));
+          break;
+        case Op::Name:
+        case Op::Gaddr:
+        case Op::Label:
+          Out += strf(" (%s)", Syms.text(Tok.N->Sym).c_str());
+          break;
+        case Op::Dreg:
+          Out += strf(" (%s)", regName(Tok.N->Reg));
+          break;
+        case Op::Cmp:
+          Out += strf(" (%s)", condName(Tok.N->CC));
+          break;
+        default:
+          break;
+        }
+      }
+      Out += '\n';
+      continue;
+    }
+    const Production &P = G.prod(S.ProdId);
+    Out += strf("reduce  %s <-", G.symbolName(P.Lhs).c_str());
+    for (SymId Sym : P.Rhs)
+      Out += strf(" %s", G.symbolName(Sym).c_str());
+    Out += strf("   [%s%s%s]", actionKindName(P.Kind),
+                P.SemTag.empty() ? "" : " ", P.SemTag.c_str());
+    Out += '\n';
+  }
+  Out += R.Ok ? "accept\n" : strf("error: %s\n", R.Error.c_str());
+  return Out;
+}

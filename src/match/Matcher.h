@@ -1,0 +1,83 @@
+//===- Matcher.h - instruction pattern matcher ------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction pattern matcher (paper section 3.3): a table-driven
+/// shift/reduce parser invoked once for each expression tree. The matcher
+/// consumes the prefix-linearized tree and produces the shift/reduce step
+/// sequence; the instruction generation phase replays the reductions,
+/// running one semantic action per reduction in the provably correct
+/// (bottom-up, left-to-right) order.
+///
+/// Reduce/reduce ties among equally long rules are decided dynamically via
+/// the DynamicChooser hook, mirroring the paper's "choose among them
+/// dynamically using semantic attributes".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_MATCH_MATCHER_H
+#define GG_MATCH_MATCHER_H
+
+#include "ir/Linearize.h"
+#include "mdl/Grammar.h"
+#include "tablegen/Packing.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gg {
+
+/// One step of a match: a shift of input token TokenIndex, or a reduction
+/// by production ProdId.
+struct MatchStep {
+  enum StepKind : uint8_t { Shift, Reduce } Kind;
+  int TokenIndex = -1; ///< valid for Shift
+  int ProdId = -1;     ///< valid for Reduce
+};
+
+/// Outcome of matching one tree.
+struct MatchResult {
+  bool Ok = false;
+  std::string Error; ///< syntactic-block description when !Ok
+  std::vector<MatchStep> Steps;
+};
+
+/// Chooses among reduce candidates (first entry is the statically
+/// preferred production). Returns the production id to reduce by.
+using DynamicChooser =
+    std::function<int(int State, const std::vector<int> &Candidates)>;
+
+/// A reusable matcher bound to one grammar and its packed tables.
+class Matcher {
+public:
+  Matcher(const Grammar &G, const PackedTables &T);
+
+  /// Matches \p Input (a prefix-linearized tree). A parse error here is a
+  /// syntactic block: the description failed to cover well-formed input.
+  MatchResult match(const std::vector<LinToken> &Input,
+                    const DynamicChooser &Chooser = nullptr) const;
+
+  const Grammar &grammar() const { return G; }
+
+private:
+  const Grammar &G;
+  const PackedTables &T;
+  mutable std::unordered_map<std::string, int> TermIndexCache;
+
+  /// Terminal index for a token name, or -1 if the grammar lacks it.
+  int termIndexFor(const std::string &Name) const;
+};
+
+/// Renders the Appendix-style action listing for a match: one line per
+/// shift/reduce step with the production and its semantic action.
+std::string renderTrace(const Grammar &G, const std::vector<LinToken> &Input,
+                        const MatchResult &R, const Interner &Syms);
+
+} // namespace gg
+
+#endif // GG_MATCH_MATCHER_H

@@ -1,0 +1,254 @@
+//===- SpecParser.cpp - machine description spec files ---------------------===//
+
+#include "mdl/SpecParser.h"
+#include "support/Strings.h"
+
+#include <cctype>
+#include <set>
+
+using namespace gg;
+
+const char *gg::scaleTerminalFor(char SizeSuffix) {
+  switch (SizeSuffix) {
+  case 'b':
+    return "One";
+  case 'w':
+    return "Two";
+  case 'l':
+    return "Four";
+  default:
+    return nullptr;
+  }
+}
+
+const TypeClass *MdSpec::findClass(char Letter) const {
+  for (const TypeClass &C : Classes)
+    if (C.Letter == Letter)
+      return &C;
+  return nullptr;
+}
+
+namespace {
+
+/// Returns the class letter a token depends on, or 0.
+/// Tokens of the form "name_C" or "@C" reference class C.
+char classLetterOf(const std::string &Token, const MdSpec &Spec) {
+  if (Token.size() == 2 && Token[0] == '@' && Spec.findClass(Token[1]))
+    return Token[1];
+  if (Token.size() >= 3 && Token[Token.size() - 2] == '_' &&
+      Spec.findClass(Token.back()))
+    return Token.back();
+  return 0;
+}
+
+/// Substitutes class letter \p Letter with size suffix \p Size in \p Token.
+std::string substToken(const std::string &Token, char Letter, char Size) {
+  if (Token.size() == 2 && Token[0] == '@' && Token[1] == Letter)
+    return scaleTerminalFor(Size);
+  if (Token.size() >= 3 && Token[Token.size() - 2] == '_' &&
+      Token.back() == Letter) {
+    std::string Out = Token;
+    Out.back() = Size;
+    return Out;
+  }
+  return Token;
+}
+
+} // namespace
+
+bool gg::parseSpec(std::string_view Text, MdSpec &Spec,
+                   DiagnosticSink &Diags) {
+  int LineNo = 0;
+  for (std::string_view Line : splitString(Text, '\n')) {
+    ++LineNo;
+    // Strip comments ('#' or '--' to end of line).
+    size_t Hash = Line.find('#');
+    if (Hash != std::string_view::npos)
+      Line = Line.substr(0, Hash);
+    size_t Dash = Line.find("--");
+    if (Dash != std::string_view::npos)
+      Line = Line.substr(0, Dash);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+
+    std::vector<std::string_view> Tokens = splitWhitespace(Line);
+
+    if (Tokens[0][0] == '%') {
+      if (Tokens[0] == "%class") {
+        if (Tokens.size() < 3 || Tokens[1].size() != 1 ||
+            !isupper(static_cast<unsigned char>(Tokens[1][0]))) {
+          Diags.error("%class expects an upper-case letter and size "
+                      "suffixes, e.g. '%class Y b w l'",
+                      LineNo);
+          continue;
+        }
+        TypeClass C;
+        C.Letter = Tokens[1][0];
+        bool Bad = false;
+        for (size_t I = 2; I < Tokens.size(); ++I) {
+          std::string_view S = Tokens[I];
+          if (S.size() != 1 || !scaleTerminalFor(S[0])) {
+            Diags.error(strf("bad size suffix '%s' in %%class (expected "
+                             "b, w or l)",
+                             std::string(S).c_str()),
+                        LineNo);
+            Bad = true;
+            break;
+          }
+          C.Sizes.push_back(S[0]);
+        }
+        if (!Bad) {
+          if (Spec.findClass(C.Letter))
+            Diags.error(strf("class '%c' declared twice", C.Letter), LineNo);
+          else
+            Spec.Classes.push_back(C);
+        }
+        continue;
+      }
+      if (Tokens[0] == "%start") {
+        if (Tokens.size() != 2) {
+          Diags.error("%start expects exactly one symbol", LineNo);
+          continue;
+        }
+        Spec.StartSymbol = std::string(Tokens[1]);
+        continue;
+      }
+      Diags.error(strf("unknown directive '%s'",
+                       std::string(Tokens[0]).c_str()),
+                  LineNo);
+      continue;
+    }
+
+    // Production line: lhs <- rhs... [: kind [tag] [bridge]]
+    GenericRule Rule;
+    Rule.Line = LineNo;
+    Rule.Lhs = std::string(Tokens[0]);
+    if (Tokens.size() < 3 || Tokens[1] != "<-") {
+      Diags.error("expected 'lhs <- rhs...' production syntax", LineNo);
+      continue;
+    }
+    size_t I = 2;
+    for (; I < Tokens.size() && Tokens[I] != ":"; ++I)
+      Rule.Rhs.push_back(std::string(Tokens[I]));
+    if (Rule.Rhs.empty()) {
+      Diags.error("production has an empty right-hand side", LineNo);
+      continue;
+    }
+    if (I < Tokens.size()) {
+      ++I; // skip ':'
+      if (I >= Tokens.size()) {
+        Diags.error("expected action kind after ':'", LineNo);
+        continue;
+      }
+      std::string_view KindTok = Tokens[I++];
+      if (KindTok == "glue")
+        Rule.Kind = ActionKind::Glue;
+      else if (KindTok == "encap")
+        Rule.Kind = ActionKind::Encap;
+      else if (KindTok == "emit")
+        Rule.Kind = ActionKind::Emit;
+      else {
+        Diags.error(strf("unknown action kind '%s' (expected glue, encap "
+                         "or emit)",
+                         std::string(KindTok).c_str()),
+                    LineNo);
+        continue;
+      }
+      for (; I < Tokens.size(); ++I) {
+        if (Tokens[I] == "bridge")
+          Rule.IsBridge = true;
+        else if (Rule.SemTag.empty())
+          Rule.SemTag = std::string(Tokens[I]);
+        else
+          Diags.error(strf("unexpected trailing token '%s'",
+                           std::string(Tokens[I]).c_str()),
+                      LineNo);
+      }
+    }
+    Spec.Rules.push_back(std::move(Rule));
+  }
+
+  if (Spec.StartSymbol.empty())
+    Diags.error("spec is missing a %start directive");
+  return !Diags.hasErrors();
+}
+
+bool MdSpec::expand(Grammar &G, DiagnosticSink &Diags) const {
+  for (const GenericRule &Rule : Rules) {
+    // Collect the class letters the rule uses.
+    std::set<char> Used;
+    if (char C = classLetterOf(Rule.Lhs, *this))
+      Used.insert(C);
+    for (const std::string &Tok : Rule.Rhs)
+      if (char C = classLetterOf(Tok, *this))
+        Used.insert(C);
+    if (char C = classLetterOf(Rule.SemTag, *this))
+      Used.insert(C);
+
+    if (Used.size() > 1) {
+      Diags.error(strf("production for '%s' mixes %zu type classes; the "
+                       "replicator requires consistent intra-production "
+                       "type variation (write the cross product by hand)",
+                       Rule.Lhs.c_str(), Used.size()),
+                  Rule.Line);
+      return false;
+    }
+
+    if (Used.empty()) {
+      std::vector<SymId> Rhs;
+      for (const std::string &Tok : Rule.Rhs)
+        Rhs.push_back(G.getOrAddSymbol(Tok));
+      G.addProduction(G.getOrAddSymbol(Rule.Lhs), std::move(Rhs), Rule.Kind,
+                      Rule.SemTag, Rule.IsBridge, /*FromReplication=*/false);
+      continue;
+    }
+
+    char Letter = *Used.begin();
+    const TypeClass *Class = findClass(Letter);
+    for (char Size : Class->Sizes) {
+      std::vector<SymId> Rhs;
+      for (const std::string &Tok : Rule.Rhs)
+        Rhs.push_back(G.getOrAddSymbol(substToken(Tok, Letter, Size)));
+      G.addProduction(G.getOrAddSymbol(substToken(Rule.Lhs, Letter, Size)),
+                      std::move(Rhs), Rule.Kind,
+                      substToken(Rule.SemTag, Letter, Size), Rule.IsBridge,
+                      /*FromReplication=*/true);
+    }
+  }
+
+  SymId Start = G.lookup(StartSymbol);
+  if (Start < 0) {
+    Diags.error(strf("start symbol '%s' does not appear in any production",
+                     StartSymbol.c_str()));
+    return false;
+  }
+  G.setStart(Start);
+  return true;
+}
+
+GrammarStats MdSpec::genericStats() const {
+  GrammarStats S;
+  S.Productions = Rules.size();
+  std::set<std::string> Terms, Nonterms;
+  auto Classify = [&](const std::string &Tok) {
+    if (Tok.empty())
+      return;
+    if (islower(static_cast<unsigned char>(Tok[0])))
+      Nonterms.insert(Tok);
+    else
+      Terms.insert(Tok);
+  };
+  for (const GenericRule &Rule : Rules) {
+    Classify(Rule.Lhs);
+    for (const std::string &Tok : Rule.Rhs) {
+      if (Tok.size() == 2 && Tok[0] == '@')
+        Terms.insert(Tok); // a generic scale marker counts as one terminal
+      else
+        Classify(Tok);
+    }
+  }
+  S.Terminals = Terms.size();
+  S.Nonterminals = Nonterms.size();
+  return S;
+}

@@ -1,0 +1,85 @@
+//===- SpecParser.h - machine description spec files ------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual machine-description format plus the *type replicator* of paper
+/// section 6.4. The paper wrote generic productions and used a macro
+/// preprocessor with three-character macros to replicate them per machine
+/// data type; we keep the mechanism but modernize the syntax:
+///
+///   # comment
+///   %class Y b w l          -- class Y replicates over sizes b, w, l
+///   %start stmt
+///   reg_Y <- Plus_Y rval_Y rval_Y : emit add_Y
+///   dx_Y  <- Plus_l Plus_l rcon_l reg_l Mul_l @Y reg_l : encap dx_Y
+///   con_l <- One : encap speccon        -- no class letter: copied as-is
+///
+/// Replication rules: a token suffix "_C" where C is a declared class
+/// letter is substituted per size; the standalone token "@C" becomes the
+/// scale terminal (One / Two / Four) for the size. As in the paper, a
+/// production may use at most one class letter ("the type replicator only
+/// works on productions whose intra-production type variation is
+/// consistent"); cross products (e.g. the conversion sub-grammar) are
+/// written out by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_MDL_SPECPARSER_H
+#define GG_MDL_SPECPARSER_H
+
+#include "mdl/Grammar.h"
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gg {
+
+/// A production as written in the spec, before replication.
+struct GenericRule {
+  std::string Lhs;
+  std::vector<std::string> Rhs;
+  ActionKind Kind = ActionKind::Glue;
+  std::string SemTag;
+  bool IsBridge = false;
+  int Line = 0;
+};
+
+/// A declared replication class: a letter and the size suffixes it covers.
+struct TypeClass {
+  char Letter = 0;
+  std::vector<char> Sizes; // subset of {'b','w','l'}
+};
+
+/// A parsed machine description, prior to type replication.
+struct MdSpec {
+  std::vector<TypeClass> Classes;
+  std::string StartSymbol;
+  std::vector<GenericRule> Rules;
+
+  const TypeClass *findClass(char Letter) const;
+
+  /// Type-replicates the spec into \p G (which must be empty). Returns
+  /// false and reports into \p Diags on error. The grammar is left
+  /// unfrozen so the target can append further productions.
+  bool expand(Grammar &G, DiagnosticSink &Diags) const;
+
+  /// Pre-replication statistics: counts generic rules and distinct generic
+  /// symbols (experiment E1's "before type replication" row).
+  GrammarStats genericStats() const;
+};
+
+/// Parses spec \p Text. On error, diagnostics carry 1-based line numbers.
+bool parseSpec(std::string_view Text, MdSpec &Spec, DiagnosticSink &Diags);
+
+/// The scale terminal for an element size suffix: b -> One, w -> Two,
+/// l -> Four (the paper's byte/word/long/quad family, minus quad).
+const char *scaleTerminalFor(char SizeSuffix);
+
+} // namespace gg
+
+#endif // GG_MDL_SPECPARSER_H

@@ -1,0 +1,57 @@
+//===- PccCodeGen.h - hand-coded baseline code generator --------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline: a traditional hand-coded tree-walking code
+/// generator in the style of PCC's second pass — a large switch over
+/// operators with ad hoc addressing-mode folding, a simple accumulator
+/// discipline and a couple of classic idioms (clr, inc/dec, tst).
+///
+/// Both backends share the front end and the target-independent phase-1a
+/// lowering, so the experiments isolate the instruction-selection
+/// mechanism: table-driven pattern matching vs. hand-written case
+/// analysis. The baseline deliberately folds only the simple addressing
+/// modes (register, immediate, absolute, displacement); it does not use
+/// indexed, deferred or autoincrement modes, memory-destination
+/// three-address forms, or conversion-fused moves — the paper found the
+/// pattern matcher's code "as good or better in almost all cases".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_PCC_PCCCODEGEN_H
+#define GG_PCC_PCCCODEGEN_H
+
+#include "ir/Program.h"
+
+#include <cstddef>
+#include <string>
+
+namespace gg {
+
+/// Statistics for one baseline compilation.
+struct PccStats {
+  double Seconds = 0;
+  size_t Instructions = 0;
+  size_t AsmLines = 0;
+  size_t StatementTrees = 0;
+};
+
+/// Compiles IR programs to VAX assembly by direct tree walking.
+class PccCodeGenerator {
+public:
+  /// Compiles \p Prog, appending assembly to \p Asm; false + \p Err on an
+  /// unsupported construct (a baseline bug).
+  bool compile(Program &Prog, std::string &Asm, std::string &Err);
+
+  const PccStats &stats() const { return Stats; }
+
+private:
+  PccStats Stats;
+};
+
+} // namespace gg
+
+#endif // GG_PCC_PCCCODEGEN_H

@@ -1,0 +1,37 @@
+//===- Error.cpp - fatal errors and diagnostics ---------------------------===//
+
+#include "support/Error.h"
+#include "support/Strings.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gg;
+
+void gg::fatalError(const std::string &Message) {
+  fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  abort();
+}
+
+void gg::unreachableImpl(const char *Message, const char *File, int Line) {
+  fprintf(stderr, "unreachable executed at %s:%d: %s\n", File, Line, Message);
+  abort();
+}
+
+std::string Diagnostic::render() const {
+  const char *Tag = Kind == DiagKind::Note      ? "note"
+                    : Kind == DiagKind::Warning ? "warning"
+                                                : "error";
+  if (Line > 0)
+    return strf("line %d: %s: %s", Line, Tag, Message.c_str());
+  return strf("%s: %s", Tag, Message.c_str());
+}
+
+std::string DiagnosticSink::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- Error.h - fatal errors and diagnostics -------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting primitives. Library code never calls exit() directly for
+/// recoverable conditions; instead it accumulates diagnostics in a
+/// DiagnosticSink that the caller owns. fatalError / gg_unreachable are
+/// reserved for violated invariants (programmatic errors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_ERROR_H
+#define GG_SUPPORT_ERROR_H
+
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// Aborts the process after printing \p Message; for broken invariants only.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a point in code that must never be reached.
+[[noreturn]] void unreachableImpl(const char *Message, const char *File,
+                                  int Line);
+
+#define gg_unreachable(MSG) ::gg::unreachableImpl(MSG, __FILE__, __LINE__)
+
+/// Severity of a diagnostic.
+enum class DiagKind { Note, Warning, Error };
+
+/// One diagnostic message, optionally tied to a source line.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  std::string Message;
+  int Line = 0; ///< 1-based line in the originating text, 0 if none.
+
+  std::string render() const;
+};
+
+/// Accumulates diagnostics produced while processing one input.
+class DiagnosticSink {
+public:
+  void note(const std::string &Message, int Line = 0) {
+    Diags.push_back({DiagKind::Note, Message, Line});
+  }
+  void warning(const std::string &Message, int Line = 0) {
+    Diags.push_back({DiagKind::Warning, Message, Line});
+  }
+  void error(const std::string &Message, int Line = 0) {
+    Diags.push_back({DiagKind::Error, Message, Line});
+    ++ErrorCount;
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errors() const { return ErrorCount; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string renderAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace gg
+
+#endif // GG_SUPPORT_ERROR_H

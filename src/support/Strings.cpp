@@ -1,0 +1,102 @@
+//===- Strings.cpp - printf-style formatting and string helpers ----------===//
+
+#include "support/Strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gg;
+
+std::string gg::strfv(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed < 0)
+    return std::string();
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string gg::strf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = strfv(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::vector<std::string_view> gg::splitString(std::string_view Text,
+                                              char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.push_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string_view> gg::splitWhitespace(std::string_view Text) {
+  std::vector<std::string_view> Fields;
+  size_t I = 0, N = Text.size();
+  while (I < N) {
+    while (I < N && isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < N && !isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Fields.push_back(Text.substr(Start, I - Start));
+  }
+  return Fields;
+}
+
+std::string_view gg::trim(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin && isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool gg::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool gg::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::optional<int64_t> gg::parseInt(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::string Buffer(Text);
+  errno = 0;
+  char *End = nullptr;
+  long long Value = strtoll(Buffer.c_str(), &End, 0);
+  if (errno != 0 || End != Buffer.c_str() + Buffer.size())
+    return std::nullopt;
+  return static_cast<int64_t>(Value);
+}
+
+std::string gg::joinStrings(const std::vector<std::string> &Parts,
+                            std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- Strings.h - printf-style formatting and string helpers --*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared across the project: printf-style formatting
+/// into std::string, splitting, trimming, and numeric parsing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_STRINGS_H
+#define GG_SUPPORT_STRINGS_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gg {
+
+/// Formats \p Fmt with printf semantics and returns the result as a string.
+std::string strf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of strf.
+std::string strfv(const char *Fmt, va_list Args);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string_view> splitString(std::string_view Text, char Sep);
+
+/// Splits \p Text on runs of whitespace, dropping empty fields.
+std::vector<std::string_view> splitWhitespace(std::string_view Text);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Parses a signed 64-bit integer in decimal, or 0x-prefixed hex.
+/// Returns std::nullopt on any trailing garbage or overflow.
+std::optional<int64_t> parseInt(std::string_view Text);
+
+/// Joins the elements of \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+} // namespace gg
+
+#endif // GG_SUPPORT_STRINGS_H

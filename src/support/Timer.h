@@ -1,0 +1,79 @@
+//===- Timer.h - wall-clock phase timing ------------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing helpers used by the code generator's per-phase
+/// accounting (experiment E5) and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_TIMER_H
+#define GG_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace gg {
+
+/// A restartable stopwatch accumulating elapsed seconds.
+class Timer {
+public:
+  void start() { Begin = Clock::now(); Running = true; }
+
+  void stop() {
+    if (!Running)
+      return;
+    Accumulated += std::chrono::duration<double>(Clock::now() - Begin).count();
+    Running = false;
+  }
+
+  void reset() { Accumulated = 0; Running = false; }
+
+  /// Total accumulated seconds (including the live interval if running).
+  double seconds() const {
+    double Total = Accumulated;
+    if (Running)
+      Total += std::chrono::duration<double>(Clock::now() - Begin).count();
+    return Total;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  double Accumulated = 0;
+  bool Running = false;
+};
+
+/// RAII guard that accumulates a scope's duration into a Timer.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : T(T) { T.start(); }
+  ~TimerScope() { T.stop(); }
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &T;
+};
+
+/// Named collection of timers (one per code generator phase).
+class TimerGroup {
+public:
+  Timer &get(const std::string &Name) { return Timers[Name]; }
+  const std::map<std::string, Timer> &all() const { return Timers; }
+  void resetAll() {
+    for (auto &Entry : Timers)
+      Entry.second.reset();
+  }
+
+private:
+  std::map<std::string, Timer> Timers;
+};
+
+} // namespace gg
+
+#endif // GG_SUPPORT_TIMER_H

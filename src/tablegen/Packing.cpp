@@ -1,0 +1,107 @@
+//===- Packing.cpp - packed parse tables -----------------------------------===//
+
+#include "tablegen/Packing.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gg;
+
+namespace {
+bool actionEq(const Action &A, const Action &B) {
+  return A.Kind == B.Kind && A.Target == B.Target;
+}
+} // namespace
+
+PackedTables PackedTables::pack(const LRTables &T) {
+  PackedTables P;
+  P.NumStates = T.NumStates;
+  P.NumTerms = T.NumTerms;
+  P.NumNonterms = T.NumNonterms;
+  P.DynChoices = T.DynChoices;
+
+  // Deduplicate action rows keyed by their full contents.
+  std::map<std::vector<std::pair<uint8_t, int32_t>>, int32_t> ActionKey;
+  for (int S = 0; S < T.NumStates; ++S) {
+    std::vector<std::pair<uint8_t, int32_t>> Key(T.NumTerms);
+    for (int TI = 0; TI < T.NumTerms; ++TI) {
+      const Action &A = T.actionAt(S, TI);
+      Key[TI] = {static_cast<uint8_t>(A.Kind), A.Target};
+    }
+    auto [It, Inserted] =
+        ActionKey.emplace(Key, static_cast<int32_t>(P.ActionRows.size()));
+    if (Inserted) {
+      // Pick the most frequent action as the row default.
+      std::map<std::pair<uint8_t, int32_t>, int> Freq;
+      for (auto &E : Key)
+        ++Freq[E];
+      std::pair<uint8_t, int32_t> Best = Key[0];
+      int BestN = -1;
+      for (auto &[Val, N] : Freq)
+        if (N > BestN) {
+          BestN = N;
+          Best = Val;
+        }
+      PackedActionRow Row;
+      Row.Default = {static_cast<ActionType>(Best.first), Best.second};
+      for (int TI = 0; TI < T.NumTerms; ++TI) {
+        Action A{static_cast<ActionType>(Key[TI].first), Key[TI].second};
+        if (!actionEq(A, Row.Default))
+          Row.Except.emplace_back(TI, A);
+      }
+      P.ActionRows.push_back(std::move(Row));
+    }
+    P.ActionRowOf.push_back(It->second);
+  }
+
+  std::map<std::vector<int32_t>, int32_t> GotoKey;
+  for (int S = 0; S < T.NumStates; ++S) {
+    std::vector<int32_t> Key(T.NumNonterms);
+    for (int NI = 0; NI < T.NumNonterms; ++NI)
+      Key[NI] = T.gotoAt(S, NI);
+    auto [It, Inserted] =
+        GotoKey.emplace(Key, static_cast<int32_t>(P.GotoRows.size()));
+    if (Inserted) {
+      PackedGotoRow Row;
+      for (int NI = 0; NI < T.NumNonterms; ++NI)
+        if (Key[NI] >= 0)
+          Row.Entries.emplace_back(NI, Key[NI]);
+      P.GotoRows.push_back(std::move(Row));
+    }
+    P.GotoRowOf.push_back(It->second);
+  }
+  return P;
+}
+
+Action PackedTables::actionAt(int State, int TermIdx) const {
+  const PackedActionRow &Row = ActionRows[ActionRowOf[State]];
+  auto It = std::lower_bound(
+      Row.Except.begin(), Row.Except.end(), TermIdx,
+      [](const std::pair<int32_t, Action> &E, int V) { return E.first < V; });
+  if (It != Row.Except.end() && It->first == TermIdx)
+    return It->second;
+  return Row.Default;
+}
+
+int32_t PackedTables::gotoAt(int State, int NtIdx) const {
+  const PackedGotoRow &Row = GotoRows[GotoRowOf[State]];
+  auto It = std::lower_bound(
+      Row.Entries.begin(), Row.Entries.end(), NtIdx,
+      [](const std::pair<int32_t, int32_t> &E, int V) {
+        return E.first < V;
+      });
+  if (It != Row.Entries.end() && It->first == NtIdx)
+    return It->second;
+  return -1;
+}
+
+size_t PackedTables::memoryBytes() const {
+  size_t Bytes = ActionRowOf.size() * sizeof(int32_t) +
+                 GotoRowOf.size() * sizeof(int32_t);
+  for (const PackedActionRow &Row : ActionRows)
+    Bytes += sizeof(Action) +
+             Row.Except.size() * (sizeof(int32_t) + sizeof(Action));
+  for (const PackedGotoRow &Row : GotoRows)
+    Bytes += Row.Entries.size() * 2 * sizeof(int32_t);
+  return Bytes;
+}

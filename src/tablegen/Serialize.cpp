@@ -1,0 +1,205 @@
+//===- Serialize.cpp - parse table serialization --------------------------------===//
+
+#include "tablegen/Serialize.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+namespace {
+constexpr const char *Magic = "ggtables";
+constexpr int Version = 1;
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t hashString(uint64_t H, const std::string &S) {
+  for (char C : S)
+    H = hashCombine(H, static_cast<uint8_t>(C));
+  return H;
+}
+} // namespace
+
+uint64_t gg::grammarFingerprint(const Grammar &G) {
+  uint64_t H = 0xA11CE;
+  for (SymId S = 0; S < static_cast<SymId>(G.numSymbols()); ++S)
+    H = hashString(H, G.symbolName(S));
+  for (const Production &P : G.productions()) {
+    H = hashCombine(H, static_cast<uint64_t>(P.Lhs));
+    for (SymId S : P.Rhs)
+      H = hashCombine(H, static_cast<uint64_t>(S));
+    H = hashCombine(H, static_cast<uint64_t>(P.Kind));
+    H = hashString(H, P.SemTag);
+  }
+  H = hashCombine(H, static_cast<uint64_t>(G.start()));
+  return H;
+}
+
+std::string gg::serializeTables(const Grammar &G, const LRTables &T) {
+  std::string Out;
+  Out += strf("%s %d\n", Magic, Version);
+  Out += strf("fingerprint %llx\n",
+              (unsigned long long)grammarFingerprint(G));
+  Out += strf("dims %d %d %d\n", T.NumStates, T.NumTerms, T.NumNonterms);
+
+  // Sparse action rows: "a <state> <term>:<kind>:<target> ...".
+  for (int S = 0; S < T.NumStates; ++S) {
+    std::string Row;
+    for (int TI = 0; TI < T.NumTerms; ++TI) {
+      const Action &A = T.actionAt(S, TI);
+      if (A.Kind == ActionType::Error)
+        continue;
+      Row += strf(" %d:%d:%d", TI, static_cast<int>(A.Kind), A.Target);
+    }
+    if (!Row.empty())
+      Out += strf("a %d%s\n", S, Row.c_str());
+  }
+  for (int S = 0; S < T.NumStates; ++S) {
+    std::string Row;
+    for (int NI = 0; NI < T.NumNonterms; ++NI) {
+      int32_t Dst = T.gotoAt(S, NI);
+      if (Dst < 0)
+        continue;
+      Row += strf(" %d:%d", NI, Dst);
+    }
+    if (!Row.empty())
+      Out += strf("g %d%s\n", S, Row.c_str());
+  }
+  for (const auto &[Key, Prods] : T.DynChoices) {
+    Out += strf("d %d %d", static_cast<int>(Key >> 32),
+                static_cast<int>(Key & 0xffffffff));
+    for (int P : Prods)
+      Out += strf(" %d", P);
+    Out += '\n';
+  }
+  Out += "end\n";
+  return Out;
+}
+
+bool gg::deserializeTables(const std::string &Text, const Grammar &G,
+                           LRTables &T, DiagnosticSink &Diags) {
+  T = LRTables();
+  int LineNo = 0;
+  bool SawHeader = false, SawDims = false, SawEnd = false;
+  for (std::string_view Line : splitString(Text, '\n')) {
+    ++LineNo;
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    std::vector<std::string_view> Tok = splitWhitespace(Line);
+
+    if (!SawHeader) {
+      if (Tok.size() != 2 || Tok[0] != Magic ||
+          parseInt(Tok[1]).value_or(-1) != Version) {
+        Diags.error("not a ggtables file (bad magic or version)", LineNo);
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (Tok[0] == "fingerprint") {
+      if (Tok.size() != 2 ||
+          strf("%llx", (unsigned long long)grammarFingerprint(G)) !=
+              std::string(Tok[1])) {
+        Diags.error("table file does not match this grammar "
+                    "(fingerprint mismatch): rebuild the tables",
+                    LineNo);
+        return false;
+      }
+      continue;
+    }
+    if (Tok[0] == "dims") {
+      if (Tok.size() != 4) {
+        Diags.error("malformed dims line", LineNo);
+        return false;
+      }
+      T.NumStates = static_cast<int>(parseInt(Tok[1]).value_or(0));
+      T.NumTerms = static_cast<int>(parseInt(Tok[2]).value_or(0));
+      T.NumNonterms = static_cast<int>(parseInt(Tok[3]).value_or(0));
+      if (T.NumStates <= 0 ||
+          T.NumTerms != static_cast<int>(G.numTerminals()) ||
+          T.NumNonterms != static_cast<int>(G.numNonterminals())) {
+        Diags.error("table dimensions do not match the grammar", LineNo);
+        return false;
+      }
+      T.Actions.assign(static_cast<size_t>(T.NumStates) * T.NumTerms,
+                       Action());
+      T.Gotos.assign(static_cast<size_t>(T.NumStates) * T.NumNonterms, -1);
+      SawDims = true;
+      continue;
+    }
+    if (!SawDims) {
+      Diags.error("table entries before dims", LineNo);
+      return false;
+    }
+    if (Tok[0] == "a" || Tok[0] == "g") {
+      if (Tok.size() < 2) {
+        Diags.error("malformed row", LineNo);
+        return false;
+      }
+      int S = static_cast<int>(parseInt(Tok[1]).value_or(-1));
+      if (S < 0 || S >= T.NumStates) {
+        Diags.error("state out of range", LineNo);
+        return false;
+      }
+      for (size_t I = 2; I < Tok.size(); ++I) {
+        std::vector<std::string_view> Parts = splitString(Tok[I], ':');
+        if (Tok[0] == "a") {
+          if (Parts.size() != 3) {
+            Diags.error("malformed action entry", LineNo);
+            return false;
+          }
+          int TI = static_cast<int>(parseInt(Parts[0]).value_or(-1));
+          int Kind = static_cast<int>(parseInt(Parts[1]).value_or(-1));
+          int Target = static_cast<int>(parseInt(Parts[2]).value_or(-1));
+          if (TI < 0 || TI >= T.NumTerms || Kind < 0 || Kind > 3) {
+            Diags.error("action entry out of range", LineNo);
+            return false;
+          }
+          T.actionAt(S, TI) = {static_cast<ActionType>(Kind), Target};
+        } else {
+          if (Parts.size() != 2) {
+            Diags.error("malformed goto entry", LineNo);
+            return false;
+          }
+          int NI = static_cast<int>(parseInt(Parts[0]).value_or(-1));
+          int Dst = static_cast<int>(parseInt(Parts[1]).value_or(-1));
+          if (NI < 0 || NI >= T.NumNonterms || Dst < 0 ||
+              Dst >= T.NumStates) {
+            Diags.error("goto entry out of range", LineNo);
+            return false;
+          }
+          T.Gotos[static_cast<size_t>(S) * T.NumNonterms + NI] = Dst;
+        }
+      }
+      continue;
+    }
+    if (Tok[0] == "d") {
+      if (Tok.size() < 4) {
+        Diags.error("malformed dynamic-choice line", LineNo);
+        return false;
+      }
+      int S = static_cast<int>(parseInt(Tok[1]).value_or(-1));
+      int TI = static_cast<int>(parseInt(Tok[2]).value_or(-1));
+      std::vector<int> Prods;
+      for (size_t I = 3; I < Tok.size(); ++I)
+        Prods.push_back(static_cast<int>(parseInt(Tok[I]).value_or(-1)));
+      T.DynChoices[LRTables::dynKey(S, TI)] = std::move(Prods);
+      continue;
+    }
+    if (Tok[0] == "end") {
+      SawEnd = true;
+      continue;
+    }
+    Diags.error(strf("unrecognized line '%s'",
+                     std::string(Tok[0]).c_str()),
+                LineNo);
+    return false;
+  }
+  if (!SawEnd) {
+    Diags.error("truncated table file (missing end marker)");
+    return false;
+  }
+  return true;
+}

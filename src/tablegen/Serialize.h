@@ -1,0 +1,42 @@
+//===- Serialize.h - parse table serialization ------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table files: the CGGWS built tables once per target machine and wrote
+/// them out for the code generator to load ("the first two parts are
+/// static: they are used once for each target machine"). We serialize the
+/// dense tables to a line-oriented text format, guarded by a fingerprint
+/// of the grammar so stale tables cannot be applied to a changed
+/// description — the paper's development loop ("we could only iterate on
+/// the grammar once per day") is exactly the workflow this supports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_TABLEGEN_SERIALIZE_H
+#define GG_TABLEGEN_SERIALIZE_H
+
+#include "mdl/Grammar.h"
+#include "tablegen/LRTables.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace gg {
+
+/// Stable fingerprint of a grammar's productions and symbol names.
+uint64_t grammarFingerprint(const Grammar &G);
+
+/// Renders tables (plus the grammar fingerprint) as text.
+std::string serializeTables(const Grammar &G, const LRTables &T);
+
+/// Parses a table file produced by serializeTables. Fails (with
+/// diagnostics) on version/fingerprint mismatch or malformed input.
+bool deserializeTables(const std::string &Text, const Grammar &G,
+                       LRTables &T, DiagnosticSink &Diags);
+
+} // namespace gg
+
+#endif // GG_TABLEGEN_SERIALIZE_H

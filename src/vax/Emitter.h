@@ -1,0 +1,67 @@
+//===- Emitter.h - assembly output buffer -----------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects generated assembly text (phase 4 output). Tracks instruction
+/// counts for the code-quality experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_VAX_EMITTER_H
+#define GG_VAX_EMITTER_H
+
+#include "support/Interner.h"
+#include "vax/Operand.h"
+
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// An append-only assembly buffer.
+class AsmEmitter {
+public:
+  explicit AsmEmitter(const Interner &Syms) : Syms(Syms) {}
+
+  /// Emits "\topcode\top1,op2,...".
+  void inst(const std::string &Opcode, const std::vector<Operand> &Ops);
+
+  /// Emits an instruction with pre-formatted operand text.
+  void instRaw(const std::string &Opcode,
+               const std::vector<std::string> &Ops);
+
+  void label(InternedString Name);
+  void labelText(const std::string &Name);
+  void directive(const std::string &Text);
+  void comment(const std::string &Text);
+  void blank() { Lines.push_back(""); }
+
+  const std::vector<std::string> &lines() const { return Lines; }
+
+  /// Replaces a previously emitted line (prologue frame-size patching).
+  void patchLine(size_t Index, const std::string &Text) {
+    Lines[Index] = Text;
+  }
+
+  /// Mutable access for whole-stream rewriting (the peephole optimizer).
+  std::vector<std::string> &linesMutable() { return Lines; }
+  size_t instructionCount() const { return NumInsts; }
+  size_t lineCount() const { return Lines.size(); }
+
+  /// The full assembly text.
+  std::string text() const;
+
+  const Interner &interner() const { return Syms; }
+
+private:
+  const Interner &Syms;
+  std::vector<std::string> Lines;
+  size_t NumInsts = 0;
+};
+
+} // namespace gg
+
+#endif // GG_VAX_EMITTER_H

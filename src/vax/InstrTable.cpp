@@ -1,0 +1,68 @@
+//===- InstrTable.cpp - the hand-written instruction table ------------------===//
+
+#include "vax/InstrTable.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+namespace {
+const InstCluster Clusters[] = {
+    {"add", ClusterKind::Arith3, "add", true, RangeIdiom::AddSub,
+     "addX3 / addX2 / incX,decX"},
+    {"sub", ClusterKind::Arith3, "sub", false, RangeIdiom::AddSub,
+     "subX3 s1,s2,d computes s2-s1; / subX2 / decX,incX"},
+    {"mul", ClusterKind::Arith3, "mul", true, RangeIdiom::Mul,
+     "mulX3 / mulX2 / ashl for powers of two (long)"},
+    {"div", ClusterKind::Arith3, "div", false, RangeIdiom::Div,
+     "divX3 s1,s2,d computes s2/s1; unsigned via library call"},
+    {"mod", ClusterKind::Special, nullptr, false, RangeIdiom::None,
+     "pseudo-instruction: div/mul/sub expansion; unsigned via library"},
+    {"and", ClusterKind::Special, "bic", true, RangeIdiom::None,
+     "no VAX and: bicX with complemented mask (mcom for non-constants)"},
+    {"bis", ClusterKind::Arith3, "bis", true, RangeIdiom::BisXor,
+     "bisX3 / bisX2 / mov for |$0"},
+    {"xor", ClusterKind::Arith3, "xor", true, RangeIdiom::BisXor,
+     "xorX3 / xorX2 / mov for ^$0"},
+    {"ash", ClusterKind::Special, "ashl", false, RangeIdiom::None,
+     "ashl cnt,src,dst; right shifts negate the count"},
+    {"rsh", ClusterKind::Special, "ashl", false, RangeIdiom::None,
+     "arithmetic: ashl -cnt; unsigned (logical): extzv expansion"},
+    {"mov", ClusterKind::Move, "mov", false, RangeIdiom::Mov,
+     "movX / clrX for $0 / elided when src==dst"},
+    {"neg", ClusterKind::Unary2, "mneg", false, RangeIdiom::None, "mnegX"},
+    {"com", ClusterKind::Unary2, "mcom", false, RangeIdiom::None, "mcomX"},
+    {"cmp", ClusterKind::Special, "cmp", false, RangeIdiom::Cmp,
+     "cmpX / tstX against zero"},
+    {"push", ClusterKind::Special, "push", false, RangeIdiom::None,
+     "pushl (arguments are longs)"},
+};
+} // namespace
+
+const InstCluster *gg::findCluster(std::string_view TagBase) {
+  for (const InstCluster &C : Clusters)
+    if (TagBase == C.Tag)
+      return &C;
+  return nullptr;
+}
+
+std::string gg::mnemonic(const char *Base, char SizeChar, int NumOps) {
+  if (NumOps)
+    return strf("%s%c%d", Base, SizeChar, NumOps);
+  return strf("%s%c", Base, SizeChar);
+}
+
+std::string gg::renderInstrTable() {
+  std::string Out;
+  Out += strf("%-6s %-8s %-10s %-5s %s\n", "op", "kind", "mnemonic", "-o-o",
+              "idioms");
+  for (const InstCluster &C : Clusters) {
+    const char *Kind = C.Kind == ClusterKind::Arith3   ? "arith3"
+                       : C.Kind == ClusterKind::Unary2 ? "unary2"
+                       : C.Kind == ClusterKind::Move   ? "move"
+                                                       : "special";
+    Out += strf("%-6s %-8s %-10s %-5s %s\n", C.Tag, Kind,
+                C.OpBase ? C.OpBase : "-", C.Swappable ? "yes" : "no",
+                C.Note);
+  }
+  return Out;
+}

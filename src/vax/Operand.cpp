@@ -1,0 +1,68 @@
+//===- Operand.cpp - VAX addressing-mode descriptors ------------------------===//
+
+#include "vax/Operand.h"
+#include "support/Error.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+std::string gg::formatOperand(const Operand &O, const Interner &Syms) {
+  switch (O.Mode) {
+  case AMode::None:
+    gg_unreachable("formatting an empty operand");
+  case AMode::Reg:
+    return regName(O.Base);
+  case AMode::Imm:
+    return strf("$%lld", static_cast<long long>(O.Disp));
+  case AMode::ImmSym:
+    if (O.Disp)
+      return strf("$%s+%lld", Syms.text(O.Sym).c_str(),
+                  static_cast<long long>(O.Disp));
+    return strf("$%s", Syms.text(O.Sym).c_str());
+  case AMode::Abs:
+    if (O.Disp)
+      return strf("%s+%lld", Syms.text(O.Sym).c_str(),
+                  static_cast<long long>(O.Disp));
+    return Syms.text(O.Sym);
+  case AMode::Disp:
+    if (!O.Sym.isEmpty()) {
+      // Symbolic displacement: the address of a global used as the offset
+      // from a register (e.g. a Gaddr folded into a disp pattern).
+      if (O.Disp)
+        return strf("%s+%lld(%s)", Syms.text(O.Sym).c_str(),
+                    static_cast<long long>(O.Disp), regName(O.Base));
+      return strf("%s(%s)", Syms.text(O.Sym).c_str(), regName(O.Base));
+    }
+    if (O.Disp)
+      return strf("%lld(%s)", static_cast<long long>(O.Disp),
+                  regName(O.Base));
+    return strf("(%s)", regName(O.Base));
+  case AMode::DispDef:
+    return strf("*%lld(%s)", static_cast<long long>(O.Disp),
+                regName(O.Base));
+  case AMode::AbsDef:
+    if (O.Disp)
+      return strf("*%s+%lld", Syms.text(O.Sym).c_str(),
+                  static_cast<long long>(O.Disp));
+    return strf("*%s", Syms.text(O.Sym).c_str());
+  case AMode::Indexed: {
+    std::string Basis;
+    if (!O.Sym.isEmpty())
+      Basis = O.Disp ? strf("%s+%lld", Syms.text(O.Sym).c_str(),
+                            static_cast<long long>(O.Disp))
+                     : Syms.text(O.Sym);
+    else
+      Basis = O.Disp ? strf("%lld(%s)", static_cast<long long>(O.Disp),
+                            regName(O.Base))
+                     : strf("(%s)", regName(O.Base));
+    return strf("%s[%s]", Basis.c_str(), regName(O.Index));
+  }
+  case AMode::AutoInc:
+    return strf("(%s)+", regName(O.Base));
+  case AMode::AutoDec:
+    return strf("-(%s)", regName(O.Base));
+  case AMode::LabelRef:
+    return Syms.text(O.Sym);
+  }
+  gg_unreachable("bad addressing mode");
+}

@@ -1,0 +1,138 @@
+//===- RegisterManager.cpp - stack-discipline register allocation -----------===//
+
+#include "vax/RegisterManager.h"
+#include "support/Error.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+
+using namespace gg;
+
+void RegisterManager::markBusy(int R) {
+  Busy[R] = true;
+  BusyOrder.push_back(R);
+  ++Stats.Allocations;
+  unsigned Live = 0;
+  for (int I = RegFirstAlloc; I <= RegLastAlloc; ++I)
+    Live += Busy[I];
+  Stats.MaxLive = std::max(Stats.MaxLive, Live);
+}
+
+int RegisterManager::alloc() {
+  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R) {
+    if (!Busy[R]) {
+      markBusy(R);
+      return R;
+    }
+  }
+  spillOne();
+  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R) {
+    if (!Busy[R]) {
+      markBusy(R);
+      return R;
+    }
+  }
+  gg_unreachable("spill did not free a register");
+}
+
+int RegisterManager::allocPreferring(const Operand &A, const Operand &B) {
+  // Reuse a plain register source as the destination when possible; the
+  // source value dies at this instruction.
+  if (A.isReg() && isAllocatable(A.Base))
+    return A.Base;
+  if (B.isReg() && isAllocatable(B.Base))
+    return B.Base;
+  return alloc();
+}
+
+void RegisterManager::free(int R) {
+  if (!isAllocatable(R))
+    return;
+  if (!Busy[R])
+    return;
+  Busy[R] = false;
+  PinCount[R] = 0;
+  BusyOrder.erase(std::remove(BusyOrder.begin(), BusyOrder.end(), R),
+                  BusyOrder.end());
+}
+
+void RegisterManager::reclaim(const Operand &O, int KeepReg) {
+  auto Release = [&](int R) {
+    if (R >= 0 && R != KeepReg && isAllocatable(R))
+      free(R);
+  };
+  Release(O.Base);
+  Release(O.Index);
+}
+
+void RegisterManager::pin(int R) {
+  if (isAllocatable(R))
+    ++PinCount[R];
+}
+
+void RegisterManager::unpin(int R) {
+  if (isAllocatable(R)) {
+    assert(PinCount[R] > 0 && "unbalanced unpin");
+    --PinCount[R];
+  }
+}
+
+void RegisterManager::claim(int R) {
+  assert(isAllocatable(R) && !Busy[R] && "claiming a busy register");
+  markBusy(R);
+}
+
+void RegisterManager::evict(int R) {
+  if (!isAllocatable(R) || !Busy[R])
+    return;
+  if (PinCount[R] > 0 || !Spillable(R))
+    fatalError(strf("cannot evict register %s (pinned or not relocatable)",
+                    regName(R)));
+  int CellOffset = AllocSpillCell();
+  Operand Cell = Operand::disp(RegFP, CellOffset, Ty::L);
+  Cell.Spilled = true;
+  SpillStore(R, Cell);
+  ++Stats.Spills;
+  free(R);
+}
+
+int RegisterManager::numFree() const {
+  int N = 0;
+  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R)
+    N += !Busy[R];
+  return N;
+}
+
+void RegisterManager::spillOne() {
+  // "If there is no allocatable register available, a register from the
+  // bottom of the stack is spilled" — the oldest unpinned allocation
+  // whose value the semantics can relocate.
+  for (int R : BusyOrder) {
+    if (PinCount[R] > 0 || !Spillable(R))
+      continue;
+    int CellOffset = AllocSpillCell();
+    Operand Cell = Operand::disp(RegFP, CellOffset, Ty::L);
+    Cell.Spilled = true;
+    SpillStore(R, Cell);
+    ++Stats.Spills;
+    free(R);
+    return;
+  }
+  fatalError("all registers are pinned inside addressing modes; "
+             "expression too complex for the simple register manager");
+}
+
+void RegisterManager::resetForStatement() {
+  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R) {
+    Busy[R] = false;
+    PinCount[R] = 0;
+  }
+  BusyOrder.clear();
+}
+
+bool RegisterManager::anyBusy() const {
+  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R)
+    if (Busy[R])
+      return true;
+  return false;
+}

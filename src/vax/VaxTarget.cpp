@@ -1,0 +1,27 @@
+//===- VaxTarget.cpp - bundled VAX tables and matcher ------------------------===//
+
+#include "vax/VaxTarget.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+std::unique_ptr<VaxTarget>
+VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
+                  BuildOptions TableOpts) {
+  std::unique_ptr<VaxTarget> T(new VaxTarget());
+  DiagnosticSink Diags;
+  if (!buildVaxGrammar(T->G, T->Spec, Diags, GrammarOpts)) {
+    Err = "VAX description error:\n" + Diags.renderAll();
+    return nullptr;
+  }
+  if (!TableOpts.TerminalCategory)
+    TableOpts.TerminalCategory = vaxTerminalCategory;
+  T->Build = buildTables(T->G, TableOpts);
+  if (!T->Build.Ok) {
+    Err = strf("VAX table construction failed: %s", T->Build.Error.c_str());
+    return nullptr;
+  }
+  T->Packed = PackedTables::pack(T->Build.Tables);
+  T->M = std::make_unique<Matcher>(T->G, T->Packed);
+  return T;
+}

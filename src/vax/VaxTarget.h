@@ -1,0 +1,57 @@
+//===- VaxTarget.h - bundled VAX tables and matcher -------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the static per-target artifacts: the expanded grammar, the
+/// constructed parse tables (packed), and a matcher over them. These are
+/// "used once for each target machine" (paper section 3) and shared by
+/// every compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_VAX_VAXTARGET_H
+#define GG_VAX_VAXTARGET_H
+
+#include "match/Matcher.h"
+#include "mdl/SpecParser.h"
+#include "tablegen/Packing.h"
+#include "tablegen/TableBuilder.h"
+#include "vax/VaxGrammar.h"
+
+#include <memory>
+#include <string>
+
+namespace gg {
+
+/// Immutable per-target state; create once, compile many programs.
+class VaxTarget {
+public:
+  /// Builds grammar + tables + matcher. Returns null and sets \p Err on
+  /// description errors. \p TableOpts chooses the construction algorithm
+  /// (experiment E4); the block-check category function is installed
+  /// automatically.
+  static std::unique_ptr<VaxTarget>
+  create(std::string &Err, const VaxGrammarOptions &GrammarOpts = {},
+         BuildOptions TableOpts = {});
+
+  const Grammar &grammar() const { return G; }
+  const MdSpec &spec() const { return Spec; }
+  const BuildResult &build() const { return Build; }
+  const PackedTables &packed() const { return Packed; }
+  const Matcher &matcher() const { return *M; }
+
+private:
+  VaxTarget() = default;
+  Grammar G;
+  MdSpec Spec;
+  BuildResult Build;
+  PackedTables Packed;
+  std::unique_ptr<Matcher> M;
+};
+
+} // namespace gg
+
+#endif // GG_VAX_VAXTARGET_H

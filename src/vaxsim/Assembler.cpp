@@ -1,0 +1,386 @@
+//===- Assembler.cpp - VAX assembly parser ------------------------------------===//
+
+#include "vaxsim/Assembler.h"
+#include "support/Strings.h"
+
+#include <cctype>
+
+using namespace gg;
+
+namespace {
+
+/// Register name -> number, or -1.
+int parseReg(std::string_view S) {
+  static const char *const Names[] = {"r0", "r1", "r2",  "r3", "r4", "r5",
+                                      "r6", "r7", "r8",  "r9", "r10", "r11",
+                                      "ap", "fp", "sp",  "pc"};
+  for (int I = 0; I < 16; ++I)
+    if (S == Names[I])
+      return I;
+  return -1;
+}
+
+bool isBranchOpcode(std::string_view Op) {
+  return Op == "brw" || Op == "brb" || Op == "jbr" ||
+         (Op.size() >= 2 && Op[0] == 'j');
+}
+
+/// Splits "sym+off" / "sym" / "off" into parts. Returns false on garbage.
+bool parseSymOff(std::string_view Text, std::string &Sym, int64_t &Off) {
+  Sym.clear();
+  Off = 0;
+  if (Text.empty())
+    return false;
+  size_t Plus = Text.rfind('+');
+  std::string_view Name = Text, OffText;
+  if (Plus != std::string_view::npos && Plus > 0) {
+    Name = Text.substr(0, Plus);
+    OffText = Text.substr(Plus + 1);
+  }
+  if (isdigit(static_cast<unsigned char>(Name[0])) || Name[0] == '-') {
+    // Pure numeric address.
+    std::optional<int64_t> V = parseInt(Text);
+    if (!V)
+      return false;
+    Off = *V;
+    return true;
+  }
+  Sym = std::string(Name);
+  if (!OffText.empty()) {
+    std::optional<int64_t> V = parseInt(OffText);
+    if (!V)
+      return false;
+    Off = *V;
+  }
+  return true;
+}
+
+class AsmParser {
+public:
+  AsmParser(const std::string &Text, SimUnit &Unit, DiagnosticSink &Diags)
+      : Text(Text), Unit(Unit), Diags(Diags) {}
+
+  bool run() {
+    int LineNo = 0;
+    for (std::string_view Line : splitString(Text, '\n')) {
+      ++LineNo;
+      size_t Hash = Line.find('#');
+      if (Hash != std::string_view::npos)
+        Line = Line.substr(0, Hash);
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+      parseLine(Line, LineNo);
+    }
+    resolve();
+    return !Diags.hasErrors();
+  }
+
+private:
+  const std::string &Text;
+  SimUnit &Unit;
+  DiagnosticSink &Diags;
+  bool InData = false;
+
+  void parseLine(std::string_view Line, int LineNo) {
+    // Label definitions (possibly followed by more on the same line).
+    while (true) {
+      size_t Colon = Line.find(':');
+      if (Colon == std::string_view::npos)
+        break;
+      std::string_view Head = trim(Line.substr(0, Colon));
+      // Only treat as a label if the head looks like an identifier.
+      bool IsIdent = !Head.empty();
+      for (char C : Head)
+        if (!isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '$' &&
+            C != '.')
+          IsIdent = false;
+      if (!IsIdent)
+        break;
+      defineLabel(std::string(Head), LineNo);
+      Line = trim(Line.substr(Colon + 1));
+      if (Line.empty())
+        return;
+    }
+
+    if (Line[0] == '.') {
+      parseDirective(Line, LineNo);
+      return;
+    }
+
+    // Instruction: opcode [op1,op2,...]
+    size_t WS = Line.find_first_of(" \t");
+    std::string Opcode(trim(Line.substr(0, WS)));
+    SimInst Inst;
+    Inst.Opcode = Opcode;
+    Inst.Line = LineNo;
+    if (WS != std::string_view::npos) {
+      std::string_view Rest = trim(Line.substr(WS));
+      if (!Rest.empty()) {
+        for (std::string_view OpText : splitString(Rest, ',')) {
+          SimOperand Op;
+          if (!parseOperand(trim(OpText), Op, LineNo))
+            return;
+          Inst.Ops.push_back(Op);
+        }
+      }
+    }
+    if (InData) {
+      Diags.error("instruction in .data section", LineNo);
+      return;
+    }
+    Unit.Code.push_back(std::move(Inst));
+  }
+
+  void defineLabel(const std::string &Name, int LineNo) {
+    if (InData) {
+      if (Unit.DataSyms.count(Name)) {
+        Diags.error(strf("duplicate data symbol '%s'", Name.c_str()), LineNo);
+        return;
+      }
+      Unit.DataSyms[Name] =
+          SimUnit::DataBase + static_cast<int64_t>(Unit.Data.size());
+      return;
+    }
+    if (Unit.CodeLabels.count(Name)) {
+      Diags.error(strf("duplicate code label '%s'", Name.c_str()), LineNo);
+      return;
+    }
+    Unit.CodeLabels[Name] = Unit.Code.size();
+  }
+
+  void parseDirective(std::string_view Line, int LineNo) {
+    std::vector<std::string_view> Tok = splitWhitespace(Line);
+    std::string_view D = Tok[0];
+    if (D == ".data") {
+      InData = true;
+      return;
+    }
+    if (D == ".text") {
+      InData = false;
+      return;
+    }
+    if (D == ".globl")
+      return;
+    if (D == ".align") {
+      if (InData) {
+        int64_t Pow = 2;
+        if (Tok.size() == 2)
+          if (std::optional<int64_t> V = parseInt(Tok[1]))
+            Pow = *V;
+        size_t Align = size_t(1) << (Pow < 0 || Pow > 12 ? 2 : Pow);
+        while (Unit.Data.size() % Align)
+          Unit.Data.push_back(0);
+      }
+      return;
+    }
+    if (D == ".space") {
+      if (!InData || Tok.size() != 2) {
+        Diags.error(".space outside .data or malformed", LineNo);
+        return;
+      }
+      std::optional<int64_t> N = parseInt(Tok[1]);
+      if (!N || *N < 0) {
+        Diags.error("bad .space size", LineNo);
+        return;
+      }
+      Unit.Data.insert(Unit.Data.end(), static_cast<size_t>(*N), 0);
+      return;
+    }
+    if (D == ".byte" || D == ".word" || D == ".long") {
+      if (!InData) {
+        // Entry masks (.word 0x0fc0) appear in .text; the simulator's
+        // calls saves registers itself, so masks are ignored.
+        return;
+      }
+      int Width = D == ".byte" ? 1 : D == ".word" ? 2 : 4;
+      for (size_t I = 1; I < Tok.size(); ++I) {
+        std::optional<int64_t> V = parseInt(Tok[I]);
+        if (!V) {
+          Diags.error(strf("bad %s value", std::string(D).c_str()), LineNo);
+          return;
+        }
+        uint64_t Raw = static_cast<uint64_t>(*V);
+        for (int B = 0; B < Width; ++B)
+          Unit.Data.push_back(static_cast<uint8_t>(Raw >> (8 * B)));
+      }
+      return;
+    }
+    Diags.error(strf("unknown directive '%s'", std::string(D).c_str()),
+                LineNo);
+  }
+
+  bool parseOperand(std::string_view T, SimOperand &Op, int LineNo) {
+    if (T.empty()) {
+      Diags.error("empty operand", LineNo);
+      return false;
+    }
+
+    // Indexed: base[rX]
+    if (T.back() == ']') {
+      size_t Open = T.rfind('[');
+      if (Open == std::string_view::npos) {
+        Diags.error("malformed indexed operand", LineNo);
+        return false;
+      }
+      int X = parseReg(T.substr(Open + 1, T.size() - Open - 2));
+      if (X < 0) {
+        Diags.error("bad index register", LineNo);
+        return false;
+      }
+      SimOperand Base;
+      if (!parseOperand(T.substr(0, Open), Base, LineNo))
+        return false;
+      Op = Base;
+      if (Op.Mode != SimMode::Abs && Op.Mode != SimMode::Disp) {
+        Diags.error("indexed mode requires a direct base operand", LineNo);
+        return false;
+      }
+      Op.Mode = SimMode::Indexed;
+      Op.Index = X;
+      return true;
+    }
+
+    // Immediate.
+    if (T[0] == '$') {
+      Op.Mode = SimMode::Imm;
+      std::string Sym;
+      int64_t Off;
+      if (!parseSymOff(T.substr(1), Sym, Off)) {
+        Diags.error("bad immediate", LineNo);
+        return false;
+      }
+      Op.Sym = Sym;
+      Op.Value = Off;
+      return true;
+    }
+
+    // Deferred.
+    if (T[0] == '*') {
+      SimOperand Inner;
+      if (!parseOperand(T.substr(1), Inner, LineNo))
+        return false;
+      Op = Inner;
+      if (Inner.Mode == SimMode::Disp)
+        Op.Mode = SimMode::DispDef;
+      else if (Inner.Mode == SimMode::Abs)
+        Op.Mode = SimMode::AbsDef;
+      else {
+        Diags.error("bad deferred operand", LineNo);
+        return false;
+      }
+      return true;
+    }
+
+    // Autodecrement.
+    if (T.size() >= 4 && T[0] == '-' && T[1] == '(') {
+      int R = parseReg(T.substr(2, T.size() - 3));
+      if (R < 0 || T.back() != ')') {
+        Diags.error("bad autodecrement operand", LineNo);
+        return false;
+      }
+      Op.Mode = SimMode::AutoDec;
+      Op.Reg = R;
+      return true;
+    }
+
+    // (rN) and (rN)+ and disp(rN).
+    size_t Paren = T.find('(');
+    if (Paren != std::string_view::npos) {
+      bool Auto = T.back() == '+';
+      std::string_view Closed = Auto ? T.substr(0, T.size() - 1) : T;
+      if (Closed.back() != ')') {
+        Diags.error("bad register deferred operand", LineNo);
+        return false;
+      }
+      int R = parseReg(Closed.substr(Paren + 1, Closed.size() - Paren - 2));
+      if (R < 0) {
+        Diags.error("bad base register", LineNo);
+        return false;
+      }
+      Op.Reg = R;
+      Op.Mode = Auto ? SimMode::AutoInc : SimMode::Disp;
+      std::string_view DispText = T.substr(0, Paren);
+      if (!DispText.empty()) {
+        if (Auto) {
+          Diags.error("displacement with autoincrement", LineNo);
+          return false;
+        }
+        std::string Sym;
+        int64_t Off;
+        if (!parseSymOff(DispText, Sym, Off)) {
+          Diags.error("bad displacement", LineNo);
+          return false;
+        }
+        Op.Sym = Sym;
+        Op.Value = Off;
+      }
+      return true;
+    }
+
+    // Plain register.
+    if (int R = parseReg(T); R >= 0) {
+      Op.Mode = SimMode::Reg;
+      Op.Reg = R;
+      return true;
+    }
+
+    // Bare symbol / address: memory direct, or a code label for branches.
+    std::string Sym;
+    int64_t Off;
+    if (!parseSymOff(T, Sym, Off)) {
+      Diags.error(strf("unparseable operand '%s'", std::string(T).c_str()),
+                  LineNo);
+      return false;
+    }
+    Op.Mode = SimMode::Abs;
+    Op.Sym = Sym;
+    Op.Value = Off;
+    return true;
+  }
+
+  /// Resolves symbolic references after layout.
+  void resolve() {
+    for (SimInst &Inst : Unit.Code) {
+      bool Branch = isBranchOpcode(Inst.Opcode);
+      bool Call = Inst.Opcode == "calls";
+      for (size_t I = 0; I < Inst.Ops.size(); ++I) {
+        SimOperand &Op = Inst.Ops[I];
+        if (Op.Sym.empty())
+          continue;
+        bool IsTarget =
+            (Branch && I == Inst.Ops.size() - 1 && Op.Mode == SimMode::Abs) ||
+            (Call && I == 1 && Op.Mode == SimMode::Abs);
+        if (IsTarget) {
+          auto It = Unit.CodeLabels.find(Op.Sym);
+          if (It != Unit.CodeLabels.end()) {
+            Op.Mode = SimMode::CodeLabel;
+            Op.Value = static_cast<int64_t>(It->second);
+            continue;
+          }
+          if (Call)
+            continue; // runtime builtin: stays symbolic
+          Diags.error(strf("undefined label '%s' (line %d)", Op.Sym.c_str(),
+                           Inst.Line));
+          continue;
+        }
+        auto It = Unit.DataSyms.find(Op.Sym);
+        if (It == Unit.DataSyms.end()) {
+          Diags.error(strf("undefined symbol '%s' (line %d)", Op.Sym.c_str(),
+                           Inst.Line));
+          continue;
+        }
+        Op.Value += It->second;
+        Op.Sym.clear();
+      }
+    }
+  }
+};
+
+} // namespace
+
+bool gg::assemble(const std::string &Text, SimUnit &Unit,
+                  DiagnosticSink &Diags) {
+  AsmParser Parser(Text, Unit, Diags);
+  return Parser.run();
+}

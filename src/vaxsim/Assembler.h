@@ -1,0 +1,75 @@
+//===- Assembler.h - VAX assembly parser ------------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the UNIX-style VAX assembly produced by both code generators
+/// into an executable unit: a data image, a symbol table and a decoded
+/// instruction list. This (plus Simulator.h) stands in for the paper's
+/// physical VAX-11/780 and lets the test suite run generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_VAXSIM_ASSEMBLER_H
+#define GG_VAXSIM_ASSEMBLER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// Addressing mode of a parsed assembly operand.
+enum class SimMode : uint8_t {
+  Reg,      ///< rN
+  Imm,      ///< $literal or $sym[+off] (resolved)
+  Abs,      ///< sym[+off] or bare address (memory direct)
+  Disp,     ///< off(rN), also sym+off(rN)
+  DispDef,  ///< *off(rN)
+  AbsDef,   ///< *sym[+off]
+  Indexed,  ///< base[rX]
+  AutoInc,  ///< (rN)+
+  AutoDec,  ///< -(rN)
+  CodeLabel ///< branch/call target (instruction index)
+};
+
+/// One parsed operand. Symbolic references are resolved after layout:
+/// Resolved holds the data address / immediate / instruction index.
+struct SimOperand {
+  SimMode Mode = SimMode::Reg;
+  int Reg = -1;      ///< base register
+  int Index = -1;    ///< index register (Indexed)
+  int64_t Value = 0; ///< displacement / immediate / resolved address
+  std::string Sym;   ///< unresolved symbol (kept for diagnostics/builtins)
+};
+
+/// One decoded instruction.
+struct SimInst {
+  std::string Opcode;
+  std::vector<SimOperand> Ops;
+  int Line = 0;
+};
+
+/// An assembled unit ready for simulation.
+struct SimUnit {
+  std::vector<uint8_t> Data;                 ///< data image (base DataBase)
+  std::map<std::string, int64_t> DataSyms;   ///< symbol -> absolute address
+  std::vector<SimInst> Code;
+  std::map<std::string, size_t> CodeLabels;  ///< label -> instruction index
+
+  static constexpr int64_t DataBase = 0x1000;
+};
+
+/// Assembles \p Text. Returns false with diagnostics on parse errors or
+/// unresolved symbols (calls to the runtime builtins print / printc /
+/// __udiv / __urem stay symbolic and are allowed).
+bool assemble(const std::string &Text, SimUnit &Unit, DiagnosticSink &Diags);
+
+} // namespace gg
+
+#endif // GG_VAXSIM_ASSEMBLER_H

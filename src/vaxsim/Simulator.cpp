@@ -1,0 +1,786 @@
+//===- Simulator.cpp - VAX subset simulator -----------------------------------===//
+
+#include "vaxsim/Simulator.h"
+#include "ir/Interp.h" // vaxAshl32
+#include "ir/Node.h"   // register numbers
+#include "support/Strings.h"
+
+#include <unordered_map>
+
+using namespace gg;
+
+namespace {
+
+constexpr size_t MemBytes = 1u << 20;
+constexpr int64_t RetSentinel = -1;
+
+enum class IKind : uint8_t {
+  Mov,
+  Movz,
+  Cvt,
+  Clr,
+  Mneg,
+  Mcom,
+  Add2,
+  Add3,
+  Sub2,
+  Sub3,
+  Mul2,
+  Mul3,
+  Div2,
+  Div3,
+  Bic2,
+  Bic3,
+  Bis2,
+  Bis3,
+  Xor2,
+  Xor3,
+  Ashl,
+  Extzv,
+  Inc,
+  Dec,
+  Tst,
+  Cmp,
+  Pushl,
+  Moval,
+  Calls,
+  Ret,
+  Br,
+  CondJ,
+  Bad,
+};
+
+struct Decoded {
+  IKind Kind = IKind::Bad;
+  int W1 = 4; ///< primary operand width
+  int W2 = 4; ///< secondary width (cvt/movz destination)
+  Cond CC = Cond::EQ;
+};
+
+int widthOf(char C) { return C == 'b' ? 1 : C == 'w' ? 2 : 4; }
+
+Decoded decode(const std::string &Op) {
+  Decoded D;
+  auto Sized = [&](std::string_view Base, IKind K2, IKind K3) -> bool {
+    // e.g. add{b,w,l}{2,3}
+    if (Op.size() == Base.size() + 2 && Op.compare(0, Base.size(), Base) == 0) {
+      char SC = Op[Base.size()], N = Op[Base.size() + 1];
+      if ((SC == 'b' || SC == 'w' || SC == 'l') && (N == '2' || N == '3')) {
+        D.Kind = N == '2' ? K2 : K3;
+        D.W1 = widthOf(SC);
+        return true;
+      }
+    }
+    return false;
+  };
+  auto Sized1 = [&](std::string_view Base, IKind K) -> bool {
+    if (Op.size() == Base.size() + 1 && Op.compare(0, Base.size(), Base) == 0) {
+      char SC = Op[Base.size()];
+      if (SC == 'b' || SC == 'w' || SC == 'l') {
+        D.Kind = K;
+        D.W1 = widthOf(SC);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (Sized("add", IKind::Add2, IKind::Add3) ||
+      Sized("sub", IKind::Sub2, IKind::Sub3) ||
+      Sized("mul", IKind::Mul2, IKind::Mul3) ||
+      Sized("div", IKind::Div2, IKind::Div3) ||
+      Sized("bic", IKind::Bic2, IKind::Bic3) ||
+      Sized("bis", IKind::Bis2, IKind::Bis3) ||
+      Sized("xor", IKind::Xor2, IKind::Xor3))
+    return D;
+  if (Sized1("mov", IKind::Mov) || Sized1("clr", IKind::Clr) ||
+      Sized1("mneg", IKind::Mneg) || Sized1("mcom", IKind::Mcom) ||
+      Sized1("inc", IKind::Inc) || Sized1("dec", IKind::Dec) ||
+      Sized1("tst", IKind::Tst) || Sized1("cmp", IKind::Cmp))
+    return D;
+
+  if (Op.size() == 6 && Op.compare(0, 4, "movz") == 0) {
+    D.Kind = IKind::Movz;
+    D.W1 = widthOf(Op[4]);
+    D.W2 = widthOf(Op[5]);
+    return D;
+  }
+  if (Op.size() == 5 && Op.compare(0, 3, "cvt") == 0) {
+    D.Kind = IKind::Cvt;
+    D.W1 = widthOf(Op[3]);
+    D.W2 = widthOf(Op[4]);
+    return D;
+  }
+  if (Op == "ashl") {
+    D.Kind = IKind::Ashl;
+    return D;
+  }
+  if (Op == "extzv") {
+    D.Kind = IKind::Extzv;
+    return D;
+  }
+  if (Op == "pushl") {
+    D.Kind = IKind::Pushl;
+    return D;
+  }
+  if (Op == "moval") {
+    D.Kind = IKind::Moval;
+    return D;
+  }
+  if (Op == "calls") {
+    D.Kind = IKind::Calls;
+    return D;
+  }
+  if (Op == "ret") {
+    D.Kind = IKind::Ret;
+    return D;
+  }
+  if (Op == "brw" || Op == "brb" || Op == "jbr" || Op == "jmp") {
+    D.Kind = IKind::Br;
+    return D;
+  }
+  static const std::pair<const char *, Cond> Jumps[] = {
+      {"jeql", Cond::EQ},   {"jneq", Cond::NE},   {"jlss", Cond::LT},
+      {"jleq", Cond::LE},   {"jgtr", Cond::GT},   {"jgeq", Cond::GE},
+      {"jlssu", Cond::ULT}, {"jlequ", Cond::ULE}, {"jgtru", Cond::UGT},
+      {"jgequ", Cond::UGE}};
+  for (auto &[Name, C] : Jumps)
+    if (Op == Name) {
+      D.Kind = IKind::CondJ;
+      D.CC = C;
+      return D;
+    }
+  return D;
+}
+
+int64_t signedAt(int64_t V, int W) {
+  switch (W) {
+  case 1:
+    return static_cast<int8_t>(V);
+  case 2:
+    return static_cast<int16_t>(V);
+  default:
+    return static_cast<int32_t>(V);
+  }
+}
+
+uint64_t unsignedAt(int64_t V, int W) {
+  switch (W) {
+  case 1:
+    return static_cast<uint8_t>(V);
+  case 2:
+    return static_cast<uint16_t>(V);
+  default:
+    return static_cast<uint32_t>(V);
+  }
+}
+
+class Machine {
+public:
+  Machine(const SimUnit &U, uint64_t StepLimit)
+      : U(U), StepLimit(StepLimit), Mem(MemBytes, 0) {
+    // Place the data image.
+    for (size_t I = 0; I < U.Data.size(); ++I)
+      Mem[SimUnit::DataBase + I] = U.Data[I];
+    for (const SimInst &Inst : U.Code)
+      DecodedCode.push_back(decode(Inst.Opcode));
+  }
+
+  SimResult run(std::string_view Entry) {
+    SimResult R;
+    auto It = U.CodeLabels.find(std::string(Entry));
+    if (It == U.CodeLabels.end()) {
+      R.Error = strf("entry point '%s' not found", std::string(Entry).c_str());
+      return R;
+    }
+    Regs[RegSP] = static_cast<int64_t>(MemBytes) - 64;
+    enterFrame(/*NumArgs=*/0, RetSentinel);
+    PC = static_cast<int64_t>(It->second);
+
+    while (Err.empty()) {
+      if (PC == RetSentinel)
+        break;
+      if (PC < 0 || PC >= static_cast<int64_t>(U.Code.size())) {
+        fail("control fell off the end of the code");
+        break;
+      }
+      if (++R.Instructions > StepLimit) {
+        fail("instruction limit exceeded (infinite loop?)");
+        break;
+      }
+      step(R);
+    }
+    R.Ok = Err.empty();
+    R.Error = Err;
+    R.ReturnValue = static_cast<int32_t>(Regs[0]);
+    R.Output = std::move(Output);
+    R.Cycles = Cycles;
+    return R;
+  }
+
+private:
+  const SimUnit &U;
+  uint64_t StepLimit;
+  std::vector<uint8_t> Mem;
+  std::vector<Decoded> DecodedCode;
+  int64_t Regs[NumRegs] = {};
+  int64_t PC = 0;
+  bool FN = false, FZ = false, FC = false;
+  uint64_t Cycles = 0;
+  std::string Output;
+  std::string Err;
+
+  void fail(const std::string &M) {
+    if (Err.empty())
+      Err = M;
+  }
+
+  bool checkAddr(int64_t Addr, int W) {
+    if (Addr < 0 || Addr + W > static_cast<int64_t>(Mem.size())) {
+      fail(strf("memory access out of range at pc=%lld: addr=%lld",
+                static_cast<long long>(PC), static_cast<long long>(Addr)));
+      return false;
+    }
+    return true;
+  }
+
+  int64_t load(int64_t Addr, int W) {
+    if (!checkAddr(Addr, W))
+      return 0;
+    uint64_t Raw = 0;
+    for (int I = 0; I < W; ++I)
+      Raw |= static_cast<uint64_t>(Mem[Addr + I]) << (8 * I);
+    return signedAt(static_cast<int64_t>(Raw), W);
+  }
+
+  void store(int64_t Addr, int W, int64_t V) {
+    if (!checkAddr(Addr, W))
+      return;
+    for (int I = 0; I < W; ++I)
+      Mem[Addr + I] = static_cast<uint8_t>(static_cast<uint64_t>(V) >> (8 * I));
+  }
+
+  /// A located operand: a register, a memory address, or an immediate.
+  struct Loc {
+    enum { R, M, I } Kind;
+    int Reg = 0;
+    int64_t Addr = 0;
+    int64_t Imm = 0;
+  };
+
+  int operandCost(const SimOperand &O) {
+    switch (O.Mode) {
+    case SimMode::Reg:
+    case SimMode::Imm:
+    case SimMode::CodeLabel:
+      return 0;
+    case SimMode::Abs:
+    case SimMode::Disp:
+    case SimMode::AutoInc:
+    case SimMode::AutoDec:
+      return 1;
+    case SimMode::DispDef:
+    case SimMode::AbsDef:
+    case SimMode::Indexed:
+      return 2;
+    }
+    return 1;
+  }
+
+  /// 32-bit effective-address wraparound, as on the hardware: negative
+  /// displacements arrive as large unsigned longs from the pointer
+  /// arithmetic and must wrap.
+  static int64_t ea(int64_t Addr) {
+    return static_cast<int64_t>(static_cast<uint32_t>(Addr));
+  }
+
+  /// Evaluates an operand to a location, applying side effects once.
+  Loc locate(const SimOperand &O, int W) {
+    Loc L;
+    Cycles += operandCost(O);
+    switch (O.Mode) {
+    case SimMode::Reg:
+      L.Kind = Loc::R;
+      L.Reg = O.Reg;
+      return L;
+    case SimMode::Imm:
+      L.Kind = Loc::I;
+      L.Imm = O.Value;
+      return L;
+    case SimMode::Abs:
+      L.Kind = Loc::M;
+      L.Addr = ea(O.Value);
+      return L;
+    case SimMode::Disp:
+      L.Kind = Loc::M;
+      L.Addr = ea(Regs[O.Reg] + O.Value);
+      return L;
+    case SimMode::DispDef:
+      L.Kind = Loc::M;
+      L.Addr = ea(load(ea(Regs[O.Reg] + O.Value), 4));
+      return L;
+    case SimMode::AbsDef:
+      L.Kind = Loc::M;
+      L.Addr = ea(load(ea(O.Value), 4));
+      return L;
+    case SimMode::Indexed: {
+      int64_t Base = O.Reg >= 0 ? Regs[O.Reg] + O.Value : O.Value;
+      L.Kind = Loc::M;
+      L.Addr = ea(Base + Regs[O.Index] * W);
+      return L;
+    }
+    case SimMode::AutoInc:
+      L.Kind = Loc::M;
+      L.Addr = ea(Regs[O.Reg]);
+      Regs[O.Reg] += W;
+      return L;
+    case SimMode::AutoDec:
+      Regs[O.Reg] -= W;
+      L.Kind = Loc::M;
+      L.Addr = ea(Regs[O.Reg]);
+      return L;
+    case SimMode::CodeLabel:
+      L.Kind = Loc::I;
+      L.Imm = O.Value;
+      return L;
+    }
+    return L;
+  }
+
+  int64_t read(const Loc &L, int W) {
+    switch (L.Kind) {
+    case Loc::R:
+      return signedAt(Regs[L.Reg], W);
+    case Loc::M:
+      return load(L.Addr, W);
+    case Loc::I:
+      return signedAt(L.Imm, W);
+    }
+    return 0;
+  }
+
+  void write(const Loc &L, int W, int64_t V) {
+    switch (L.Kind) {
+    case Loc::R: {
+      // Byte/word writes to registers modify only the low bits (VAX).
+      if (W == 4) {
+        Regs[L.Reg] = static_cast<int32_t>(V);
+      } else {
+        uint64_t Mask = W == 1 ? 0xff : 0xffff;
+        Regs[L.Reg] = static_cast<int32_t>(
+            (static_cast<uint64_t>(Regs[L.Reg]) & ~Mask) |
+            (static_cast<uint64_t>(V) & Mask));
+      }
+      return;
+    }
+    case Loc::M:
+      store(L.Addr, W, V);
+      return;
+    case Loc::I:
+      fail("write to an immediate operand");
+      return;
+    }
+  }
+
+  void setNZ(int64_t V, int W) {
+    int64_t S = signedAt(V, W);
+    FN = S < 0;
+    FZ = S == 0;
+    FC = false;
+  }
+
+  bool condTrue(Cond C) {
+    switch (C) {
+    case Cond::EQ:
+      return FZ;
+    case Cond::NE:
+      return !FZ;
+    case Cond::LT:
+      return FN;
+    case Cond::LE:
+      return FN || FZ;
+    case Cond::GT:
+      return !(FN || FZ);
+    case Cond::GE:
+      return !FN;
+    case Cond::ULT:
+      return FC;
+    case Cond::ULE:
+      return FC || FZ;
+    case Cond::UGT:
+      return !(FC || FZ);
+    case Cond::UGE:
+      return !FC;
+    }
+    return false;
+  }
+
+  void enterFrame(int64_t NumArgs, int64_t RetPC) {
+    int64_t SP = Regs[RegSP];
+    SP -= 4;
+    store(SP, 4, NumArgs);
+    int64_t NewAP = SP;
+    SP -= 4;
+    store(SP, 4, RetPC);
+    SP -= 4;
+    store(SP, 4, Regs[RegFP]);
+    SP -= 4;
+    store(SP, 4, Regs[RegAP]);
+    for (int R = 2; R <= 11; ++R) {
+      SP -= 4;
+      store(SP, 4, Regs[R]);
+    }
+    Regs[RegAP] = NewAP;
+    Regs[RegFP] = SP;
+    Regs[RegSP] = SP;
+    if (SP < SimUnit::DataBase + static_cast<int64_t>(U.Data.size()))
+      fail("simulator stack overflow");
+  }
+
+  void doRet() {
+    int64_t SP = Regs[RegFP];
+    for (int R = 11; R >= 2; --R) {
+      Regs[R] = load(SP, 4);
+      SP += 4;
+    }
+    int64_t OldAP = load(SP, 4);
+    SP += 4;
+    int64_t OldFP = load(SP, 4);
+    SP += 4;
+    int64_t RetPC = load(SP, 4);
+    SP += 4;
+    int64_t NumArgs = load(SP, 4);
+    SP += 4 + NumArgs * 4;
+    Regs[RegAP] = OldAP;
+    Regs[RegFP] = OldFP;
+    Regs[RegSP] = SP;
+    PC = RetPC;
+  }
+
+  bool doBuiltin(const std::string &Name, int64_t NumArgs) {
+    int64_t SP = Regs[RegSP];
+    auto Arg = [&](int I) { return load(SP + 4 * I, 4); };
+    if (Name == "print") {
+      int64_t V = NumArgs > 0 ? Arg(0) : 0;
+      Output += strf("%lld\n", static_cast<long long>(V));
+      Regs[0] = V;
+    } else if (Name == "printc") {
+      Output += static_cast<char>(NumArgs > 0 ? Arg(0) : 0);
+      Regs[0] = 0;
+    } else if (Name == "__udiv" || Name == "__urem") {
+      uint32_t A = static_cast<uint32_t>(Arg(0));
+      uint32_t B = static_cast<uint32_t>(Arg(1));
+      if (B == 0) {
+        fail("division by zero");
+        return true;
+      }
+      Regs[0] = static_cast<int32_t>(Name == "__udiv" ? A / B : A % B);
+    } else {
+      return false;
+    }
+    Regs[RegSP] += 4 * NumArgs; // calls would have popped via ret
+    ++PC;
+    Cycles += 8;
+    return true;
+  }
+
+  void step(SimResult &R) {
+    (void)R;
+    const SimInst &I = U.Code[PC];
+    const Decoded &D = DecodedCode[PC];
+    ++Cycles;
+
+    auto Need = [&](size_t N) -> bool {
+      if (I.Ops.size() != N) {
+        fail(strf("line %d: %s expects %zu operands", I.Line,
+                  I.Opcode.c_str(), N));
+        return false;
+      }
+      return true;
+    };
+
+    switch (D.Kind) {
+    case IKind::Bad:
+      fail(strf("line %d: unknown opcode '%s'", I.Line, I.Opcode.c_str()));
+      return;
+
+    case IKind::Mov: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], D.W1), T = locate(I.Ops[1], D.W1);
+      int64_t V = read(S, D.W1);
+      write(T, D.W1, V);
+      setNZ(V, D.W1);
+      break;
+    }
+    case IKind::Movz: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], D.W1), T = locate(I.Ops[1], D.W2);
+      int64_t V = static_cast<int64_t>(unsignedAt(read(S, D.W1), D.W1));
+      write(T, D.W2, V);
+      setNZ(V, D.W2);
+      break;
+    }
+    case IKind::Cvt: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], D.W1), T = locate(I.Ops[1], D.W2);
+      int64_t V = read(S, D.W1);
+      write(T, D.W2, V);
+      setNZ(V, D.W2);
+      break;
+    }
+    case IKind::Clr: {
+      if (!Need(1))
+        return;
+      Loc T = locate(I.Ops[0], D.W1);
+      write(T, D.W1, 0);
+      setNZ(0, D.W1);
+      break;
+    }
+    case IKind::Mneg:
+    case IKind::Mcom: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], D.W1), T = locate(I.Ops[1], D.W1);
+      int64_t V = read(S, D.W1);
+      V = D.Kind == IKind::Mneg ? -V : ~V;
+      write(T, D.W1, V);
+      setNZ(V, D.W1);
+      break;
+    }
+    case IKind::Inc:
+    case IKind::Dec: {
+      if (!Need(1))
+        return;
+      Loc T = locate(I.Ops[0], D.W1);
+      int64_t V = read(T, D.W1) + (D.Kind == IKind::Inc ? 1 : -1);
+      write(T, D.W1, V);
+      setNZ(V, D.W1);
+      break;
+    }
+    case IKind::Tst: {
+      if (!Need(1))
+        return;
+      Loc S = locate(I.Ops[0], D.W1);
+      setNZ(read(S, D.W1), D.W1);
+      break;
+    }
+    case IKind::Cmp: {
+      if (!Need(2))
+        return;
+      Loc A = locate(I.Ops[0], D.W1), B = locate(I.Ops[1], D.W1);
+      int64_t VA = read(A, D.W1), VB = read(B, D.W1);
+      FN = VA < VB;
+      FZ = VA == VB;
+      FC = unsignedAt(VA, D.W1) < unsignedAt(VB, D.W1);
+      break;
+    }
+
+    case IKind::Add2:
+    case IKind::Sub2:
+    case IKind::Mul2:
+    case IKind::Div2:
+    case IKind::Bic2:
+    case IKind::Bis2:
+    case IKind::Xor2: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], D.W1), T = locate(I.Ops[1], D.W1);
+      int64_t A = read(S, D.W1), B = read(T, D.W1), V = 0;
+      if (!binop(D.Kind, D.W1, A, B, V))
+        return;
+      write(T, D.W1, V);
+      setNZ(V, D.W1);
+      break;
+    }
+    case IKind::Add3:
+    case IKind::Sub3:
+    case IKind::Mul3:
+    case IKind::Div3:
+    case IKind::Bic3:
+    case IKind::Bis3:
+    case IKind::Xor3: {
+      if (!Need(3))
+        return;
+      Loc S1 = locate(I.Ops[0], D.W1), S2 = locate(I.Ops[1], D.W1),
+          T = locate(I.Ops[2], D.W1);
+      int64_t A = read(S1, D.W1), B = read(S2, D.W1), V = 0;
+      if (!binop(D.Kind, D.W1, A, B, V))
+        return;
+      write(T, D.W1, V);
+      setNZ(V, D.W1);
+      break;
+    }
+
+    case IKind::Ashl: {
+      if (!Need(3))
+        return;
+      Cycles += 1;
+      Loc C = locate(I.Ops[0], 1), S = locate(I.Ops[1], 4),
+          T = locate(I.Ops[2], 4);
+      int64_t V = vaxAshl32(read(C, 1), read(S, 4));
+      write(T, 4, V);
+      setNZ(V, 4);
+      break;
+    }
+    case IKind::Extzv: {
+      if (!Need(4))
+        return;
+      Cycles += 2;
+      Loc P = locate(I.Ops[0], 4), Z = locate(I.Ops[1], 4),
+          S = locate(I.Ops[2], 4), T = locate(I.Ops[3], 4);
+      int64_t Pos = read(P, 4), Size = read(Z, 4);
+      uint32_t Base = static_cast<uint32_t>(read(S, 4));
+      int64_t V = 0;
+      if (Pos >= 0 && Pos <= 31 && Size > 0) {
+        int Width = static_cast<int>(Size > 32 - Pos ? 32 - Pos : Size);
+        uint32_t Mask =
+            Width >= 32 ? 0xffffffffu : ((1u << Width) - 1u);
+        V = (Base >> Pos) & Mask;
+      }
+      write(T, 4, V);
+      setNZ(V, 4);
+      break;
+    }
+
+    case IKind::Pushl: {
+      if (!Need(1))
+        return;
+      Loc S = locate(I.Ops[0], 4);
+      int64_t V = read(S, 4);
+      Regs[RegSP] -= 4;
+      store(Regs[RegSP], 4, V);
+      setNZ(V, 4);
+      break;
+    }
+    case IKind::Moval: {
+      if (!Need(2))
+        return;
+      Loc S = locate(I.Ops[0], 4), T = locate(I.Ops[1], 4);
+      // moval computes the address without accessing memory: refund the
+      // memory-operand cost locate() charged for the source.
+      Cycles -= operandCost(I.Ops[0]);
+      if (S.Kind != Loc::M) {
+        fail(strf("line %d: moval of a non-memory operand", I.Line));
+        return;
+      }
+      write(T, 4, S.Addr);
+      setNZ(S.Addr, 4);
+      break;
+    }
+
+    case IKind::Calls: {
+      if (!Need(2))
+        return;
+      Cycles += 4;
+      Loc N = locate(I.Ops[0], 4);
+      int64_t NumArgs = read(N, 4);
+      const SimOperand &Target = I.Ops[1];
+      if (Target.Mode == SimMode::CodeLabel) {
+        enterFrame(NumArgs, PC + 1);
+        PC = Target.Value;
+        return;
+      }
+      if (!Target.Sym.empty() && doBuiltin(Target.Sym, NumArgs))
+        return;
+      fail(strf("line %d: call to undefined function '%s'", I.Line,
+                Target.Sym.c_str()));
+      return;
+    }
+    case IKind::Ret:
+      Cycles += 4;
+      doRet();
+      return;
+
+    case IKind::Br: {
+      if (!Need(1))
+        return;
+      if (I.Ops[0].Mode != SimMode::CodeLabel) {
+        fail(strf("line %d: branch to a non-label", I.Line));
+        return;
+      }
+      PC = I.Ops[0].Value;
+      return;
+    }
+    case IKind::CondJ: {
+      if (!Need(1))
+        return;
+      if (condTrue(D.CC)) {
+        PC = I.Ops[0].Value;
+        return;
+      }
+      break;
+    }
+    }
+    ++PC;
+  }
+
+  bool binop(IKind K, int W, int64_t A, int64_t B, int64_t &V) {
+    switch (K) {
+    case IKind::Add2:
+    case IKind::Add3:
+      V = A + B;
+      return true;
+    case IKind::Sub2:
+    case IKind::Sub3:
+      V = B - A;
+      return true;
+    case IKind::Mul2:
+    case IKind::Mul3:
+      Cycles += 3;
+      V = A * B;
+      return true;
+    case IKind::Div2:
+    case IKind::Div3: {
+      Cycles += 5;
+      int64_t SA = signedAt(A, W), SB = signedAt(B, W);
+      if (SA == 0) {
+        fail("division by zero");
+        return false;
+      }
+      if (SB == signedAt(INT64_MIN, W) && SA == -1) {
+        V = SB; // wraps
+        return true;
+      }
+      V = SB / SA;
+      return true;
+    }
+    case IKind::Bic2:
+    case IKind::Bic3:
+      V = B & ~A;
+      return true;
+    case IKind::Bis2:
+    case IKind::Bis3:
+      V = B | A;
+      return true;
+    case IKind::Xor2:
+    case IKind::Xor3:
+      V = B ^ A;
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace
+
+SimResult gg::simulate(const SimUnit &Unit, std::string_view Entry,
+                       uint64_t StepLimit) {
+  Machine M(Unit, StepLimit);
+  return M.run(Entry);
+}
+
+SimResult gg::assembleAndRun(const std::string &AsmText,
+                             std::string_view Entry, uint64_t StepLimit) {
+  SimUnit Unit;
+  DiagnosticSink Diags;
+  if (!assemble(AsmText, Unit, Diags)) {
+    SimResult R;
+    R.Error = "assembly failed:\n" + Diags.renderAll();
+    return R;
+  }
+  return simulate(Unit, Entry, StepLimit);
+}

@@ -1,0 +1,47 @@
+//===- Simulator.h - VAX subset simulator -----------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes assembled units: registers, condition codes, the calls/ret
+/// frame convention, all addressing modes both code generators emit, and
+/// the four runtime builtins (print, printc, __udiv, __urem). A stylized
+/// per-instruction/per-operand cost model provides "simulated cycles" for
+/// the code-quality experiments (E6, E7); it is a relative measure, not a
+/// VAX-11/780 timing model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_VAXSIM_SIMULATOR_H
+#define GG_VAXSIM_SIMULATOR_H
+
+#include "vaxsim/Assembler.h"
+
+#include <string>
+
+namespace gg {
+
+/// Outcome of simulating a unit.
+struct SimResult {
+  bool Ok = false;
+  std::string Error;
+  int64_t ReturnValue = 0; ///< r0 when the entry function returns
+  std::string Output;      ///< print/printc output
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Runs \p Unit from \p Entry (default "main") until it returns.
+SimResult simulate(const SimUnit &Unit, std::string_view Entry = "main",
+                   uint64_t StepLimit = 50'000'000);
+
+/// Convenience: assemble + simulate; assembly diagnostics become Error.
+SimResult assembleAndRun(const std::string &AsmText,
+                         std::string_view Entry = "main",
+                         uint64_t StepLimit = 50'000'000);
+
+} // namespace gg
+
+#endif // GG_VAXSIM_SIMULATOR_H

@@ -1,0 +1,494 @@
+//===- ProgramGen.cpp - synthetic MiniC program generator ---------------------===//
+
+#include "workload/ProgramGen.h"
+#include "support/Strings.h"
+
+#include <vector>
+
+using namespace gg;
+
+namespace {
+
+/// xorshift64* — deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+  int range(int N) { return static_cast<int>(next() % N); } // N > 0
+  bool chance(int Percent) { return range(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+struct VarDesc {
+  std::string Name;
+  bool Writable = true;
+};
+
+struct ArrayDesc {
+  std::string Name;
+  int SizePow2 = 8; ///< element count, a power of two (mask indexing)
+};
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const GenOptions &Opts) : R(Seed), Opts(Opts) {}
+
+  std::string run() {
+    emitGlobals();
+    int NumRec = Opts.UseCalls ? 1 : 0;
+    if (NumRec)
+      emitRecursionTemplate();
+    for (int F = 0; F < Opts.Functions; ++F)
+      emitFunction(F);
+    emitMain();
+    return Out;
+  }
+
+private:
+  Rng R;
+  GenOptions Opts;
+  std::string Out;
+
+  std::vector<VarDesc> GlobalVars;
+  std::vector<ArrayDesc> GlobalArrays;
+  struct FnDesc {
+    std::string Name;
+    int NumParams;
+  };
+  std::vector<FnDesc> Fns;
+
+  // Per-function state.
+  std::vector<VarDesc> Locals;   ///< readable+writable scalars in scope
+  std::vector<VarDesc> ReadOnly; ///< loop counters etc.
+  int LoopDepth = 0;
+  int NameCounter = 0;
+
+  void line(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list Args;
+    va_start(Args, Fmt);
+    Out += strfv(Fmt, Args);
+    va_end(Args);
+    Out += '\n';
+  }
+
+  std::string fresh(const char *Prefix) {
+    return strf("%s%d", Prefix, NameCounter++);
+  }
+
+  const char *randomScalarType() {
+    if (!Opts.UseMixedWidths)
+      return "int";
+    switch (R.range(8)) {
+    case 0:
+      return "char";
+    case 1:
+      return "short";
+    case 2:
+      return "unsigned";
+    case 3:
+      return "unsigned char";
+    case 4:
+      return "unsigned short";
+    default:
+      return "int";
+    }
+  }
+
+  void emitGlobals() {
+    for (int I = 0; I < Opts.GlobalScalars; ++I) {
+      std::string Name = strf("g%d", I);
+      if (R.chance(50))
+        line("%s %s = %d;", randomScalarType(), Name.c_str(),
+             R.range(200) - 100);
+      else
+        line("%s %s;", randomScalarType(), Name.c_str());
+      GlobalVars.push_back({Name, true});
+    }
+    for (int I = 0; I < Opts.GlobalArrays; ++I) {
+      ArrayDesc A;
+      A.Name = strf("arr%d", I);
+      A.SizePow2 = 4 << R.range(3); // 4, 8, 16
+      line("int %s[%d];", A.Name.c_str(), A.SizePow2);
+      GlobalArrays.push_back(A);
+    }
+    Out += '\n';
+  }
+
+  void emitRecursionTemplate() {
+    line("int recsum(int n) {");
+    line("  if (n <= 0) return 1;");
+    line("  return n + recsum(n - 1);");
+    line("}");
+    Out += '\n';
+    Fns.push_back({"recsum", 1});
+  }
+
+  //===--- expressions ---------------------------------------------------------
+  std::string readableVar() {
+    int Total = static_cast<int>(GlobalVars.size() + Locals.size() +
+                                 ReadOnly.size());
+    if (Total == 0)
+      return std::to_string(R.range(100));
+    int I = R.range(Total);
+    if (I < static_cast<int>(GlobalVars.size()))
+      return GlobalVars[I].Name;
+    I -= static_cast<int>(GlobalVars.size());
+    if (I < static_cast<int>(Locals.size()))
+      return Locals[I].Name;
+    I -= static_cast<int>(Locals.size());
+    return ReadOnly[I].Name;
+  }
+
+  std::string arrayRead() {
+    if (GlobalArrays.empty())
+      return readableVar();
+    const ArrayDesc &A = GlobalArrays[R.range(GlobalArrays.size())];
+    return strf("%s[(%s) & %d]", A.Name.c_str(), expr(1).c_str(),
+                A.SizePow2 - 1);
+  }
+
+  std::string atom() {
+    switch (R.range(10)) {
+    case 0:
+      return std::to_string(R.range(64));
+    case 1:
+      return strf("(-%d)", R.range(1000));
+    case 2:
+      return std::to_string(R.range(100000));
+    case 3:
+    case 4:
+      return arrayRead();
+    default:
+      return readableVar();
+    }
+  }
+
+  std::string expr(int Depth) {
+    if (Depth <= 0)
+      return atom();
+    switch (R.range(14)) {
+    case 0:
+      return strf("(%s + %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 1:
+      return strf("(%s - %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 2:
+      return strf("(%s * %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 3:
+      // Non-zero denominator: |1 guarantees it.
+      return strf("(%s / (%s | 1))", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 4:
+      return strf("(%s %% (%s | 1))", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 5:
+      return strf("(%s & %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 6:
+      return strf("(%s | %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 7:
+      return strf("(%s ^ %s)", expr(Depth - 1).c_str(),
+                  expr(Depth - 1).c_str());
+    case 8:
+      return strf("(%s << (%s & 7))", expr(Depth - 1).c_str(),
+                  atom().c_str());
+    case 9:
+      return strf("(%s >> (%s & 15))", expr(Depth - 1).c_str(),
+                  atom().c_str());
+    case 10: {
+      const char *Rel[] = {"<", "<=", ">", ">=", "==", "!="};
+      return strf("(%s %s %s)", expr(Depth - 1).c_str(), Rel[R.range(6)],
+                  expr(Depth - 1).c_str());
+    }
+    case 11: {
+      const char *L[] = {"&&", "||"};
+      return strf("(%s %s %s)", expr(Depth - 1).c_str(), L[R.range(2)],
+                  expr(Depth - 1).c_str());
+    }
+    case 12:
+      if (R.chance(50))
+        return strf("(%s ? %s : %s)", expr(Depth - 1).c_str(),
+                    expr(Depth - 1).c_str(), expr(Depth - 1).c_str());
+      return strf("(%c%s)", "-~!"[R.range(3)], expr(Depth - 1).c_str());
+    default:
+      if (Opts.UseCalls && !Fns.empty() && R.chance(40)) {
+        const FnDesc &F = Fns[R.range(Fns.size())];
+        std::string Args;
+        for (int I = 0; I < F.NumParams; ++I) {
+          if (I)
+            Args += ", ";
+          // Keep recursion depth small and positive.
+          Args += F.Name == "recsum" ? strf("(%d)", R.range(10))
+                                     : expr(Depth - 1);
+        }
+        return strf("%s(%s)", F.Name.c_str(), Args.c_str());
+      }
+      return atom();
+    }
+  }
+
+  std::string writableLval() {
+    int NumW = 0;
+    for (const VarDesc &V : Locals)
+      NumW += V.Writable;
+    int Total = static_cast<int>(GlobalVars.size()) + NumW;
+    bool UseArray = !GlobalArrays.empty() && R.chance(25);
+    if (UseArray || Total == 0) {
+      if (GlobalArrays.empty())
+        return GlobalVars.empty() ? "g0" : GlobalVars[0].Name;
+      const ArrayDesc &A = GlobalArrays[R.range(GlobalArrays.size())];
+      // Side-effect-free index: the lvalue may be duplicated by compound
+      // assignment or ++/--.
+      return strf("%s[(%s) & %d]", A.Name.c_str(), readableVar().c_str(),
+                  A.SizePow2 - 1);
+    }
+    int I = R.range(Total);
+    if (I < static_cast<int>(GlobalVars.size()))
+      return GlobalVars[I].Name;
+    I -= static_cast<int>(GlobalVars.size());
+    for (const VarDesc &V : Locals) {
+      if (!V.Writable)
+        continue;
+      if (I-- == 0)
+        return V.Name;
+    }
+    return GlobalVars.empty() ? "g0" : GlobalVars[0].Name;
+  }
+
+  //===--- statements ----------------------------------------------------------
+  void stmt(int Indent, int Budget) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (R.range(12)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: {
+      // Assignment or compound assignment.
+      std::string L = writableLval();
+      if (R.chance(30)) {
+        const char *Ops[] = {"+=", "-=", "*=", "|=", "^=", "&=", "<<="};
+        Out += strf("%s%s %s %s;\n", Pad.c_str(), L.c_str(),
+                    Ops[R.range(7)], expr(2).c_str());
+      } else {
+        Out += strf("%s%s = %s;\n", Pad.c_str(), L.c_str(),
+                    expr(Opts.MaxExprDepth).c_str());
+      }
+      return;
+    }
+    case 4: {
+      Out += strf("%sif (%s) {\n", Pad.c_str(),
+                  expr(Opts.MaxExprDepth - 1).c_str());
+      if (Budget > 0)
+        stmt(Indent + 1, Budget - 1);
+      if (R.chance(50)) {
+        Out += strf("%s} else {\n", Pad.c_str());
+        if (Budget > 0)
+          stmt(Indent + 1, Budget - 1);
+      }
+      Out += strf("%s}\n", Pad.c_str());
+      return;
+    }
+    case 5: {
+      if (LoopDepth >= 2) {
+        Out += strf("%sprint(%s);\n", Pad.c_str(), expr(2).c_str());
+        return;
+      }
+      // Canonical counted loop; the counter is read-only inside.
+      std::string I = fresh("i");
+      int N = 2 + R.range(6);
+      Out += strf("%s{ int %s; for (%s = 0; %s < %d; %s = %s + 1) {\n",
+                  Pad.c_str(), I.c_str(), I.c_str(), I.c_str(), N,
+                  I.c_str(), I.c_str());
+      ++LoopDepth;
+      ReadOnly.push_back({I, false});
+      int Body = 1 + R.range(2);
+      for (int K = 0; K < Body && Budget > 0; ++K)
+        stmt(Indent + 1, Budget - 1);
+      ReadOnly.pop_back();
+      --LoopDepth;
+      Out += strf("%s} }\n", Pad.c_str());
+      return;
+    }
+    case 6: {
+      if (LoopDepth >= 2) {
+        Out += strf("%sprint(%s);\n", Pad.c_str(), expr(2).c_str());
+        return;
+      }
+      std::string W = fresh("w");
+      int N = 2 + R.range(5);
+      Out += strf("%s{ int %s; %s = %d; while (%s > 0) {\n", Pad.c_str(),
+                  W.c_str(), W.c_str(), N, W.c_str());
+      ++LoopDepth;
+      ReadOnly.push_back({W, false});
+      if (Budget > 0)
+        stmt(Indent + 1, Budget - 1);
+      ReadOnly.pop_back();
+      --LoopDepth;
+      Out += strf("%s%s = %s - 1; } }\n", Pad.c_str(), W.c_str(),
+                  W.c_str());
+      return;
+    }
+    case 7:
+      if (R.chance(40)) {
+        // A small switch over a masked expression.
+        Out += strf("%sswitch ((%s) & 3) {\n", Pad.c_str(),
+                    expr(2).c_str());
+        int Cases = 2 + R.range(2);
+        for (int C = 0; C < Cases; ++C) {
+          Out += strf("%scase %d: %s = %s; %s\n", Pad.c_str(), C,
+                      writableLval().c_str(), expr(1).c_str(),
+                      R.chance(70) ? "break;" : "");
+        }
+        if (R.chance(60))
+          Out += strf("%sdefault: %s = %s;\n", Pad.c_str(),
+                      writableLval().c_str(), expr(1).c_str());
+        Out += strf("%s}\n", Pad.c_str());
+        return;
+      }
+      Out += strf("%sprint(%s);\n", Pad.c_str(),
+                  expr(Opts.MaxExprDepth).c_str());
+      return;
+    case 8: {
+      std::string L = writableLval();
+      const char *Forms[] = {"%s%s++;\n", "%s%s--;\n", "%s++%s;\n",
+                             "%s--%s;\n"};
+      Out += strf(Forms[R.range(4)], Pad.c_str(), L.c_str());
+      return;
+    }
+    case 9: {
+      if (!Opts.UsePointers || GlobalArrays.empty()) {
+        Out += strf("%sprint(%s);\n", Pad.c_str(), expr(2).c_str());
+        return;
+      }
+      // Register-pointer walk over a global array (autoincrement fodder).
+      const ArrayDesc &A = GlobalArrays[R.range(GlobalArrays.size())];
+      std::string P = fresh("p"), K = fresh("k"), S = fresh("s");
+      Out += strf(
+          "%s{ register int *%s; int %s; int %s; %s = %s; %s = 0;\n"
+          "%s  for (%s = 0; %s < %d; %s = %s + 1) %s = %s + *%s++;\n"
+          "%s  print(%s); }\n",
+          Pad.c_str(), P.c_str(), K.c_str(), S.c_str(), P.c_str(),
+          A.Name.c_str(), S.c_str(), Pad.c_str(), K.c_str(), K.c_str(),
+          A.SizePow2, K.c_str(), K.c_str(), S.c_str(), S.c_str(),
+          P.c_str(), Pad.c_str(), S.c_str());
+      return;
+    }
+    default: {
+      if (Opts.UseCalls && !Fns.empty() && R.chance(60)) {
+        const FnDesc &F = Fns[R.range(Fns.size())];
+        std::string Args;
+        for (int I = 0; I < F.NumParams; ++I) {
+          if (I)
+            Args += ", ";
+          Args += F.Name == "recsum" ? strf("(%d)", R.range(8)) : expr(2);
+        }
+        Out += strf("%s%s = %s(%s);\n", Pad.c_str(),
+                    writableLval().c_str(), F.Name.c_str(), Args.c_str());
+        return;
+      }
+      Out += strf("%s%s = %s;\n", Pad.c_str(), writableLval().c_str(),
+                  expr(Opts.MaxExprDepth).c_str());
+      return;
+    }
+    }
+  }
+
+  void emitFunction(int Index) {
+    Locals.clear();
+    ReadOnly.clear();
+    LoopDepth = 0;
+    std::string Name = strf("fn%d", Index);
+    int NumParams = R.range(4);
+    std::string Params;
+    for (int I = 0; I < NumParams; ++I) {
+      if (I)
+        Params += ", ";
+      std::string P = strf("a%d", I);
+      Params += strf("int %s", P.c_str());
+      Locals.push_back({P, true});
+    }
+    line("int %s(%s) {", Name.c_str(), Params.c_str());
+    int NumLocals = 1 + R.range(4);
+    for (int I = 0; I < NumLocals; ++I) {
+      std::string L = strf("v%d", I);
+      line("  %s %s; %s = %d;", randomScalarType(), L.c_str(), L.c_str(),
+           R.range(100));
+      Locals.push_back({L, true});
+    }
+    for (int I = 0; I < Opts.StmtsPerFunction; ++I)
+      stmt(1, 3);
+    line("  return %s;", expr(2).c_str());
+    line("}");
+    Out += '\n';
+    Fns.push_back({Name, NumParams});
+  }
+
+  void emitMain() {
+    Locals.clear();
+    ReadOnly.clear();
+    LoopDepth = 0;
+    line("int main() {");
+    line("  int r; r = 0;");
+    Locals.push_back({"r", true});
+    // Seed the arrays deterministically.
+    for (const ArrayDesc &A : GlobalArrays) {
+      std::string I = fresh("i");
+      line("  { int %s; for (%s = 0; %s < %d; %s = %s + 1) "
+           "%s[%s] = %s * 7 - 3; }",
+           I.c_str(), I.c_str(), I.c_str(), A.SizePow2, I.c_str(),
+           I.c_str(), A.Name.c_str(), I.c_str(), I.c_str());
+    }
+    for (const FnDesc &F : Fns) {
+      std::string Args;
+      for (int I = 0; I < F.NumParams; ++I) {
+        if (I)
+          Args += ", ";
+        Args += std::to_string(R.range(50));
+      }
+      line("  r = r + %s(%s);", F.Name.c_str(), Args.c_str());
+      line("  print(r);");
+    }
+    for (int I = 0; I < 4; ++I)
+      stmt(1, 3);
+    // Final state dump: catches silent data corruption.
+    for (const VarDesc &G : GlobalVars)
+      line("  print(%s);", G.Name.c_str());
+    for (const ArrayDesc &A : GlobalArrays) {
+      std::string I = fresh("i");
+      line("  { int %s; for (%s = 0; %s < %d; %s = %s + 1) "
+           "r = r + %s[%s] * (%s + 1); }",
+           I.c_str(), I.c_str(), I.c_str(), A.SizePow2, I.c_str(),
+           I.c_str(), A.Name.c_str(), I.c_str(), I.c_str());
+    }
+    line("  print(r);");
+    line("  return r & 127;");
+    line("}");
+  }
+};
+
+} // namespace
+
+std::string gg::generateProgram(uint64_t Seed, const GenOptions &Opts) {
+  Generator G(Seed, Opts);
+  return G.run();
+}
+
+std::string gg::generateLargeProgram(uint64_t Seed, int Functions) {
+  GenOptions Opts;
+  Opts.Functions = Functions;
+  Opts.GlobalScalars = 8;
+  Opts.GlobalArrays = 4;
+  Opts.StmtsPerFunction = 18;
+  Opts.MaxExprDepth = 4;
+  return generateProgram(Seed, Opts);
+}

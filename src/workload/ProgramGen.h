@@ -1,0 +1,52 @@
+//===- ProgramGen.h - synthetic MiniC program generator ---------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random MiniC program generator. Two uses:
+///
+///  * property testing — every generated program must compile through
+///    both backends without syntactic blocks and agree with the IR
+///    interpreter (the project's stand-in for the paper's C / Pascal /
+///    F77 validation suites);
+///  * benchmark workloads — the "particular large C program" of paper
+///    section 8 is synthesized as a deterministic corpus.
+///
+/// Generated programs always terminate: loops are canonical counted
+/// loops, division denominators are forced non-zero, and the call graph
+/// is acyclic except for a bounded recursion template.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_WORKLOAD_PROGRAMGEN_H
+#define GG_WORKLOAD_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace gg {
+
+/// Size/feature knobs for generation.
+struct GenOptions {
+  int Functions = 4;      ///< functions besides main
+  int GlobalScalars = 4;
+  int GlobalArrays = 2;
+  int StmtsPerFunction = 12;
+  int MaxExprDepth = 4;
+  bool UseMixedWidths = true; ///< char/short/unsigned globals and locals
+  bool UsePointers = true;    ///< register pointer walks over arrays
+  bool UseCalls = true;
+};
+
+/// Generates one self-contained MiniC program from \p Seed.
+std::string generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+/// A deterministic "large C program" for the compile-speed experiment:
+/// roughly \p Functions functions of loop/array/call-heavy code.
+std::string generateLargeProgram(uint64_t Seed, int Functions);
+
+} // namespace gg
+
+#endif // GG_WORKLOAD_PROGRAMGEN_H

@@ -1,0 +1,262 @@
+//===- InterpTest.cpp - IR interpreter unit tests ------------------------------===//
+
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+/// Builds "int main" with the given statement list.
+Function &addMain(Program &P) {
+  Function F;
+  F.Name = P.Syms.intern("main");
+  P.Functions.push_back(std::move(F));
+  return P.Functions.back();
+}
+
+TEST(Interp, ReturnsConstant) {
+  Program P;
+  Function &F = addMain(P);
+  Node *R = P.Arena->make(Op::Ret, Ty::L);
+  R->Kids[0] = P.Arena->con(Ty::L, 42);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 42);
+}
+
+TEST(Interp, GlobalsAndLocals) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  InternedString G = P.Syms.intern("g");
+  P.Globals.push_back({G, Ty::L, 1, {5}});
+  Function &F = addMain(P);
+  int Off = F.allocLocal(4);
+  // local = g + 10; g = local * 2; return g
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.local(Ty::L, Off),
+                         A.bin(Op::Plus, Ty::L, A.name(Ty::L, G),
+                               A.con(Ty::L, 10))));
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.name(Ty::L, G),
+                         A.bin(Op::Mul, Ty::L, A.local(Ty::L, Off),
+                               A.con(Ty::L, 2))));
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.name(Ty::L, G);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 30);
+}
+
+TEST(Interp, ByteStoreTruncates) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  InternedString C = P.Syms.intern("c");
+  P.Globals.push_back({C, Ty::B, 1, {}});
+  Function &F = addMain(P);
+  F.Body.push_back(A.bin(Op::Assign, Ty::B, A.name(Ty::B, C),
+                         A.con(Ty::L, 300)));
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.name(Ty::B, C);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.ReturnValue, 44); // (char)300
+}
+
+TEST(Interp, BranchesAndLabels) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function &F = addMain(P);
+  int I = F.allocLocal(4), S = F.allocLocal(4);
+  InternedString LTop = P.freshLabel(), LEnd = P.freshLabel();
+  // i = 0; s = 0; Top: if (i >= 5) goto End; s += i; i++; goto Top; End:
+  F.Body.push_back(
+      A.bin(Op::Assign, Ty::L, A.local(Ty::L, I), A.con(Ty::L, 0)));
+  F.Body.push_back(
+      A.bin(Op::Assign, Ty::L, A.local(Ty::L, S), A.con(Ty::L, 0)));
+  F.Body.push_back(A.labelDef(LTop));
+  F.Body.push_back(A.bin(Op::CBranch, Ty::L,
+                         A.cmp(Cond::GE, A.local(Ty::L, I),
+                               A.con(Ty::L, 5), Ty::L),
+                         A.label(LEnd)));
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.local(Ty::L, S),
+                         A.bin(Op::Plus, Ty::L, A.local(Ty::L, S),
+                               A.local(Ty::L, I))));
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.local(Ty::L, I),
+                         A.bin(Op::Plus, Ty::L, A.local(Ty::L, I),
+                               A.con(Ty::L, 1))));
+  F.Body.push_back(A.unary(Op::Jump, Ty::L, A.label(LTop)));
+  F.Body.push_back(A.labelDef(LEnd));
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.local(Ty::L, S);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 10);
+}
+
+TEST(Interp, CallsWithArgumentsAndPrint) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  // int add(a, b) { return a + b; }
+  Function Add;
+  Add.Name = P.Syms.intern("add");
+  Add.NumArgs = 2;
+  {
+    Node *R = A.make(Op::Ret, Ty::L);
+    R->Kids[0] = A.bin(Op::Plus, Ty::L, A.argCell(Ty::L, 4),
+                       A.argCell(Ty::L, 8));
+    Add.Body.push_back(R);
+  }
+  P.Functions.push_back(std::move(Add));
+  Function &F = addMain(P);
+  Node *Args = A.bin(Op::Arg, Ty::L, A.con(Ty::L, 3),
+                     A.bin(Op::Arg, Ty::L, A.con(Ty::L, 4), nullptr));
+  Node *Call =
+      A.bin(Op::Call, Ty::L, A.gaddr(P.Syms.intern("add")), Args);
+  Node *Print = A.bin(Op::Call, Ty::L, A.gaddr(P.Syms.intern("print")),
+                      A.bin(Op::Arg, Ty::L, Call, nullptr));
+  Node *S = A.make(Op::CallStmt, Ty::L);
+  S->Kids[1] = Print;
+  F.Body.push_back(S);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.Output, "7\n");
+}
+
+TEST(Interp, ShortCircuitAndSelect) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  InternedString G = P.Syms.intern("g");
+  P.Globals.push_back({G, Ty::L, 1, {0}});
+  Function &F = addMain(P);
+  // g = (0 && (g = 5)) ? 111 : ((1 || 0) ? 222 : 333)
+  Node *Inner = A.bin(Op::Assign, Ty::L, A.name(Ty::L, G), A.con(Ty::L, 5));
+  Node *AndN = A.bin(Op::AndAnd, Ty::L, A.con(Ty::L, 0), Inner);
+  Node *OrN = A.bin(Op::OrOr, Ty::L, A.con(Ty::L, 1), A.con(Ty::L, 0));
+  Node *Sel2 = A.bin(Op::Select, Ty::L, OrN,
+                     A.bin(Op::Colon, Ty::L, A.con(Ty::L, 222),
+                           A.con(Ty::L, 333)));
+  Node *Sel = A.bin(Op::Select, Ty::L, AndN,
+                    A.bin(Op::Colon, Ty::L, A.con(Ty::L, 111), Sel2));
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.name(Ty::L, G), Sel));
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.name(Ty::L, G);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  // && short-circuits: the embedded g=5 must not run; select picks 222.
+  EXPECT_EQ(Res.ReturnValue, 222);
+}
+
+TEST(Interp, PostIncOnRegister) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function &F = addMain(P);
+  F.RegVars.push_back(RegFirstVar);
+  F.Body.push_back(A.bin(Op::Assign, Ty::L, A.dreg(RegFirstVar),
+                         A.con(Ty::L, 10)));
+  // r = r7++ + 5  (old value 10 used)
+  Node *Inc = A.bin(Op::PostInc, Ty::L, A.dreg(RegFirstVar),
+                    A.con(Ty::L, 1));
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.bin(Op::Plus, Ty::L, Inc, A.dreg(RegFirstVar));
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.ReturnValue, 21); // 10 + 11
+}
+
+TEST(Interp, DivisionByZeroFails) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function &F = addMain(P);
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.bin(Op::Div, Ty::L, A.con(Ty::L, 5), A.con(Ty::L, 0));
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, StepLimitCatchesInfiniteLoop) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function &F = addMain(P);
+  InternedString L = P.freshLabel();
+  F.Body.push_back(A.labelDef(L));
+  F.Body.push_back(A.unary(Op::Jump, Ty::L, A.label(L)));
+  InterpResult Res = interpret(P, "main", 1000);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, MissingEntryFunction) {
+  Program P;
+  InterpResult Res = interpret(P);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Error.find("not found"), std::string::npos);
+}
+
+TEST(Interp, UndefinedGlobalFails) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function &F = addMain(P);
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.name(Ty::L, P.Syms.intern("nosuch"));
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  EXPECT_FALSE(Res.Ok);
+}
+
+TEST(Interp, PushAndPostTransformCall) {
+  // Post-phase-1a calling convention: Push statements + CallStmt whose
+  // Call node carries the argument count.
+  Program P;
+  NodeArena &A = *P.Arena;
+  Function Sq;
+  Sq.Name = P.Syms.intern("sq");
+  Sq.NumArgs = 1;
+  {
+    Node *R = A.make(Op::Ret, Ty::L);
+    R->Kids[0] = A.bin(Op::Mul, Ty::L, A.argCell(Ty::L, 4),
+                       A.argCell(Ty::L, 4));
+    Sq.Body.push_back(R);
+  }
+  P.Functions.push_back(std::move(Sq));
+  Function &F = addMain(P);
+  int T = F.allocLocal(4);
+  F.Body.push_back(A.unary(Op::Push, Ty::L, A.con(Ty::L, 6)));
+  Node *Call = A.bin(Op::Call, Ty::L, A.gaddr(P.Syms.intern("sq")), nullptr);
+  Call->Value = 1;
+  Node *S = A.make(Op::CallStmt, Ty::L);
+  S->Kids[0] = A.local(Ty::L, T);
+  S->Kids[1] = Call;
+  F.Body.push_back(S);
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.local(Ty::L, T);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 36);
+}
+
+TEST(Interp, GaddrOffsetsIndexArrays) {
+  Program P;
+  NodeArena &A = *P.Arena;
+  InternedString V = P.Syms.intern("v");
+  P.Globals.push_back({V, Ty::L, 4, {10, 20, 30, 40}});
+  Function &F = addMain(P);
+  Node *G = A.gaddr(V);
+  G->Value = 8; // &v[2]
+  Node *R = A.make(Op::Ret, Ty::L);
+  R->Kids[0] = A.unary(Op::Indir, Ty::L, G);
+  F.Body.push_back(R);
+  InterpResult Res = interpret(P);
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.ReturnValue, 30);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- SerializeTest.cpp - table file round-trip tests -------------------------===//
+
+#include "tablegen/Serialize.h"
+#include "vax/VaxGrammar.h"
+#include "tablegen/TableBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+struct BuiltVax {
+  Grammar G;
+  MdSpec Spec;
+  BuildResult R;
+};
+
+BuiltVax &built() {
+  static BuiltVax B = [] {
+    BuiltVax Out;
+    DiagnosticSink D;
+    if (!buildVaxGrammar(Out.G, Out.Spec, D))
+      abort();
+    Out.R = buildTables(Out.G);
+    if (!Out.R.Ok)
+      abort();
+    return Out;
+  }();
+  return B;
+}
+
+TEST(Serialize, RoundTripIsExact) {
+  BuiltVax &B = built();
+  std::string Text = serializeTables(B.G, B.R.Tables);
+  LRTables Loaded;
+  DiagnosticSink D;
+  ASSERT_TRUE(deserializeTables(Text, B.G, Loaded, D)) << D.renderAll();
+  ASSERT_EQ(Loaded.NumStates, B.R.Tables.NumStates);
+  ASSERT_EQ(Loaded.Actions.size(), B.R.Tables.Actions.size());
+  for (size_t I = 0; I < Loaded.Actions.size(); ++I) {
+    EXPECT_EQ(static_cast<int>(Loaded.Actions[I].Kind),
+              static_cast<int>(B.R.Tables.Actions[I].Kind));
+    EXPECT_EQ(Loaded.Actions[I].Target, B.R.Tables.Actions[I].Target);
+  }
+  EXPECT_EQ(Loaded.Gotos, B.R.Tables.Gotos);
+  EXPECT_EQ(Loaded.DynChoices.size(), B.R.Tables.DynChoices.size());
+  for (const auto &[Key, Prods] : B.R.Tables.DynChoices) {
+    auto It = Loaded.DynChoices.find(Key);
+    ASSERT_NE(It, Loaded.DynChoices.end());
+    EXPECT_EQ(It->second, Prods);
+  }
+}
+
+TEST(Serialize, FingerprintDetectsGrammarChange) {
+  BuiltVax &B = built();
+  std::string Text = serializeTables(B.G, B.R.Tables);
+
+  // A different description (no reverse ops) must be rejected.
+  Grammar G2;
+  MdSpec Spec2;
+  DiagnosticSink D;
+  VaxGrammarOptions Opts;
+  Opts.ReverseOps = false;
+  ASSERT_TRUE(buildVaxGrammar(G2, Spec2, D, Opts));
+  LRTables Loaded;
+  DiagnosticSink D2;
+  EXPECT_FALSE(deserializeTables(Text, G2, Loaded, D2));
+  EXPECT_NE(D2.renderAll().find("fingerprint"), std::string::npos);
+}
+
+TEST(Serialize, FingerprintIsStable) {
+  BuiltVax &B = built();
+  Grammar G2;
+  MdSpec Spec2;
+  DiagnosticSink D;
+  ASSERT_TRUE(buildVaxGrammar(G2, Spec2, D));
+  EXPECT_EQ(grammarFingerprint(B.G), grammarFingerprint(G2));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  BuiltVax &B = built();
+  LRTables T;
+  DiagnosticSink D;
+  EXPECT_FALSE(deserializeTables("not a table file", B.G, T, D));
+  DiagnosticSink D2;
+  EXPECT_FALSE(deserializeTables("ggtables 99\n", B.G, T, D2));
+  // Truncation (missing end) is detected.
+  std::string Text = serializeTables(B.G, B.R.Tables);
+  DiagnosticSink D3;
+  EXPECT_FALSE(
+      deserializeTables(Text.substr(0, Text.size() / 2), B.G, T, D3));
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+//===- SimulatorTest.cpp - VAX assembler and simulator unit tests --------------===//
+
+#include "vaxsim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+/// Wraps a main body in the usual prologue and runs it.
+SimResult runBody(const std::string &Body, const std::string &Data = "") {
+  std::string Asm;
+  if (!Data.empty())
+    Asm += "\t.data\n" + Data;
+  Asm += "\t.text\n\t.globl main\nmain:\n\t.word 0x0fc0\n";
+  Asm += Body;
+  if (Body.find("\tret") == std::string::npos)
+    Asm += "\tret\n";
+  return assembleAndRun(Asm);
+}
+
+int64_t evalR0(const std::string &Body, const std::string &Data = "") {
+  SimResult R = runBody(Body, Data);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.ReturnValue;
+}
+
+TEST(Sim, MovAndArith3) {
+  EXPECT_EQ(evalR0("\tmovl\t$5,r0\n"), 5);
+  EXPECT_EQ(evalR0("\taddl3\t$2,$3,r0\n"), 5);
+  EXPECT_EQ(evalR0("\tsubl3\t$2,$10,r0\n"), 8);  // dst = s2 - s1
+  EXPECT_EQ(evalR0("\tmull3\t$-4,$6,r0\n"), -24);
+  EXPECT_EQ(evalR0("\tdivl3\t$3,$13,r0\n"), 4);  // dst = s2 / s1
+  EXPECT_EQ(evalR0("\tbisl3\t$12,$3,r0\n"), 15);
+  EXPECT_EQ(evalR0("\txorl3\t$12,$10,r0\n"), 6);
+  EXPECT_EQ(evalR0("\tbicl3\t$12,$15,r0\n"), 3); // s2 & ~s1
+}
+
+TEST(Sim, TwoOperandForms) {
+  EXPECT_EQ(evalR0("\tmovl\t$7,r0\n\taddl2\t$3,r0\n"), 10);
+  EXPECT_EQ(evalR0("\tmovl\t$7,r0\n\tsubl2\t$3,r0\n"), 4);
+  EXPECT_EQ(evalR0("\tmovl\t$7,r0\n\tmull2\t$3,r0\n"), 21);
+  EXPECT_EQ(evalR0("\tmovl\t$21,r0\n\tdivl2\t$4,r0\n"), 5);
+  EXPECT_EQ(evalR0("\tmovl\t$15,r0\n\tbicl2\t$6,r0\n"), 9);
+}
+
+TEST(Sim, IncDecClrTst) {
+  EXPECT_EQ(evalR0("\tclrl\tr0\n\tincl\tr0\n\tincl\tr0\n\tdecl\tr0\n"), 1);
+  EXPECT_EQ(evalR0("\tmovl\t$9,r0\n\tclrl\tr0\n"), 0);
+}
+
+TEST(Sim, NegateAndComplement) {
+  EXPECT_EQ(evalR0("\tmnegl\t$5,r0\n"), -5);
+  EXPECT_EQ(evalR0("\tmcoml\t$0,r0\n"), -1);
+  EXPECT_EQ(evalR0("\tmnegb\t$1,r0\n\tmovzbl\tr0,r0\n"), 255);
+}
+
+TEST(Sim, ByteWritesToRegistersKeepHighBits) {
+  // VAX semantics: movb writes only the low byte of a register.
+  EXPECT_EQ(evalR0("\tmovl\t$0x1234,r0\n\tmovb\t$0,r0\n"), 0x1200);
+}
+
+TEST(Sim, Conversions) {
+  EXPECT_EQ(evalR0("\tmovl\t$-1,r1\n\tcvtlb\tr1,r0\n\tcvtbl\tr0,r0\n"), -1);
+  EXPECT_EQ(evalR0("\tmovl\t$300,r1\n\tcvtlb\tr1,r1\n\tcvtbl\tr1,r0\n"), 44);
+  EXPECT_EQ(evalR0("\tmovl\t$-1,r1\n\tmovzbl\tr1,r0\n"), 255);
+  EXPECT_EQ(evalR0("\tmovl\t$-1,r1\n\tmovzwl\tr1,r0\n"), 65535);
+  EXPECT_EQ(evalR0("\tmovl\t$-2,r1\n\tcvtwl\tr1,r0\n"), -2);
+}
+
+TEST(Sim, ShiftsAndFieldExtract) {
+  EXPECT_EQ(evalR0("\tashl\t$3,$5,r0\n"), 40);
+  EXPECT_EQ(evalR0("\tashl\t$-2,$40,r0\n"), 10);
+  EXPECT_EQ(evalR0("\tashl\t$-1,$-8,r0\n"), -4);
+  EXPECT_EQ(evalR0("\tmovl\t$-16,r1\n\textzv\t$2,$30,r1,r0\n"),
+            (int64_t)(0xfffffff0u >> 2));
+  EXPECT_EQ(evalR0("\textzv\t$31,$1,$-1,r0\n"), 1);
+}
+
+TEST(Sim, ConditionalBranches) {
+  const char *Body = "\tcmpl\t$%d,$%d\n"
+                     "\tj%s\tLyes\n"
+                     "\tclrl\tr0\n\tret\n"
+                     "Lyes:\n\tmovl\t$1,r0\n\tret\n";
+  auto Taken = [&](int A, int B, const char *CC) {
+    char Buf[256];
+    snprintf(Buf, sizeof(Buf), Body, A, B, CC);
+    return evalR0(Buf) == 1;
+  };
+  EXPECT_TRUE(Taken(3, 3, "eql"));
+  EXPECT_FALSE(Taken(3, 4, "eql"));
+  EXPECT_TRUE(Taken(3, 4, "neq"));
+  EXPECT_TRUE(Taken(-1, 1, "lss"));
+  EXPECT_FALSE(Taken(-1, 1, "lssu")); // unsigned: 0xffffffff > 1
+  EXPECT_TRUE(Taken(-1, 1, "gtru"));
+  EXPECT_TRUE(Taken(5, 5, "geq"));
+  EXPECT_TRUE(Taken(5, 5, "lequ"));
+  EXPECT_TRUE(Taken(7, 5, "gtr"));
+  EXPECT_FALSE(Taken(5, 7, "gequ"));
+}
+
+TEST(Sim, MemoryAddressingModes) {
+  // Globals, displacement, deferred, indexed.
+  std::string Data = "\t.align 2\nv:\n\t.long 11\n\t.long 22\n\t.long 33\n"
+                     "p:\n\t.long 0\n";
+  EXPECT_EQ(evalR0("\tmovl\tv,r0\n", Data), 11);
+  EXPECT_EQ(evalR0("\tmovl\tv+8,r0\n", Data), 33);
+  EXPECT_EQ(evalR0("\tmovl\t$1,r1\n\tmovl\tv[r1],r0\n", Data), 22);
+  EXPECT_EQ(evalR0("\tmoval\tv,r1\n\tmovl\t4(r1),r0\n", Data), 22);
+  EXPECT_EQ(evalR0("\tmoval\tv+4,p\n\tmovl\t*p,r0\n", Data), 22);
+  EXPECT_EQ(
+      evalR0("\tmoval\tv,r2\n\tmovl\t$2,r3\n\tmovl\t(r2)[r3],r0\n", Data),
+      33);
+}
+
+TEST(Sim, AutoIncrementDecrement) {
+  std::string Data = "\t.align 2\nv:\n\t.long 5\n\t.long 6\n\t.long 7\n";
+  // Sum with (rN)+ and check the register advanced by the operand size.
+  EXPECT_EQ(evalR0("\tmoval\tv,r1\n"
+                   "\tclrl\tr0\n"
+                   "\taddl2\t(r1)+,r0\n"
+                   "\taddl2\t(r1)+,r0\n"
+                   "\taddl2\t(r1)+,r0\n",
+                   Data),
+            18);
+  EXPECT_EQ(evalR0("\tmoval\tv+8,r1\n\tmovl\t-(r1),r0\n", Data), 6);
+  // Byte-sized autoincrement advances by one.
+  EXPECT_EQ(evalR0("\tmoval\tv,r1\n"
+                   "\tmovzbl\t(r1)+,r0\n"
+                   "\tmovzbl\t(r1)+,r2\n"
+                   "\taddl2\tr2,r0\n",
+                   Data),
+            5);
+}
+
+TEST(Sim, PushCallsRetAndBuiltins) {
+  SimResult R = runBody("\tpushl\t$33\n\tcalls\t$1,print\n\tclrl\tr0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "33\n");
+
+  // calls to a user function, register variables preserved.
+  std::string Asm = "\t.text\n"
+                    "\t.globl f\n"
+                    "f:\n\t.word 0x0fc0\n"
+                    "\tmovl\t$99,r6\n" // callee clobbers a register var
+                    "\tmovl\t4(ap),r0\n"
+                    "\taddl2\t$1,r0\n"
+                    "\tret\n"
+                    "\t.globl main\nmain:\n\t.word 0x0fc0\n"
+                    "\tmovl\t$7,r6\n"
+                    "\tpushl\t$41\n"
+                    "\tcalls\t$1,f\n"
+                    "\taddl2\tr6,r0\n" // r6 must still be 7
+                    "\tret\n";
+  SimResult R2 = assembleAndRun(Asm);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R2.ReturnValue, 49);
+}
+
+TEST(Sim, UnsignedDivisionBuiltins) {
+  EXPECT_EQ(evalR0("\tpushl\t$7\n\tpushl\t$-1\n\tcalls\t$2,__udiv\n"),
+            (int64_t)(int32_t)(4294967295u / 7));
+  EXPECT_EQ(evalR0("\tpushl\t$7\n\tpushl\t$-1\n\tcalls\t$2,__urem\n"),
+            (int64_t)(4294967295u % 7));
+  SimResult R = runBody("\tpushl\t$0\n\tpushl\t$5\n\tcalls\t$2,__udiv\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Sim, DivisionByZeroFaults) {
+  SimResult R = runBody("\tdivl3\t$0,$5,r0\n");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Sim, InstructionLimit) {
+  SimResult R = assembleAndRun("\t.text\nmain:\nL:\n\tbrw\tL\n", "main", 500);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("limit"), std::string::npos);
+}
+
+TEST(Sim, CycleAccountingMonotone) {
+  SimResult A = runBody("\tmovl\t$1,r0\n");
+  SimResult B = runBody("\tmovl\t$1,r0\n\taddl2\tv,r0\n",
+                        "v:\n\t.long 1\n");
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_GT(B.Cycles, A.Cycles); // memory operand costs more
+}
+
+TEST(Asm, ErrorsAreDiagnosed) {
+  SimUnit U;
+  DiagnosticSink D;
+  EXPECT_FALSE(assemble("\t.text\nmain:\n\tfrobnicate\tr0\n", U, D) &&
+               simulate(U).Ok);
+  // Unknown opcodes surface at execution; parse errors at assembly:
+  SimUnit U2;
+  DiagnosticSink D2;
+  EXPECT_FALSE(assemble("\t.text\nmain:\n\tmovl\t$$,r0\n", U2, D2));
+  SimUnit U3;
+  DiagnosticSink D3;
+  EXPECT_FALSE(assemble("\t.text\nx:\nx:\n", U3, D3)); // duplicate label
+  SimUnit U4;
+  DiagnosticSink D4;
+  EXPECT_FALSE(assemble("\t.text\nmain:\n\tmovl\tnosuch,r0\n", U4, D4));
+  SimUnit U5;
+  DiagnosticSink D5;
+  EXPECT_FALSE(assemble("\t.text\nmain:\n\tbrw\tnowhere\n", U5, D5));
+}
+
+TEST(Asm, DataDirectives) {
+  SimUnit U;
+  DiagnosticSink D;
+  ASSERT_TRUE(assemble("\t.data\nb:\n\t.byte 7\n\t.align 2\nw:\n"
+                       "\t.word -2\n\t.long 100000\ns:\n\t.space 8\n"
+                       "\t.text\nmain:\n\tret\n",
+                       U, D))
+      << D.renderAll();
+  EXPECT_EQ(U.DataSyms.count("b"), 1u);
+  EXPECT_EQ(U.DataSyms.at("w") % 4, 0u); // aligned
+  // .byte(1) + pad(3) + .word(2) + .long(4) + .space(8) = 18.
+  EXPECT_EQ(U.Data.size(), 18u);
+}
+
+TEST(Sim, EffectiveAddressesWrapAt32Bits) {
+  // A negative frame offset expressed as a huge unsigned displacement.
+  EXPECT_EQ(evalR0("\tsubl2\t$8,sp\n"
+                   "\tmovl\t$77,-4(fp)\n"
+                   "\tmovl\t4294967292(fp),r0\n"),
+            77);
+}
+
+TEST(Sim, EntryPointMissing) {
+  SimResult R = assembleAndRun("\t.text\nfoo:\n\tret\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("entry point"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- SupportTest.cpp - support library unit tests ---------------------------===//
+
+#include "support/Error.h"
+#include "support/Interner.h"
+#include "support/Strings.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strf("%s", ""), "");
+  EXPECT_EQ(strf("%-4sx", "ab"), "ab  x");
+  // Long output must not truncate.
+  std::string Long(500, 'q');
+  EXPECT_EQ(strf("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(Strings, SplitString) {
+  auto F = splitString("a,b,,c", ',');
+  ASSERT_EQ(F.size(), 4u);
+  EXPECT_EQ(F[0], "a");
+  EXPECT_EQ(F[2], "");
+  EXPECT_EQ(F[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+  EXPECT_EQ(splitString("x", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespace) {
+  auto F = splitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(F[0], "foo");
+  EXPECT_EQ(F[1], "bar");
+  EXPECT_EQ(F[2], "baz");
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("movzbl", "movz"));
+  EXPECT_FALSE(startsWith("mo", "movz"));
+  EXPECT_TRUE(endsWith("addl3", "l3"));
+  EXPECT_FALSE(endsWith("a", "l3"));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parseInt("42").value(), 42);
+  EXPECT_EQ(parseInt("-17").value(), -17);
+  EXPECT_EQ(parseInt("0x10").value(), 16);
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("12x").has_value());
+  EXPECT_FALSE(parseInt("--3").has_value());
+}
+
+TEST(Strings, JoinStrings) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"only"}, ","), "only");
+}
+
+TEST(InternerTest, StableIdsAndRoundTrip) {
+  Interner I;
+  InternedString A = I.intern("alpha");
+  InternedString B = I.intern("beta");
+  InternedString A2 = I.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(I.text(A), "alpha");
+  EXPECT_EQ(I.text(B), "beta");
+  EXPECT_FALSE(A.isEmpty());
+  EXPECT_TRUE(InternedString().isEmpty());
+}
+
+TEST(InternerTest, ManyStringsSurviveRehash) {
+  Interner I;
+  std::vector<InternedString> Handles;
+  for (int K = 0; K < 1000; ++K)
+    Handles.push_back(I.intern("sym" + std::to_string(K)));
+  for (int K = 0; K < 1000; ++K)
+    EXPECT_EQ(I.text(Handles[K]), "sym" + std::to_string(K));
+}
+
+TEST(DiagnosticsTest, CountsAndRendering) {
+  DiagnosticSink D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning("looks odd", 3);
+  EXPECT_FALSE(D.hasErrors());
+  D.error("broken", 7);
+  D.note("context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errors(), 1u);
+  std::string All = D.renderAll();
+  EXPECT_NE(All.find("line 3: warning: looks odd"), std::string::npos);
+  EXPECT_NE(All.find("line 7: error: broken"), std::string::npos);
+  EXPECT_NE(All.find("note: context"), std::string::npos);
+}
+
+TEST(TimerTest, AccumulatesAcrossStartStop) {
+  Timer T;
+  EXPECT_EQ(T.seconds(), 0.0);
+  T.start();
+  T.stop();
+  double First = T.seconds();
+  EXPECT_GE(First, 0.0);
+  T.start();
+  T.stop();
+  EXPECT_GE(T.seconds(), First);
+  T.reset();
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(TimerTest, GroupKeysAreIndependent) {
+  TimerGroup G;
+  {
+    TimerScope S(G.get("a"));
+  }
+  EXPECT_GE(G.get("a").seconds(), 0.0);
+  EXPECT_EQ(G.get("b").seconds(), 0.0);
+  EXPECT_EQ(G.all().size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+//===- VaxGrammarTest.cpp - VAX machine description tests -------------------===//
+
+#include "vax/VaxTarget.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+TEST(VaxGrammarTest, BuildsWithoutErrors) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> T = VaxTarget::create(Err);
+  ASSERT_NE(T, nullptr) << Err;
+  EXPECT_TRUE(T->build().ChainLoops.empty());
+  // The paper's replicated VAX grammar: 1073 productions, 219 terminals,
+  // 148 non-terminals, 2216 states. Ours is an integer-subset description
+  // of the same structure; assert the same order of magnitude.
+  GrammarStats S = statsOf(T->grammar());
+  EXPECT_GT(S.Productions, 150u);
+  EXPECT_GT(S.Terminals, 50u);
+  EXPECT_GT(S.Nonterminals, 10u);
+  EXPECT_GT(T->build().Tables.NumStates, 300);
+  // Maximal munch resolves many conflicts; they must exist (the machine
+  // grammar is highly ambiguous) and all be resolved.
+  EXPECT_GT(T->build().SRConflicts.size(), 0u);
+}
+
+TEST(VaxGrammarTest, NoSyntacticBlocksForOperatorCategories) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> T = VaxTarget::create(Err);
+  ASSERT_NE(T, nullptr) << Err;
+  std::string Blocks;
+  for (const BlockReport &B : T->build().Blocks) {
+    Blocks += "state " + std::to_string(B.State) + ": " +
+              T->grammar().symbolName(B.Term) + " (witness " +
+              T->grammar().symbolName(B.Witness) + ")\n";
+    if (Blocks.size() > 2000)
+      break;
+  }
+  EXPECT_EQ(T->build().Blocks.size(), 0u) << Blocks;
+}
+
+TEST(VaxGrammarTest, ReverseOpsGrowGrammarAndTables) {
+  std::string Err;
+  VaxGrammarOptions With, Without;
+  Without.ReverseOps = false;
+  std::unique_ptr<VaxTarget> A = VaxTarget::create(Err, With);
+  ASSERT_NE(A, nullptr) << Err;
+  std::unique_ptr<VaxTarget> B = VaxTarget::create(Err, Without);
+  ASSERT_NE(B, nullptr) << Err;
+  EXPECT_GT(statsOf(A->grammar()).Productions,
+            statsOf(B->grammar()).Productions);
+  EXPECT_GT(A->build().Tables.NumStates, B->build().Tables.NumStates);
+}
+
+TEST(VaxGrammarTest, SizeSubsettingShrinksGrammar) {
+  std::string Err;
+  VaxGrammarOptions One, Three;
+  One.NumSizes = 1;
+  std::unique_ptr<VaxTarget> A = VaxTarget::create(Err, One);
+  ASSERT_NE(A, nullptr) << Err;
+  std::unique_ptr<VaxTarget> B = VaxTarget::create(Err, Three);
+  ASSERT_NE(B, nullptr) << Err;
+  EXPECT_LT(statsOf(A->grammar()).Productions,
+            statsOf(B->grammar()).Productions);
+}
+
+} // namespace
