@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_trace.dir/bench_appendix_trace.cpp.o"
+  "CMakeFiles/bench_appendix_trace.dir/bench_appendix_trace.cpp.o.d"
+  "bench_appendix_trace"
+  "bench_appendix_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_quality.dir/bench_code_quality.cpp.o"
+  "CMakeFiles/bench_code_quality.dir/bench_code_quality.cpp.o.d"
+  "bench_code_quality"
+  "bench_code_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idioms.dir/bench_idioms.cpp.o"
+  "CMakeFiles/bench_idioms.dir/bench_idioms.cpp.o.d"
+  "bench_idioms"
+  "bench_idioms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reverse_ops.dir/bench_reverse_ops.cpp.o"
+  "CMakeFiles/bench_reverse_ops.dir/bench_reverse_ops.cpp.o.d"
+  "bench_reverse_ops"
+  "bench_reverse_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reverse_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_type_replication.dir/bench_type_replication.cpp.o"
+  "CMakeFiles/bench_type_replication.dir/bench_type_replication.cpp.o.d"
+  "bench_type_replication"
+  "bench_type_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_type_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_minic.dir/compile_minic.cpp.o"
+  "CMakeFiles/compile_minic.dir/compile_minic.cpp.o.d"
+  "compile_minic"
+  "compile_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/describe_machine.dir/describe_machine.cpp.o"
+  "CMakeFiles/describe_machine.dir/describe_machine.cpp.o.d"
+  "describe_machine"
+  "describe_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/describe_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

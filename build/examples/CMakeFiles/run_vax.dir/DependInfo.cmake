@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/run_vax.cpp" "examples/CMakeFiles/run_vax.dir/run_vax.cpp.o" "gcc" "examples/CMakeFiles/run_vax.dir/run_vax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcc/CMakeFiles/gg_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gg_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vaxsim/CMakeFiles/gg_vaxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/gg_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vax/CMakeFiles/gg_vax.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/gg_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/tablegen/CMakeFiles/gg_tablegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/gg_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

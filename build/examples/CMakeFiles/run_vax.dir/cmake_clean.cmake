@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_vax.dir/run_vax.cpp.o"
+  "CMakeFiles/run_vax.dir/run_vax.cpp.o.d"
+  "run_vax"
+  "run_vax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_vax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

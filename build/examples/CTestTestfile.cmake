@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_describe_machine "/root/repo/build/examples/describe_machine")
+set_tests_properties(example_describe_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_sieve "/root/repo/build/examples/run_vax" "/root/repo/examples/programs/sieve.c" "--compare")
+set_tests_properties(example_run_sieve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compile_sieve "/root/repo/build/examples/compile_minic" "/root/repo/examples/programs/sieve.c" "--stats")
+set_tests_properties(example_compile_sieve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_sort "/root/repo/build/examples/run_vax" "/root/repo/examples/programs/sort.c" "--compare")
+set_tests_properties(example_run_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compile_sort "/root/repo/build/examples/compile_minic" "/root/repo/examples/programs/sort.c" "--stats")
+set_tests_properties(example_compile_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_calc "/root/repo/build/examples/run_vax" "/root/repo/examples/programs/calc.c" "--compare")
+set_tests_properties(example_run_calc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compile_calc "/root/repo/build/examples/compile_minic" "/root/repo/examples/programs/calc.c" "--stats")
+set_tests_properties(example_compile_calc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

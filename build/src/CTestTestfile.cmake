@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("mdl")
+subdirs("tablegen")
+subdirs("match")
+subdirs("vax")
+subdirs("cg")
+subdirs("pcc")
+subdirs("frontend")
+subdirs("vaxsim")
+subdirs("workload")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_cg.dir/CodeGenerator.cpp.o"
+  "CMakeFiles/gg_cg.dir/CodeGenerator.cpp.o.d"
+  "CMakeFiles/gg_cg.dir/Peephole.cpp.o"
+  "CMakeFiles/gg_cg.dir/Peephole.cpp.o.d"
+  "CMakeFiles/gg_cg.dir/Phase1.cpp.o"
+  "CMakeFiles/gg_cg.dir/Phase1.cpp.o.d"
+  "libgg_cg.a"
+  "libgg_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gg_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gg_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gg_frontend.dir/Parser.cpp.o.d"
+  "libgg_frontend.a"
+  "libgg_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

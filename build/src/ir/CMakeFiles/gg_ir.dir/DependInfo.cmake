@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Fold.cpp" "src/ir/CMakeFiles/gg_ir.dir/Fold.cpp.o" "gcc" "src/ir/CMakeFiles/gg_ir.dir/Fold.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/gg_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/gg_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Linearize.cpp" "src/ir/CMakeFiles/gg_ir.dir/Linearize.cpp.o" "gcc" "src/ir/CMakeFiles/gg_ir.dir/Linearize.cpp.o.d"
+  "/root/repo/src/ir/Node.cpp" "src/ir/CMakeFiles/gg_ir.dir/Node.cpp.o" "gcc" "src/ir/CMakeFiles/gg_ir.dir/Node.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/gg_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/gg_ir.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

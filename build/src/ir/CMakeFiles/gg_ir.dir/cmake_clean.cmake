@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_ir.dir/Fold.cpp.o"
+  "CMakeFiles/gg_ir.dir/Fold.cpp.o.d"
+  "CMakeFiles/gg_ir.dir/Interp.cpp.o"
+  "CMakeFiles/gg_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/gg_ir.dir/Linearize.cpp.o"
+  "CMakeFiles/gg_ir.dir/Linearize.cpp.o.d"
+  "CMakeFiles/gg_ir.dir/Node.cpp.o"
+  "CMakeFiles/gg_ir.dir/Node.cpp.o.d"
+  "CMakeFiles/gg_ir.dir/Type.cpp.o"
+  "CMakeFiles/gg_ir.dir/Type.cpp.o.d"
+  "libgg_ir.a"
+  "libgg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_match.dir/Matcher.cpp.o"
+  "CMakeFiles/gg_match.dir/Matcher.cpp.o.d"
+  "libgg_match.a"
+  "libgg_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_mdl.dir/Grammar.cpp.o"
+  "CMakeFiles/gg_mdl.dir/Grammar.cpp.o.d"
+  "CMakeFiles/gg_mdl.dir/SpecParser.cpp.o"
+  "CMakeFiles/gg_mdl.dir/SpecParser.cpp.o.d"
+  "libgg_mdl.a"
+  "libgg_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

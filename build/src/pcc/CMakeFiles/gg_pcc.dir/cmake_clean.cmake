@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_pcc.dir/PccCodeGen.cpp.o"
+  "CMakeFiles/gg_pcc.dir/PccCodeGen.cpp.o.d"
+  "libgg_pcc.a"
+  "libgg_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_support.dir/Error.cpp.o"
+  "CMakeFiles/gg_support.dir/Error.cpp.o.d"
+  "CMakeFiles/gg_support.dir/Strings.cpp.o"
+  "CMakeFiles/gg_support.dir/Strings.cpp.o.d"
+  "libgg_support.a"
+  "libgg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

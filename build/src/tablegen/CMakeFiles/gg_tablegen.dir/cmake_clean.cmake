@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_tablegen.dir/Packing.cpp.o"
+  "CMakeFiles/gg_tablegen.dir/Packing.cpp.o.d"
+  "CMakeFiles/gg_tablegen.dir/Serialize.cpp.o"
+  "CMakeFiles/gg_tablegen.dir/Serialize.cpp.o.d"
+  "CMakeFiles/gg_tablegen.dir/TableBuilder.cpp.o"
+  "CMakeFiles/gg_tablegen.dir/TableBuilder.cpp.o.d"
+  "libgg_tablegen.a"
+  "libgg_tablegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_tablegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vax/Emitter.cpp" "src/vax/CMakeFiles/gg_vax.dir/Emitter.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/Emitter.cpp.o.d"
+  "/root/repo/src/vax/InstrTable.cpp" "src/vax/CMakeFiles/gg_vax.dir/InstrTable.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/InstrTable.cpp.o.d"
+  "/root/repo/src/vax/Operand.cpp" "src/vax/CMakeFiles/gg_vax.dir/Operand.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/Operand.cpp.o.d"
+  "/root/repo/src/vax/RegisterManager.cpp" "src/vax/CMakeFiles/gg_vax.dir/RegisterManager.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/RegisterManager.cpp.o.d"
+  "/root/repo/src/vax/VaxGrammar.cpp" "src/vax/CMakeFiles/gg_vax.dir/VaxGrammar.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/VaxGrammar.cpp.o.d"
+  "/root/repo/src/vax/VaxSemantics.cpp" "src/vax/CMakeFiles/gg_vax.dir/VaxSemantics.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/VaxSemantics.cpp.o.d"
+  "/root/repo/src/vax/VaxTarget.cpp" "src/vax/CMakeFiles/gg_vax.dir/VaxTarget.cpp.o" "gcc" "src/vax/CMakeFiles/gg_vax.dir/VaxTarget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/gg_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/tablegen/CMakeFiles/gg_tablegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/gg_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_vax.dir/Emitter.cpp.o"
+  "CMakeFiles/gg_vax.dir/Emitter.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/InstrTable.cpp.o"
+  "CMakeFiles/gg_vax.dir/InstrTable.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/Operand.cpp.o"
+  "CMakeFiles/gg_vax.dir/Operand.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/RegisterManager.cpp.o"
+  "CMakeFiles/gg_vax.dir/RegisterManager.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/VaxGrammar.cpp.o"
+  "CMakeFiles/gg_vax.dir/VaxGrammar.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/VaxSemantics.cpp.o"
+  "CMakeFiles/gg_vax.dir/VaxSemantics.cpp.o.d"
+  "CMakeFiles/gg_vax.dir/VaxTarget.cpp.o"
+  "CMakeFiles/gg_vax.dir/VaxTarget.cpp.o.d"
+  "libgg_vax.a"
+  "libgg_vax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_vax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

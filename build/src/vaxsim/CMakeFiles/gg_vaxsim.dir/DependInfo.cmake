@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vaxsim/Assembler.cpp" "src/vaxsim/CMakeFiles/gg_vaxsim.dir/Assembler.cpp.o" "gcc" "src/vaxsim/CMakeFiles/gg_vaxsim.dir/Assembler.cpp.o.d"
+  "/root/repo/src/vaxsim/Simulator.cpp" "src/vaxsim/CMakeFiles/gg_vaxsim.dir/Simulator.cpp.o" "gcc" "src/vaxsim/CMakeFiles/gg_vaxsim.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

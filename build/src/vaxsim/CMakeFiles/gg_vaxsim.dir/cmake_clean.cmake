@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_vaxsim.dir/Assembler.cpp.o"
+  "CMakeFiles/gg_vaxsim.dir/Assembler.cpp.o.d"
+  "CMakeFiles/gg_vaxsim.dir/Simulator.cpp.o"
+  "CMakeFiles/gg_vaxsim.dir/Simulator.cpp.o.d"
+  "libgg_vaxsim.a"
+  "libgg_vaxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_vaxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

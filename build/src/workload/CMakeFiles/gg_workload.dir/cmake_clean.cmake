@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_workload.dir/ProgramGen.cpp.o"
+  "CMakeFiles/gg_workload.dir/ProgramGen.cpp.o.d"
+  "libgg_workload.a"
+  "libgg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

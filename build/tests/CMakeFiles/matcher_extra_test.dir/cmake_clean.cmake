@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_extra_test.dir/MatcherExtraTest.cpp.o"
+  "CMakeFiles/matcher_extra_test.dir/MatcherExtraTest.cpp.o.d"
+  "matcher_extra_test"
+  "matcher_extra_test.pdb"
+  "matcher_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

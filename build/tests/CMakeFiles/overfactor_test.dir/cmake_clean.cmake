@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overfactor_test.dir/OverfactorTest.cpp.o"
+  "CMakeFiles/overfactor_test.dir/OverfactorTest.cpp.o.d"
+  "overfactor_test"
+  "overfactor_test.pdb"
+  "overfactor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overfactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

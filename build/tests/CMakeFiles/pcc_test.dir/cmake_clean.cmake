@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_test.dir/PccBaselineTest.cpp.o"
+  "CMakeFiles/pcc_test.dir/PccBaselineTest.cpp.o.d"
+  "pcc_test"
+  "pcc_test.pdb"
+  "pcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

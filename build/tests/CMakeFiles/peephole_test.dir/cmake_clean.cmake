@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peephole_test.dir/PeepholeTest.cpp.o"
+  "CMakeFiles/peephole_test.dir/PeepholeTest.cpp.o.d"
+  "peephole_test"
+  "peephole_test.pdb"
+  "peephole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peephole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

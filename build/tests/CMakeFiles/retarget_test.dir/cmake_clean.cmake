@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_test.dir/RetargetTest.cpp.o"
+  "CMakeFiles/retarget_test.dir/RetargetTest.cpp.o.d"
+  "retarget_test"
+  "retarget_test.pdb"
+  "retarget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaxbackend_test.dir/VaxBackendTest.cpp.o"
+  "CMakeFiles/vaxbackend_test.dir/VaxBackendTest.cpp.o.d"
+  "vaxbackend_test"
+  "vaxbackend_test.pdb"
+  "vaxbackend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaxbackend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

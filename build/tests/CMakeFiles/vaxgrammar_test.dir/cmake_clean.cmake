@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaxgrammar_test.dir/VaxGrammarTest.cpp.o"
+  "CMakeFiles/vaxgrammar_test.dir/VaxGrammarTest.cpp.o.d"
+  "vaxgrammar_test"
+  "vaxgrammar_test.pdb"
+  "vaxgrammar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaxgrammar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
