@@ -16,6 +16,7 @@
 #include "frontend/Parser.h"
 #include "ir/Interp.h"
 #include "pcc/PccCodeGen.h"
+#include "support/Stats.h"
 #include "vaxsim/Simulator.h"
 #include "workload/ProgramGen.h"
 
@@ -118,6 +119,20 @@ inline void header(const char *Id, const char *Title, const char *Claim) {
   printf("%s: %s\n", Id, Title);
   printf("paper: %s\n", Claim);
   printf("================================================================\n");
+}
+
+/// Zeroes the shared telemetry registry so a bench's BENCH_JSON line
+/// covers only its own work (target construction included if the bench
+/// resets before first use of target()).
+inline void resetStats() { gg::stats().reset(); }
+
+/// Emits the process-wide stats registry as one machine-readable line:
+///   BENCH_JSON <id> <gg-stats-v1 object>
+/// This is byte-for-byte the same schema the `--stats-json` runtime
+/// surface writes, so bench output and production telemetry can be
+/// compared and post-processed by the same tooling.
+inline void emitBenchJson(const char *Id) {
+  printf("BENCH_JSON %s %s\n", Id, gg::stats().toJson().c_str());
 }
 
 } // namespace ggbench

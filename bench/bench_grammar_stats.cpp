@@ -66,5 +66,6 @@ int main() {
   printf("\nreplication growth: %.2fx productions "
          "(paper: 1073/458 = %.2fx)\n",
          Growth, 1073.0 / 458.0);
+  ggbench::emitBenchJson("E1");
   return 0;
 }

@@ -3,13 +3,21 @@
 // Compiles a MiniC source file to VAX assembly on stdout.
 //
 //   compile_minic FILE [--backend=gg|pcc] [--trace] [--no-idioms]
-//                 [--no-reverse-ops] [--stats]
+//                 [--no-reverse-ops] [--stats] [--explain]
+//                 [--stats-json=FILE] [--trace-json=FILE]
+//
+// --explain annotates each emitted instruction with the grammar
+// production whose reduction generated it. --stats-json / --trace-json
+// dump the stats registry and Chrome trace_event spans ("-" = stdout,
+// which for these flags means stderr to keep the assembly clean).
 //
 //===----------------------------------------------------------------------===//
 
 #include "cg/CodeGenerator.h"
 #include "frontend/Parser.h"
 #include "pcc/PccCodeGen.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -18,9 +26,22 @@
 
 using namespace gg;
 
+static void writeOrDump(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    fputs(Text.c_str(), stderr);
+    return;
+  }
+  std::ofstream Out(Path);
+  if (!Out)
+    fprintf(stderr, "cannot write %s\n", Path.c_str());
+  else
+    Out << Text;
+}
+
 int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Trace = false, Stats = false;
+  std::string StatsJsonPath, TraceJsonPath;
   CodeGenOptions Opts;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -32,6 +53,12 @@ int main(int argc, char **argv) {
       Trace = true;
     else if (A == "--stats")
       Stats = true;
+    else if (A == "--explain")
+      Opts.Explain = true;
+    else if (A.rfind("--stats-json=", 0) == 0)
+      StatsJsonPath = A.substr(13);
+    else if (A.rfind("--trace-json=", 0) == 0)
+      TraceJsonPath = A.substr(13);
     else if (A == "--no-idioms") {
       Opts.Idioms.BindingIdioms = false;
       Opts.Idioms.RangeIdioms = false;
@@ -47,9 +74,12 @@ int main(int argc, char **argv) {
   if (!File) {
     fprintf(stderr,
             "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
-            "[--no-idioms] [--no-reverse-ops] [--stats]\n");
+            "[--no-idioms] [--no-reverse-ops] [--stats] [--explain] "
+            "[--stats-json=FILE] [--trace-json=FILE]\n");
     return 2;
   }
+  if (!TraceJsonPath.empty())
+    TraceRecorder::global().enable();
 
   std::ifstream In(File);
   if (!In) {
@@ -95,16 +125,21 @@ int main(int argc, char **argv) {
       const CodeGenStats &S = CG.stats();
       fprintf(stderr,
               "# gg: %zu trees, %zu instructions, %zu lines\n"
-              "# phases: transform %.4fs, match %.4fs, instr-gen %.4fs\n"
+              "# phases: transform %.4fs, match %.4fs, instr-gen %.4fs, "
+              "emit %.4fs\n"
               "# idioms: %u binding, %u range, %u cc-elide, %u pseudo\n"
               "# registers: %u allocations, %u spills, %u unspills\n",
               S.StatementTrees, S.Instructions, S.AsmLines,
               S.TransformSeconds, S.MatchSeconds, S.InstrGenSeconds,
-              S.Idioms.BindingApplied, S.Idioms.RangeApplied,
+              S.EmitSeconds, S.Idioms.BindingApplied, S.Idioms.RangeApplied,
               S.Idioms.CCTestsElided, S.Idioms.PseudoExpansions,
               S.Regs.Allocations, S.Regs.Spills, S.Regs.Unspills);
     }
   }
   fputs(Asm.c_str(), stdout);
+  if (!StatsJsonPath.empty())
+    writeOrDump(StatsJsonPath, stats().toJson() + "\n");
+  if (!TraceJsonPath.empty())
+    writeOrDump(TraceJsonPath, TraceRecorder::global().toChromeJson());
   return 0;
 }

@@ -5,9 +5,16 @@
 // reporting program output, exit value and the simulator's cost counters.
 //
 //   run_vax FILE [--backend=gg|pcc] [--compare]
+//           [--stats-json=FILE] [--trace-json=FILE]
 //
 // With --compare, runs both backends and the IR interpreter and reports
 // all three (the differential setup the test suite uses).
+//
+// --stats-json dumps the process-wide stats registry (per-phase seconds,
+// matcher step/stack-depth distributions, table-constructor conflict
+// counts, idiom/peephole/register telemetry) as one JSON object;
+// --trace-json dumps Chrome trace_event JSON loadable in chrome://tracing.
+// "-" writes to stdout.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +22,8 @@
 #include "frontend/Parser.h"
 #include "ir/Interp.h"
 #include "pcc/PccCodeGen.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "vaxsim/Simulator.h"
 
 #include <cstdio>
@@ -22,6 +31,33 @@
 #include <sstream>
 
 using namespace gg;
+
+/// Dumps the registry / recorder on every exit path from main.
+struct TelemetryDump {
+  std::string StatsPath, TracePath;
+  ~TelemetryDump();
+};
+
+static bool writeTextFile(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Text;
+  return true;
+}
+
+TelemetryDump::~TelemetryDump() {
+  if (!StatsPath.empty())
+    writeTextFile(StatsPath, stats().toJson() + "\n");
+  if (!TracePath.empty())
+    writeTextFile(TracePath, TraceRecorder::global().toChromeJson());
+}
 
 static bool loadProgram(const std::string &Source, Program &Prog) {
   DiagnosticSink Diags;
@@ -35,6 +71,7 @@ static bool loadProgram(const std::string &Source, Program &Prog) {
 int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Compare = false;
+  std::string StatsJsonPath, TraceJsonPath;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--backend=pcc")
@@ -43,13 +80,21 @@ int main(int argc, char **argv) {
       UsePcc = false;
     else if (A == "--compare")
       Compare = true;
+    else if (A.rfind("--stats-json=", 0) == 0)
+      StatsJsonPath = A.substr(13);
+    else if (A.rfind("--trace-json=", 0) == 0)
+      TraceJsonPath = A.substr(13);
     else
       File = argv[I];
   }
   if (!File) {
-    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare]\n");
+    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare] "
+                    "[--stats-json=FILE] [--trace-json=FILE]\n");
     return 2;
   }
+  if (!TraceJsonPath.empty())
+    TraceRecorder::global().enable();
+  TelemetryDump Dump{StatsJsonPath, TraceJsonPath};
   std::ifstream In(File);
   if (!In) {
     fprintf(stderr, "cannot open %s\n", File);

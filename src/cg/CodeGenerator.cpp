@@ -2,10 +2,51 @@
 
 #include "cg/CodeGenerator.h"
 #include "ir/Linearize.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace gg;
+
+namespace {
+
+/// Creates-at-zero every key the code generator's --stats-json schema
+/// promises, so consumers (and the golden-schema test) see a stable key
+/// set even when a counter legitimately never fires — e.g. the peephole
+/// counters with the optimizer off, or regs.spills on spill-free input.
+void touchSchemaKeys() {
+  static bool Done = [] {
+    StatsRegistry &S = gg::stats();
+    for (const char *Name :
+         {"cg.compiles", "cg.functions", "cg.trees", "match.trees",
+          "match.shifts", "match.reduces", "match.dynamic_ties",
+          "match.chooser_invocations", "match.syntactic_blocks",
+          "phase1.cond_branch_rewrites", "phase1.bool_value_rewrites",
+          "phase1.calls_factored", "phase1.constants_folded",
+          "phase1.canonicalizations", "phase1.subtrees_swapped",
+          "phase1.reverse_ops_used", "phase1.spill_splits",
+          "idiom.binding_applied", "idiom.range_applied",
+          "idiom.cc_tests_elided", "idiom.pseudo_expansions",
+          "regs.allocations", "regs.spills", "regs.unspills",
+          "peephole.branch_to_next_removed", "peephole.branches_inverted",
+          "peephole.chains_collapsed", "peephole.unreachable_removed",
+          "emit.instructions", "emit.asm_lines"})
+      S.counter(Name);
+    for (const char *Name :
+         {"cg.transform_seconds", "cg.match_seconds",
+          "cg.instrgen_seconds", "cg.emit_seconds"})
+      S.value(Name);
+    for (const char *Name :
+         {"match.stack_depth", "match.tokens_per_tree",
+          "match.steps_per_tree", "regs.live"})
+      S.histogram(Name);
+    return true;
+  }();
+  (void)Done;
+}
+
+} // namespace
 
 void gg::emitDataSection(const Program &Prog, AsmEmitter &Emit) {
   if (Prog.Globals.empty())
@@ -32,13 +73,18 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
                               std::string &Err) {
   Stats = CodeGenStats();
   Trace.clear();
+  touchSchemaKeys();
+  TraceSpan CompileSpan("cg.compile");
   AsmEmitter Emit(Prog.Syms);
+  Emit.setExplain(Opts.Explain);
   Timer TransformT, MatchT, GenT;
+  double EmitInGen = 0; ///< phase-4 time nested inside the GenT scope
 
   emitDataSection(Prog, Emit);
   Emit.directive(".text");
 
   for (Function &F : Prog.Functions) {
+    TraceSpan FnSpan("cg.function " + Prog.Syms.text(F.Name));
     {
       TimerScope TS(TransformT);
       TransformStats TF = runPhase1(Prog, F, Opts.Transform);
@@ -85,8 +131,12 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
       }
       {
         TimerScope TS(GenT);
+        TraceSpan ReplaySpan("cg.replay");
+        double EmitBefore = Emit.emitSeconds();
         std::string SemErr;
-        if (!Sem.replay(Target.grammar(), Input, MR.Steps, SemErr)) {
+        bool Ok = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
+        EmitInGen += Emit.emitSeconds() - EmitBefore;
+        if (!Ok) {
           Err = strf("%s\n  while generating: %s", SemErr.c_str(),
                      printLinear(Tree, Prog.Syms).c_str());
           return false;
@@ -151,6 +201,14 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
     Stats.Idioms.RangeApplied += Sem.idiomStats().RangeApplied;
     Stats.Idioms.CCTestsElided += Sem.idiomStats().CCTestsElided;
     Stats.Idioms.PseudoExpansions += Sem.idiomStats().PseudoExpansions;
+
+    StatsRegistry &Reg = gg::stats();
+    ++Reg.counter("cg.functions");
+    Reg.counter("idiom.binding_applied") += Sem.idiomStats().BindingApplied;
+    Reg.counter("idiom.range_applied") += Sem.idiomStats().RangeApplied;
+    Reg.counter("idiom.cc_tests_elided") += Sem.idiomStats().CCTestsElided;
+    Reg.counter("idiom.pseudo_expansions") +=
+        Sem.idiomStats().PseudoExpansions;
   }
 
   if (Opts.Peephole)
@@ -158,9 +216,22 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
 
   Stats.TransformSeconds = TransformT.seconds();
   Stats.MatchSeconds = MatchT.seconds();
-  Stats.InstrGenSeconds = GenT.seconds();
+  // Figure-2 accounting: phase 3 is replay time minus the output
+  // formatting nested inside it; phase 4 is all formatting (operands,
+  // prologue/data directives, final text rendering).
+  Stats.InstrGenSeconds = std::max(0.0, GenT.seconds() - EmitInGen);
   Stats.Instructions = Emit.instructionCount();
   Asm += Emit.text();
   Stats.AsmLines = Emit.lineCount();
+  Stats.EmitSeconds = Emit.emitSeconds();
+
+  StatsRegistry &Reg = gg::stats();
+  ++Reg.counter("cg.compiles");
+  Reg.counter("cg.trees") += Stats.StatementTrees;
+  Reg.counter("emit.asm_lines") += Stats.AsmLines;
+  Reg.value("cg.transform_seconds") += Stats.TransformSeconds;
+  Reg.value("cg.match_seconds") += Stats.MatchSeconds;
+  Reg.value("cg.instrgen_seconds") += Stats.InstrGenSeconds;
+  Reg.value("cg.emit_seconds") += Stats.EmitSeconds;
   return true;
 }

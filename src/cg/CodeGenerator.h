@@ -37,17 +37,24 @@ struct CodeGenOptions {
   CgOptions Idioms;
   TransformOptions Transform;
   bool Trace = false;    ///< collect per-tree shift/reduce traces
+  /// Annotate each emitted instruction with the production whose
+  /// reduction generated it (the --explain surface).
+  bool Explain = false;
   /// Run the assembly-level peephole optimizer over the output (the
   /// paper's section 6.1/9 future-work direction; off by default to
   /// match the paper's configuration).
   bool Peephole = false;
 };
 
-/// Aggregate statistics for one compile() call.
+/// Aggregate statistics for one compile() call. The four Seconds fields
+/// are the paper's Figure-2 phases and are disjoint: instruction
+/// generation excludes the output formatting it is interleaved with,
+/// which is charged to EmitSeconds instead.
 struct CodeGenStats {
   double TransformSeconds = 0;
   double MatchSeconds = 0;
   double InstrGenSeconds = 0;
+  double EmitSeconds = 0; ///< phase 4: operand formatting + text rendering
   size_t StatementTrees = 0;
   size_t MatcherTokens = 0;
   size_t MatcherSteps = 0;

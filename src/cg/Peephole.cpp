@@ -1,7 +1,9 @@
 //===- Peephole.cpp - assembly-level peephole optimizer ------------------------===//
 
 #include "cg/Peephole.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <string_view>
@@ -235,6 +237,15 @@ private:
 } // namespace
 
 PeepholeStats gg::runPeephole(std::vector<std::string> &Lines) {
+  TraceSpan Span("cg.peephole");
   PeepholePass Pass(Lines);
-  return Pass.run();
+  PeepholeStats PS = Pass.run();
+
+  StatsRegistry &S = stats();
+  S.counter("peephole.branch_to_next_removed") += PS.BranchToNextRemoved;
+  S.counter("peephole.branches_inverted") += PS.BranchesInverted;
+  S.counter("peephole.chains_collapsed") += PS.ChainsCollapsed;
+  S.counter("peephole.unreachable_removed") += PS.UnreachableRemoved;
+  Span.arg("rewrites", PS.total());
+  return PS;
 }

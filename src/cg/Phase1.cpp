@@ -3,6 +3,8 @@
 #include "cg/Transform.h"
 #include "ir/Fold.h"
 #include "support/Error.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -768,6 +770,20 @@ int gg::registerNeed(const Node *N) {
 
 TransformStats gg::runPhase1(Program &P, Function &F,
                              const TransformOptions &Opts) {
+  TraceSpan Span("cg.phase1");
   Phase1 Impl(P, F, Opts);
-  return Impl.run();
+  TransformStats TS = Impl.run();
+
+  // Publish the rewrite-rule hit counts so --stats-json sees phase 1's
+  // contribution without every caller re-aggregating TransformStats.
+  StatsRegistry &S = stats();
+  S.counter("phase1.cond_branch_rewrites") += TS.CondBranchRewrites;
+  S.counter("phase1.bool_value_rewrites") += TS.BoolValueRewrites;
+  S.counter("phase1.calls_factored") += TS.CallsFactored;
+  S.counter("phase1.constants_folded") += TS.ConstantsFolded;
+  S.counter("phase1.canonicalizations") += TS.Canonicalizations;
+  S.counter("phase1.subtrees_swapped") += TS.SubtreesSwapped;
+  S.counter("phase1.reverse_ops_used") += TS.ReverseOpsUsed;
+  S.counter("phase1.spill_splits") += TS.SpillSplits;
+  return TS;
 }

@@ -18,7 +18,11 @@ std::optional<int64_t> gg::foldBinaryOp(Op O, Ty T, int64_t A, int64_t B) {
   case Op::Minus:
     return truncateToTy(A - B, T);
   case Op::Mul:
-    return truncateToTy(A * B, T);
+    // Unsigned multiply: the product must wrap (truncateToTy masks it), but
+    // int64 overflow is UB when both operands use the full 32-bit range.
+    return truncateToTy(static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                             static_cast<uint64_t>(B)),
+                        T);
   case Op::Div:
   case Op::Mod: {
     if (B == 0)

@@ -1,7 +1,11 @@
 //===- Matcher.cpp - instruction pattern matcher ---------------------------===//
 
 #include "match/Matcher.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
+
+#include <algorithm>
 
 using namespace gg;
 
@@ -21,13 +25,40 @@ int Matcher::termIndexFor(const std::string &Name) const {
 
 MatchResult Matcher::match(const std::vector<LinToken> &Input,
                            const DynamicChooser &Chooser) const {
+  // Hot-path telemetry: entry references are stable, so look them up once.
+  StatsRegistry &Reg = stats();
+  static uint64_t &NumTrees = Reg.counter("match.trees");
+  static uint64_t &NumShifts = Reg.counter("match.shifts");
+  static uint64_t &NumReduces = Reg.counter("match.reduces");
+  static uint64_t &NumTies = Reg.counter("match.dynamic_ties");
+  static uint64_t &NumChooser = Reg.counter("match.chooser_invocations");
+  static uint64_t &NumBlocks = Reg.counter("match.syntactic_blocks");
+  static LogHistogram &DepthHist = Reg.histogram("match.stack_depth");
+  static LogHistogram &TokensHist = Reg.histogram("match.tokens_per_tree");
+  static LogHistogram &StepsHist = Reg.histogram("match.steps_per_tree");
+
+  TraceSpan Span("match.tree");
+  ++NumTrees;
+
   MatchResult R;
   std::vector<int> StateStack{0};
   R.Steps.reserve(Input.size() * 3);
+  size_t MaxDepth = 1;
 
   size_t Pos = 0;
   const size_t N = Input.size();
   const int EofIdx = G.termIndex(G.eofSymbol());
+
+  // Per-tree distribution bookkeeping runs on every exit path.
+  auto Finish = [&] {
+    DepthHist.record(MaxDepth);
+    TokensHist.record(N);
+    StepsHist.record(R.Steps.size());
+    NumBlocks += !R.Ok;
+    Span.arg("tokens", static_cast<int64_t>(N));
+    Span.arg("steps", static_cast<int64_t>(R.Steps.size()));
+    Span.arg("max_depth", static_cast<int64_t>(MaxDepth));
+  };
 
   while (true) {
     int TermIdx;
@@ -36,6 +67,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       if (TermIdx < 0) {
         R.Error = strf("no terminal symbol '%s' in the machine description",
                        Input[Pos].Term.c_str());
+        Finish();
         return R;
       }
     } else {
@@ -46,16 +78,23 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
     Action A = T.actionAt(State, TermIdx);
     switch (A.Kind) {
     case ActionType::Shift:
+      ++NumShifts;
       R.Steps.push_back(
           {MatchStep::Shift, static_cast<int>(Pos), -1});
       StateStack.push_back(A.Target);
+      MaxDepth = std::max(MaxDepth, StateStack.size());
       ++Pos;
       break;
 
     case ActionType::Reduce: {
+      ++NumReduces;
       int Prod = A.Target;
-      if (Chooser) {
-        if (const std::vector<int> *Ties = T.dynChoicesAt(State, TermIdx)) {
+      if (const std::vector<int> *Ties = T.dynChoicesAt(State, TermIdx)) {
+        // A longest-rule tie the table constructor deferred to match time
+        // (§3.2 "choose among them dynamically using semantic attributes").
+        ++NumTies;
+        if (Chooser) {
+          ++NumChooser;
           std::vector<int> Cands;
           Cands.reserve(Ties->size() + 1);
           Cands.push_back(Prod);
@@ -71,15 +110,18 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
         R.Error = strf("internal error: missing goto for '%s' after "
                        "reducing production %d",
                        G.symbolName(P.Lhs).c_str(), Prod);
+        Finish();
         return R;
       }
       R.Steps.push_back({MatchStep::Reduce, -1, Prod});
       StateStack.push_back(GotoState);
+      MaxDepth = std::max(MaxDepth, StateStack.size());
       break;
     }
 
     case ActionType::Accept:
       R.Ok = true;
+      Finish();
       return R;
 
     case ActionType::Error: {
@@ -88,6 +130,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       // the machine description cannot continue this viable prefix.
       R.Error = strf("syntactic block in state %d at token %zu ('%s')",
                      State, Pos, At.c_str());
+      Finish();
       return R;
     }
     }

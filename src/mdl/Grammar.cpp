@@ -182,3 +182,12 @@ GrammarStats gg::statsOf(const Grammar &G) {
   S.Nonterminals = Nonterms;
   return S;
 }
+
+std::string gg::renderProduction(const Grammar &G, const Production &P) {
+  std::string Out = strf("P%d: %s <-", P.Id, G.symbolName(P.Lhs).c_str());
+  for (SymId Sym : P.Rhs)
+    Out += strf(" %s", G.symbolName(Sym).c_str());
+  Out += strf(" [%s%s%s]", actionKindName(P.Kind),
+              P.SemTag.empty() ? "" : " ", P.SemTag.c_str());
+  return Out;
+}

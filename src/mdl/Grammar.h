@@ -140,6 +140,10 @@ struct GrammarStats {
 
 GrammarStats statsOf(const Grammar &G);
 
+/// Renders one production as "P<id>: lhs <- rhs... [kind tag]" — the form
+/// the explain emission mode and the shift/reduce trace share.
+std::string renderProduction(const Grammar &G, const Production &P);
+
 } // namespace gg
 
 #endif // GG_MDL_GRAMMAR_H

@@ -1,0 +1,106 @@
+//===- Stats.cpp - process-wide counters and histograms ---------------------===//
+
+#include "support/Stats.h"
+#include "support/Strings.h"
+
+using namespace gg;
+
+StatsRegistry &StatsRegistry::global() {
+  static StatsRegistry R;
+  return R;
+}
+
+void StatsRegistry::reset() {
+  for (auto &[Name, V] : Counters)
+    V = 0;
+  for (auto &[Name, V] : Values)
+    V = 0;
+  for (auto &[Name, H] : Histograms)
+    H.reset();
+}
+
+std::string gg::jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strf("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string StatsRegistry::toJson() const {
+  std::string Out = "{\"schema\":\"gg-stats-v1\",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    Out += strf("%s\"%s\":%llu", First ? "" : ",", jsonEscape(Name).c_str(),
+                static_cast<unsigned long long>(V));
+    First = false;
+  }
+  Out += "},\"values\":{";
+  First = true;
+  for (const auto &[Name, V] : Values) {
+    Out += strf("%s\"%s\":%.9g", First ? "" : ",", jsonEscape(Name).c_str(),
+                V);
+    First = false;
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += strf("%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                "\"max\":%llu,\"mean\":%.6g,\"buckets\":{",
+                First ? "" : ",", jsonEscape(Name).c_str(),
+                static_cast<unsigned long long>(H.count()),
+                static_cast<unsigned long long>(H.sum()),
+                static_cast<unsigned long long>(H.min()),
+                static_cast<unsigned long long>(H.max()), H.mean());
+    bool FirstB = true;
+    for (int W = 0; W <= 64; ++W) {
+      if (!H.bucket(W))
+        continue;
+      Out += strf("%s\"%llu\":%llu", FirstB ? "" : ",",
+                  static_cast<unsigned long long>(LogHistogram::bucketUpper(W)),
+                  static_cast<unsigned long long>(H.bucket(W)));
+      FirstB = false;
+    }
+    Out += "}}";
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string StatsRegistry::toText() const {
+  std::string Out;
+  for (const auto &[Name, V] : Counters)
+    Out += strf("%-40s %12llu\n", Name.c_str(),
+                static_cast<unsigned long long>(V));
+  for (const auto &[Name, V] : Values)
+    Out += strf("%-40s %12.6f\n", Name.c_str(), V);
+  for (const auto &[Name, H] : Histograms)
+    Out += strf("%-40s n=%llu min=%llu mean=%.1f max=%llu\n", Name.c_str(),
+                static_cast<unsigned long long>(H.count()),
+                static_cast<unsigned long long>(H.min()), H.mean(),
+                static_cast<unsigned long long>(H.max()));
+  return Out;
+}

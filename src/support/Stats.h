@@ -1,0 +1,145 @@
+//===- Stats.h - process-wide counters and histograms -----------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges and log-scale
+/// histograms. Every layer of the pipeline — table constructor, packer,
+/// matcher, the four code-generation phases, register manager — records
+/// into the same registry, and every consumer (the `--stats-json` surface
+/// on the example drivers, the bench harness, the tests) reads the same
+/// schema back out, so the paper's empirical claims (Figure 2 phase
+/// shares, table sizes, conflict counts) are reproducible from emitted
+/// telemetry instead of ad-hoc printf accounting.
+///
+/// Conventions:
+///   * counters — monotonically increasing event counts
+///     ("match.shifts", "regs.spills");
+///   * values   — accumulated doubles, used for seconds
+///     ("cg.match_seconds", "tablegen.seconds");
+///   * histograms — log2-bucketed distributions
+///     ("match.stack_depth").
+///
+/// Names are dotted `<layer>.<metric>` strings. Registration is implicit:
+/// the first lookup creates the entry at zero, so touching a counter is
+/// enough to make its key appear in the JSON output (the golden-schema
+/// test relies on this for counters that are legitimately zero, e.g. the
+/// peephole counters when the optimizer is off).
+///
+/// Entry references are stable for the registry's lifetime (std::map
+/// nodes); hot call sites may cache them in function-local statics.
+/// reset() zeroes every entry but never removes one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_STATS_H
+#define GG_SUPPORT_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gg {
+
+/// A log2-bucketed histogram of unsigned samples. Bucket i holds samples
+/// whose bit width is i, i.e. the ranges {0}, {1}, [2,3], [4,7], [8,15]…
+/// — compact, O(1) to record, and faithful enough for the scale questions
+/// the experiments ask (stack depths, tokens per tree, step counts).
+class LogHistogram {
+public:
+  void record(uint64_t Sample) {
+    ++Count;
+    Sum += Sample;
+    if (Count == 1 || Sample < Min)
+      Min = Sample;
+    if (Sample > Max)
+      Max = Sample;
+    ++Buckets[bitWidth(Sample)];
+  }
+
+  void reset() { *this = LogHistogram(); }
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+  double mean() const { return Count ? static_cast<double>(Sum) / Count : 0; }
+
+  /// Bucket count for samples of bit width \p W (0..64).
+  uint64_t bucket(int W) const { return Buckets[W]; }
+
+  /// Inclusive upper bound of bucket \p W (0, 1, 3, 7, 15, ...).
+  static uint64_t bucketUpper(int W) {
+    return W >= 64 ? ~0ull : (1ull << W) - 1;
+  }
+
+  static int bitWidth(uint64_t V) {
+    int W = 0;
+    while (V) {
+      ++W;
+      V >>= 1;
+    }
+    return W;
+  }
+
+private:
+  uint64_t Count = 0, Sum = 0, Min = 0, Max = 0;
+  std::array<uint64_t, 65> Buckets{};
+};
+
+/// Named counters, gauges and histograms. One process-wide instance
+/// (global()) serves the pipeline; tests may create private instances.
+class StatsRegistry {
+public:
+  static StatsRegistry &global();
+
+  /// The named counter, created at zero on first use. The reference is
+  /// stable; hot paths may cache it.
+  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+
+  /// The named accumulated double (seconds, bytes-as-double, ...).
+  double &value(const std::string &Name) { return Values[Name]; }
+
+  /// The named histogram.
+  LogHistogram &histogram(const std::string &Name) {
+    return Histograms[Name];
+  }
+
+  /// Zeroes every entry, keeping all registrations (and thus all cached
+  /// references and the JSON key set) intact.
+  void reset();
+
+  /// Serializes the whole registry as one JSON object:
+  ///   {"schema":"gg-stats-v1","counters":{...},"values":{...},
+  ///    "histograms":{name:{count,sum,min,max,mean,buckets:{...}}}}
+  /// Keys are emitted in sorted order (std::map) so output is
+  /// deterministic and golden-testable.
+  std::string toJson() const;
+
+  /// Human-readable aligned text dump (the `--stats` surface).
+  std::string toText() const;
+
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &values() const { return Values; }
+  const std::map<std::string, LogHistogram> &histograms() const {
+    return Histograms;
+  }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Values;
+  std::map<std::string, LogHistogram> Histograms;
+};
+
+/// Shorthand for the global registry.
+inline StatsRegistry &stats() { return StatsRegistry::global(); }
+
+/// Escapes \p Text for inclusion in a JSON string literal.
+std::string jsonEscape(std::string_view Text);
+
+} // namespace gg
+
+#endif // GG_SUPPORT_STATS_H

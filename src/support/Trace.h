@@ -1,0 +1,146 @@
+//===- Trace.h - RAII tracing spans ------------------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured tracing: RAII spans with nesting, recorded against one
+/// process-wide recorder and exportable as Chrome `trace_event`-format
+/// JSON (loadable in chrome://tracing / Perfetto) or a compact indented
+/// text form. The spans cover table construction, packing, and the four
+/// code-generation phases down to per-tree match/replay granularity —
+/// Nederhof & Satta's step-level view of a tabular parser, made
+/// first-class.
+///
+/// The recorder is disabled by default; a disabled TraceSpan costs one
+/// branch. Timestamps are microseconds relative to the recorder's epoch
+/// (reset on enable()), taken from steady_clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_TRACE_H
+#define GG_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gg {
+
+/// One completed span (Chrome "X" complete event).
+struct TraceEvent {
+  std::string Name;
+  const char *Category = "gg";
+  double StartUs = 0;
+  double DurUs = 0;
+  int Depth = 0; ///< nesting depth at the span's start (for toText)
+  std::vector<std::pair<std::string, int64_t>> Args;
+};
+
+/// Collects spans. One global instance serves the pipeline; tests may
+/// create private recorders.
+class TraceRecorder {
+public:
+  static TraceRecorder &global();
+
+  /// Enables recording and resets the epoch. Previously recorded events
+  /// are kept (enable is idempotent mid-run).
+  void enable() {
+    Enabled = true;
+    if (Events.empty() && CurDepth == 0)
+      Epoch = Clock::now();
+  }
+  void disable() { Enabled = false; }
+  bool enabled() const { return Enabled; }
+
+  void clear() {
+    Events.clear();
+    CurDepth = 0;
+    Epoch = Clock::now();
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Microseconds since the recorder's epoch.
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
+        .count();
+  }
+
+  /// Serializes as a Chrome trace_event JSON array (the "JSON Array
+  /// Format": a bare array of complete events, ph="X").
+  std::string toChromeJson() const;
+
+  /// Compact indented text rendering, one line per span in start order.
+  std::string toText() const;
+
+  // Span bookkeeping (used by TraceSpan).
+  int enter() { return CurDepth++; }
+  void exit(TraceEvent E) {
+    --CurDepth;
+    Events.push_back(std::move(E));
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  bool Enabled = false;
+  int CurDepth = 0;
+  Clock::time_point Epoch = Clock::now();
+  std::vector<TraceEvent> Events;
+};
+
+/// RAII span: records [construction, destruction) into a recorder when
+/// it is enabled, and nothing otherwise.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name,
+                     TraceRecorder &R = TraceRecorder::global())
+      : R(R) {
+    if (!R.enabled())
+      return;
+    Live = true;
+    E.Name = Name;
+    E.StartUs = R.nowUs();
+    E.Depth = R.enter();
+  }
+
+  /// Spans with formatted names (per-function, per-tree).
+  TraceSpan(std::string Name, TraceRecorder &R = TraceRecorder::global())
+      : R(R) {
+    if (!R.enabled())
+      return;
+    Live = true;
+    E.Name = std::move(Name);
+    E.StartUs = R.nowUs();
+    E.Depth = R.enter();
+  }
+
+  ~TraceSpan() {
+    if (!Live)
+      return;
+    E.DurUs = R.nowUs() - E.StartUs;
+    R.exit(std::move(E));
+  }
+
+  /// Attaches an integer argument, shown in the trace viewer's detail
+  /// pane. No-op when the recorder is disabled.
+  void arg(const char *Key, int64_t Value) {
+    if (Live)
+      E.Args.emplace_back(Key, Value);
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  TraceRecorder &R;
+  TraceEvent E;
+  bool Live = false;
+};
+
+} // namespace gg
+
+#endif // GG_SUPPORT_TRACE_H

@@ -1,6 +1,8 @@
 //===- Packing.cpp - packed parse tables -----------------------------------===//
 
 #include "tablegen/Packing.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -14,6 +16,7 @@ bool actionEq(const Action &A, const Action &B) {
 } // namespace
 
 PackedTables PackedTables::pack(const LRTables &T) {
+  TraceSpan Span("tablegen.pack");
   PackedTables P;
   P.NumStates = T.NumStates;
   P.NumTerms = T.NumTerms;
@@ -70,6 +73,13 @@ PackedTables PackedTables::pack(const LRTables &T) {
     }
     P.GotoRowOf.push_back(It->second);
   }
+
+  StatsRegistry &S = stats();
+  S.counter("tablegen.packed.action_rows") += P.ActionRows.size();
+  S.counter("tablegen.packed.goto_rows") += P.GotoRows.size();
+  S.counter("tablegen.packed.bytes") += P.memoryBytes();
+  Span.arg("bytes", static_cast<int64_t>(P.memoryBytes()));
+  Span.arg("action_rows", static_cast<int64_t>(P.ActionRows.size()));
   return P;
 }
 

@@ -1,8 +1,10 @@
 //===- TableBuilder.cpp - SLR(1) table construction ------------------------===//
 
 #include "tablegen/TableBuilder.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -77,6 +79,7 @@ public:
     T.stop();
     R.Seconds = T.seconds();
     R.Ok = true;
+    recordStats(R);
     return R;
   }
 
@@ -478,6 +481,26 @@ private:
         Visit(S);
   }
 
+  /// Publishes the construction's outcome to the stats registry so the
+  /// --stats-json surface sees the table-constructor side of the story
+  /// (state counts, conflicts resolved by the maximal-munch policy,
+  /// chain-loop detections) alongside the runtime phases.
+  void recordStats(const BuildResult &R) const {
+    StatsRegistry &S = stats();
+    S.counter("tablegen.builds") += 1;
+    S.counter("tablegen.states") += R.NumItemSets;
+    S.counter("tablegen.items") += R.TotalItems;
+    S.counter("tablegen.conflicts.shift_reduce") += R.SRConflicts.size();
+    S.counter("tablegen.conflicts.reduce_reduce") += R.RRConflicts.size();
+    S.counter("tablegen.conflicts.reduce_reduce_dynamic") +=
+        static_cast<uint64_t>(std::count_if(
+            R.RRConflicts.begin(), R.RRConflicts.end(),
+            [](const ReduceReduceConflict &C) { return C.Dynamic; }));
+    S.counter("tablegen.chain_loops") += R.ChainLoops.size();
+    S.counter("tablegen.blocks") += R.Blocks.size();
+    S.value("tablegen.seconds") += R.Seconds;
+  }
+
   void detectBlocks(BuildResult &R) {
     if (!Opts.TerminalCategory)
       return;
@@ -507,8 +530,13 @@ private:
 } // namespace
 
 BuildResult gg::buildTables(const Grammar &G, const BuildOptions &Opts) {
+  TraceSpan Span("tablegen.build");
   BuilderImpl Impl(G, Opts);
-  return Impl.build();
+  BuildResult R = Impl.build();
+  Span.arg("states", static_cast<int64_t>(R.NumItemSets));
+  Span.arg("sr_conflicts", static_cast<int64_t>(R.SRConflicts.size()));
+  Span.arg("rr_conflicts", static_cast<int64_t>(R.RRConflicts.size()));
+  return R;
 }
 
 std::string gg::renderBuildReport(const Grammar &G, const BuildResult &R) {

@@ -1,27 +1,40 @@
 //===- Emitter.cpp - assembly output buffer ---------------------------------===//
 
 #include "vax/Emitter.h"
+#include "support/Stats.h"
 
 using namespace gg;
 
 void AsmEmitter::inst(const std::string &Opcode,
                       const std::vector<Operand> &Ops) {
+  TimerScope TS(EmitTimer);
   std::vector<std::string> Texts;
   Texts.reserve(Ops.size());
   for (const Operand &O : Ops)
     Texts.push_back(formatOperand(O, Syms));
-  instRaw(Opcode, Texts);
+  appendInst(Opcode, Texts);
 }
 
 void AsmEmitter::instRaw(const std::string &Opcode,
                          const std::vector<std::string> &Ops) {
+  TimerScope TS(EmitTimer);
+  appendInst(Opcode, Ops);
+}
+
+void AsmEmitter::appendInst(const std::string &Opcode,
+                            const std::vector<std::string> &Ops) {
   std::string Line = "\t" + Opcode;
   for (size_t I = 0; I < Ops.size(); ++I) {
     Line += I ? "," : "\t";
     Line += Ops[I];
   }
+  if (Explain && !Context.empty()) {
+    Line += "\t# ";
+    Line += Context;
+  }
   Lines.push_back(std::move(Line));
   ++NumInsts;
+  ++stats().counter("emit.instructions");
 }
 
 void AsmEmitter::label(InternedString Name) { labelText(Syms.text(Name)); }
@@ -39,6 +52,7 @@ void AsmEmitter::comment(const std::string &Text) {
 }
 
 std::string AsmEmitter::text() const {
+  TimerScope TS(EmitTimer);
   std::string Out;
   for (const std::string &Line : Lines) {
     Out += Line;

@@ -6,7 +6,14 @@
 ///
 /// \file
 /// Collects generated assembly text (phase 4 output). Tracks instruction
-/// counts for the code-quality experiments.
+/// counts for the code-quality experiments and its own wall-clock time so
+/// the Figure-2 accounting can report output generation (phase 4)
+/// separately from the instruction selection it is interleaved with.
+///
+/// In explain mode each instruction line is annotated with the grammar
+/// production whose semantic action emitted it (set via setContext() by
+/// the replay loop), turning the output into a self-describing record of
+/// which pattern matched what.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +21,7 @@
 #define GG_VAX_EMITTER_H
 
 #include "support/Interner.h"
+#include "support/Timer.h"
 #include "vax/Operand.h"
 
 #include <string>
@@ -54,12 +62,30 @@ public:
   /// The full assembly text.
   std::string text() const;
 
+  /// Wall-clock seconds spent formatting instructions and rendering the
+  /// final text — the paper's phase 4 (output generation).
+  double emitSeconds() const { return EmitTimer.seconds(); }
+
+  /// Explain mode: annotate each instruction with the production that
+  /// reduced it. The context string is set by the instruction generator
+  /// around each emitting reduction and cleared between statements.
+  void setExplain(bool On) { Explain = On; }
+  bool explain() const { return Explain; }
+  void setContext(std::string Text) { Context = std::move(Text); }
+  void clearContext() { Context.clear(); }
+
   const Interner &interner() const { return Syms; }
 
 private:
   const Interner &Syms;
   std::vector<std::string> Lines;
   size_t NumInsts = 0;
+  mutable Timer EmitTimer; ///< text() is const but charges phase 4
+  bool Explain = false;
+  std::string Context;
+
+  void appendInst(const std::string &Opcode,
+                  const std::vector<std::string> &Ops);
 };
 
 } // namespace gg

@@ -2,6 +2,7 @@
 
 #include "vax/RegisterManager.h"
 #include "support/Error.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
 
 #include <algorithm>
@@ -12,10 +13,12 @@ void RegisterManager::markBusy(int R) {
   Busy[R] = true;
   BusyOrder.push_back(R);
   ++Stats.Allocations;
+  ++gg::stats().counter("regs.allocations");
   unsigned Live = 0;
   for (int I = RegFirstAlloc; I <= RegLastAlloc; ++I)
     Live += Busy[I];
   Stats.MaxLive = std::max(Stats.MaxLive, Live);
+  gg::stats().histogram("regs.live").record(Live);
 }
 
 int RegisterManager::alloc() {
@@ -93,7 +96,13 @@ void RegisterManager::evict(int R) {
   Cell.Spilled = true;
   SpillStore(R, Cell);
   ++Stats.Spills;
+  ++gg::stats().counter("regs.spills");
   free(R);
+}
+
+void RegisterManager::noteUnspill() {
+  ++Stats.Unspills;
+  ++gg::stats().counter("regs.unspills");
 }
 
 int RegisterManager::numFree() const {
@@ -115,6 +124,7 @@ void RegisterManager::spillOne() {
     Cell.Spilled = true;
     SpillStore(R, Cell);
     ++Stats.Spills;
+    ++gg::stats().counter("regs.spills");
     free(R);
     return;
   }

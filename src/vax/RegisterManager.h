@@ -97,7 +97,7 @@ public:
   int numFree() const;
 
   const RegAllocStats &stats() const { return Stats; }
-  void noteUnspill() { ++Stats.Unspills; }
+  void noteUnspill();
 
   /// Resets all allocation state (between statements the expression stack
   /// must be empty; this asserts nothing is still live).

@@ -206,6 +206,10 @@ bool VaxSemantics::replay(const Grammar &G, const std::vector<LinToken> &Input,
     size_t K = P.Rhs.size();
     assert(Stack.size() >= K && "semantic stack underflow");
     FrameBase = Stack.size() - K;
+    // Explain mode: instructions emitted by this reduction's semantic
+    // action carry the production that selected them.
+    if (Emit.explain())
+      Emit.setContext(renderProduction(G, P));
     SemVal Result = dispatch(P, &Stack[FrameBase], K);
     Stack.resize(Stack.size() - K);
     Stack.push_back(Result);
@@ -217,6 +221,7 @@ bool VaxSemantics::replay(const Grammar &G, const std::vector<LinToken> &Input,
   }
   assert(Stack.size() == 1 && "statement did not reduce to one value");
   Stack.clear();
+  Emit.clearContext();
   if (RM.anyBusy()) {
     Err = "register leak: allocatable registers still busy after statement";
     RM.resetForStatement();

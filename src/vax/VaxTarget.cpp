@@ -2,17 +2,22 @@
 
 #include "vax/VaxTarget.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 using namespace gg;
 
 std::unique_ptr<VaxTarget>
 VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
                   BuildOptions TableOpts) {
+  TraceSpan Span("target.create");
   std::unique_ptr<VaxTarget> T(new VaxTarget());
   DiagnosticSink Diags;
-  if (!buildVaxGrammar(T->G, T->Spec, Diags, GrammarOpts)) {
-    Err = "VAX description error:\n" + Diags.renderAll();
-    return nullptr;
+  {
+    TraceSpan GrammarSpan("target.grammar");
+    if (!buildVaxGrammar(T->G, T->Spec, Diags, GrammarOpts)) {
+      Err = "VAX description error:\n" + Diags.renderAll();
+      return nullptr;
+    }
   }
   if (!TableOpts.TerminalCategory)
     TableOpts.TerminalCategory = vaxTerminalCategory;

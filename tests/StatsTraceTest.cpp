@@ -1,0 +1,440 @@
+//===- StatsTraceTest.cpp - observability layer unit tests --------------------===//
+//
+// Covers the stats registry (counter/value/histogram semantics, JSON
+// well-formedness), the trace recorder (span nesting, Chrome trace_event
+// output), and the golden --stats-json schema: the key set the pipeline
+// promises must stay stable, because external tooling and the bench
+// harness consume it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/Strings.h"
+#include "support/Trace.h"
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+using namespace gg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal recursive-descent JSON well-formedness checker. Deliberately
+// no third-party dependency: tier-1 must run in the bare container.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view Text) : Text(Text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool eat(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipWs() {
+    while (Pos < Text.size() && isJsonSpace(Text[Pos]))
+      ++Pos;
+  }
+  static bool isJsonSpace(char C) {
+    return C == ' ' || C == '\t' || C == '\n' || C == '\r';
+  }
+
+  bool value() {
+    switch (peek()) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{'))
+      return false;
+    skipWs();
+    if (eat('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('['))
+      return false;
+    skipWs();
+    if (eat(']'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // unescaped control character
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos++];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (Pos >= Text.size() || !std::isxdigit(static_cast<unsigned char>(Text[Pos++])))
+              return false;
+        } else if (!strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (eat('.'))
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+};
+
+bool jsonValid(std::string_view Text) { return JsonChecker(Text).valid(); }
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, CounterSemantics) {
+  StatsRegistry R;
+  EXPECT_EQ(R.counter("a.b"), 0u) << "first lookup creates at zero";
+  R.counter("a.b") += 3;
+  ++R.counter("a.b");
+  EXPECT_EQ(R.counter("a.b"), 4u);
+
+  // References are stable across further registration.
+  uint64_t &C = R.counter("a.b");
+  for (int I = 0; I < 100; ++I)
+    R.counter(strf("filler.%d", I));
+  C += 1;
+  EXPECT_EQ(R.counter("a.b"), 5u);
+}
+
+TEST(Stats, ResetKeepsRegistrations) {
+  StatsRegistry R;
+  R.counter("x") = 7;
+  R.value("y") = 1.5;
+  R.histogram("z").record(4);
+  R.reset();
+  EXPECT_EQ(R.counters().size(), 1u);
+  EXPECT_EQ(R.counter("x"), 0u);
+  EXPECT_EQ(R.value("y"), 0.0);
+  EXPECT_EQ(R.histogram("z").count(), 0u);
+  // The JSON key set survives a reset.
+  EXPECT_NE(R.toJson().find("\"x\""), std::string::npos);
+}
+
+TEST(Stats, HistogramSemantics) {
+  LogHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 1024ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 8u);
+  EXPECT_EQ(H.sum(), 0u + 1 + 2 + 3 + 4 + 7 + 8 + 1024);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1024u);
+  // Log2 bucketing: value 0 -> width 0; 1 -> 1; 2,3 -> 2; 4..7 -> 3;
+  // 8 -> 4; 1024 -> 11.
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(2), 2u);
+  EXPECT_EQ(H.bucket(3), 2u);
+  EXPECT_EQ(H.bucket(4), 1u);
+  EXPECT_EQ(H.bucket(11), 1u);
+  EXPECT_EQ(LogHistogram::bucketUpper(3), 7u);
+}
+
+TEST(Stats, JsonWellFormed) {
+  StatsRegistry R;
+  R.counter("plain") = 42;
+  R.counter("needs \"escaping\"\n") = 1;
+  R.value("seconds") = 0.125;
+  R.histogram("depth").record(3);
+  R.histogram("depth").record(300);
+  std::string Json = R.toJson();
+  EXPECT_TRUE(jsonValid(Json)) << Json;
+  EXPECT_NE(Json.find("\"schema\":\"gg-stats-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"escaping\\\""), std::string::npos);
+}
+
+TEST(Stats, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  TraceRecorder R;
+  {
+    TraceSpan S("ignored", R);
+    S.arg("k", 1);
+  }
+  EXPECT_TRUE(R.events().empty());
+}
+
+TEST(Trace, SpanNesting) {
+  TraceRecorder R;
+  R.enable();
+  {
+    TraceSpan Outer("outer", R);
+    {
+      TraceSpan Inner("inner", R);
+      TraceSpan Inner2("inner2", R);
+    }
+    TraceSpan Sibling("sibling", R);
+  }
+  ASSERT_EQ(R.events().size(), 4u);
+  // Events are recorded at destruction: inner2, inner, sibling, outer.
+  auto Find = [&](const char *Name) -> const TraceEvent & {
+    for (const TraceEvent &E : R.events())
+      if (E.Name == Name)
+        return E;
+    static TraceEvent Missing;
+    return Missing;
+  };
+  EXPECT_EQ(Find("outer").Depth, 0);
+  EXPECT_EQ(Find("inner").Depth, 1);
+  EXPECT_EQ(Find("inner2").Depth, 2);
+  EXPECT_EQ(Find("sibling").Depth, 1);
+  // Containment: inner starts no earlier than outer and ends no later.
+  const TraceEvent &O = Find("outer"), &I = Find("inner");
+  EXPECT_GE(I.StartUs, O.StartUs);
+  EXPECT_LE(I.StartUs + I.DurUs, O.StartUs + O.DurUs + 1e-3);
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  TraceRecorder R;
+  R.enable();
+  {
+    TraceSpan S("phase \"one\"", R);
+    S.arg("items", 12);
+    TraceSpan T("nested", R);
+  }
+  std::string Json = R.toChromeJson();
+  EXPECT_TRUE(jsonValid(Json)) << Json;
+  // trace_event essentials: complete events with name/ts/dur/pid/tid.
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"args\":{\"items\":12}"), std::string::npos);
+  EXPECT_NE(Json.find("phase \\\"one\\\""), std::string::npos);
+}
+
+TEST(Trace, TextRenderingOrderedByStart) {
+  TraceRecorder R;
+  R.enable();
+  {
+    TraceSpan A("first", R);
+    TraceSpan B("second", R);
+  }
+  std::string Text = R.toText();
+  size_t First = Text.find("first"), Second = Text.find("second");
+  ASSERT_NE(First, std::string::npos);
+  ASSERT_NE(Second, std::string::npos);
+  EXPECT_LT(First, Second) << "text form must be in start order, not "
+                              "destruction order:\n"
+                           << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden schema: the keys --stats-json promises after a compile.
+//===----------------------------------------------------------------------===//
+
+TEST(StatsSchema, PipelineEmitsPromisedKeys) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  const char *Source = "int g; int main() { int i; i = 0;"
+                       " while (i < 10) { g = g + i; i = i + 1; }"
+                       " return g; }";
+  Program P;
+  DiagnosticSink Diags;
+  ASSERT_TRUE(compileMiniC(Source, P, Diags)) << Diags.renderAll();
+
+  stats().reset();
+  GGCodeGenerator CG(*Target);
+  std::string Asm;
+  ASSERT_TRUE(CG.compile(P, Asm, Err)) << Err;
+
+  std::string Json = stats().toJson();
+  ASSERT_TRUE(jsonValid(Json)) << Json;
+
+  // The documented gg-stats-v1 schema (docs/observability.md). Keys may
+  // be ADDED freely; renaming or dropping any of these is a breaking
+  // change for telemetry consumers and must bump the schema tag.
+  for (const char *Key :
+       {// four Figure-2 phases
+        "cg.transform_seconds", "cg.match_seconds", "cg.instrgen_seconds",
+        "cg.emit_seconds",
+        // table constructor
+        "tablegen.states", "tablegen.conflicts.shift_reduce",
+        "tablegen.conflicts.reduce_reduce",
+        "tablegen.conflicts.reduce_reduce_dynamic", "tablegen.chain_loops",
+        "tablegen.packed.bytes",
+        // matcher
+        "match.trees", "match.shifts", "match.reduces",
+        "match.dynamic_ties", "match.syntactic_blocks", "match.stack_depth",
+        "match.tokens_per_tree", "match.steps_per_tree",
+        // phase 1 / idioms / registers / peephole / emitter
+        "phase1.constants_folded", "phase1.reverse_ops_used",
+        "idiom.binding_applied", "idiom.range_applied",
+        "idiom.cc_tests_elided", "idiom.pseudo_expansions",
+        "regs.allocations", "regs.spills", "regs.unspills",
+        "peephole.branch_to_next_removed", "peephole.branches_inverted",
+        "peephole.chains_collapsed", "peephole.unreachable_removed",
+        "emit.instructions", "emit.asm_lines"})
+    EXPECT_NE(Json.find(strf("\"%s\"", Key)), std::string::npos)
+        << "schema key missing from stats JSON: " << Key;
+
+  // And the telemetry is live, not just registered.
+  EXPECT_GT(stats().counter("match.trees"), 0u);
+  EXPECT_GT(stats().counter("match.shifts"), 0u);
+  EXPECT_GT(stats().histogram("match.stack_depth").count(), 0u);
+  EXPECT_GT(stats().counter("emit.instructions"), 0u);
+}
+
+TEST(StatsSchema, ExplainModeAnnotatesInstructions) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  Program P;
+  DiagnosticSink Diags;
+  ASSERT_TRUE(compileMiniC("int main() { int x; x = 1 + 2; return x; }", P,
+                           Diags));
+  CodeGenOptions Opts;
+  Opts.Explain = true;
+  GGCodeGenerator CG(*Target, Opts);
+  std::string Asm;
+  ASSERT_TRUE(CG.compile(P, Asm, Err)) << Err;
+  // Every production annotation has the "# P<id>: lhs <- rhs" shape.
+  EXPECT_NE(Asm.find("\t# P"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("<-"), std::string::npos);
+
+  // The same program without explain has no annotations.
+  GGCodeGenerator Plain(*Target);
+  std::string PlainAsm;
+  ASSERT_TRUE(Plain.compile(P, PlainAsm, Err)) << Err;
+  EXPECT_EQ(PlainAsm.find("\t# P"), std::string::npos);
+}
+
+TEST(StatsSchema, EmitSecondsAccountedAndDisjoint) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  Program P;
+  DiagnosticSink Diags;
+  std::string Source = "int main() { int i; int s; s = 0; i = 0;"
+                       " while (i < 100) { s = s + i * i; i = i + 1; }"
+                       " return s; }";
+  ASSERT_TRUE(compileMiniC(Source, P, Diags));
+  GGCodeGenerator CG(*Target);
+  std::string Asm;
+  ASSERT_TRUE(CG.compile(P, Asm, Err)) << Err;
+  const CodeGenStats &S = CG.stats();
+  // All four Figure-2 phases are accounted, and the phase-3/phase-4
+  // split is disjoint (both non-negative; emission actually happened).
+  EXPECT_GE(S.TransformSeconds, 0.0);
+  EXPECT_GE(S.MatchSeconds, 0.0);
+  EXPECT_GE(S.InstrGenSeconds, 0.0);
+  EXPECT_GT(S.EmitSeconds, 0.0);
+  EXPECT_GT(S.Instructions, 0u);
+}
+
+} // namespace
