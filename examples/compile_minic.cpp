@@ -3,19 +3,24 @@
 // Compiles a MiniC source file to VAX assembly on stdout.
 //
 //   compile_minic FILE [--backend=gg|pcc] [--trace] [--no-idioms]
-//                 [--no-reverse-ops] [--stats] [--explain]
-//                 [--stats-json=FILE] [--trace-json=FILE]
+//                 [--no-reverse-ops] [--no-recover] [--stats] [--explain]
+//                 [--fault=SPEC] [--stats-json=FILE] [--trace-json=FILE]
 //
 // --explain annotates each emitted instruction with the grammar
 // production whose reduction generated it. --stats-json / --trace-json
 // dump the stats registry and Chrome trace_event spans ("-" = stdout,
 // which for these flags means stderr to keep the assembly clean).
 //
+// --fault=SPEC injects deterministic faults (see support/FaultInject.h);
+// --no-recover disables the degradation ladder so the first syntactic
+// block fails the module (the pre-ladder behavior).
+//
 //===----------------------------------------------------------------------===//
 
 #include "cg/CodeGenerator.h"
 #include "frontend/Parser.h"
 #include "pcc/PccCodeGen.h"
+#include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -59,6 +64,14 @@ int main(int argc, char **argv) {
       StatsJsonPath = A.substr(13);
     else if (A.rfind("--trace-json=", 0) == 0)
       TraceJsonPath = A.substr(13);
+    else if (A.rfind("--fault=", 0) == 0) {
+      std::string FaultErr;
+      if (!faultInject().configure(A.substr(8), FaultErr)) {
+        fprintf(stderr, "bad --fault spec: %s\n", FaultErr.c_str());
+        return 2;
+      }
+    } else if (A == "--no-recover")
+      Opts.Recover = false;
     else if (A == "--no-idioms") {
       Opts.Idioms.BindingIdioms = false;
       Opts.Idioms.RangeIdioms = false;
@@ -74,8 +87,9 @@ int main(int argc, char **argv) {
   if (!File) {
     fprintf(stderr,
             "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
-            "[--no-idioms] [--no-reverse-ops] [--stats] [--explain] "
-            "[--stats-json=FILE] [--trace-json=FILE]\n");
+            "[--no-idioms] [--no-reverse-ops] [--no-recover] [--stats] "
+            "[--explain] [--fault=SPEC] [--stats-json=FILE] "
+            "[--trace-json=FILE]\n");
     return 2;
   }
   if (!TraceJsonPath.empty())
@@ -115,7 +129,10 @@ int main(int argc, char **argv) {
     }
     Opts.Trace = Trace;
     GGCodeGenerator CG(*Target, Opts);
-    if (!CG.compile(Prog, Asm, Err)) {
+    bool Ok = CG.compile(Prog, Asm, Err);
+    if (!CG.diagnostics().all().empty())
+      fputs(CG.diagnostics().renderAll().c_str(), stderr);
+    if (!Ok) {
       fprintf(stderr, "%s\n", Err.c_str());
       return 1;
     }

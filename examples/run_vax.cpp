@@ -4,7 +4,7 @@
 // baseline with --backend=pcc) and executes it on the VAX simulator,
 // reporting program output, exit value and the simulator's cost counters.
 //
-//   run_vax FILE [--backend=gg|pcc] [--compare]
+//   run_vax FILE [--backend=gg|pcc] [--compare] [--fault=SPEC]
 //           [--stats-json=FILE] [--trace-json=FILE]
 //
 // With --compare, runs both backends and the IR interpreter and reports
@@ -16,14 +16,21 @@
 // --trace-json dumps Chrome trace_event JSON loadable in chrome://tracing.
 // "-" writes to stdout.
 //
+// --fault=SPEC injects deterministic faults to exercise the degradation
+// ladder (see support/FaultInject.h): e.g. --fault=drop-prod=mul_l,
+// --fault=truncate-input=3, --fault=cap-regs=1, --fault=corrupt-table.
+// Recovery events are reported on stderr and in the fault.*/cg.* stats.
+//
 //===----------------------------------------------------------------------===//
 
 #include "cg/CodeGenerator.h"
 #include "frontend/Parser.h"
 #include "ir/Interp.h"
 #include "pcc/PccCodeGen.h"
+#include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
+#include "tablegen/Serialize.h"
 #include "vaxsim/Simulator.h"
 
 #include <cstdio>
@@ -84,12 +91,19 @@ int main(int argc, char **argv) {
       StatsJsonPath = A.substr(13);
     else if (A.rfind("--trace-json=", 0) == 0)
       TraceJsonPath = A.substr(13);
-    else
+    else if (A.rfind("--fault=", 0) == 0) {
+      std::string FaultErr;
+      if (!faultInject().configure(A.substr(8), FaultErr)) {
+        fprintf(stderr, "bad --fault spec: %s\n", FaultErr.c_str());
+        return 2;
+      }
+    } else
       File = argv[I];
   }
   if (!File) {
     fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare] "
-                    "[--stats-json=FILE] [--trace-json=FILE]\n");
+                    "[--fault=SPEC] [--stats-json=FILE] "
+                    "[--trace-json=FILE]\n");
     return 2;
   }
   if (!TraceJsonPath.empty())
@@ -111,13 +125,37 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // corrupt-table fault: round-trip the freshly built tables through the
+  // serialized format with one body byte flipped, and show the hardened
+  // loader rejecting the file. The in-memory tables stay authoritative, so
+  // compilation proceeds normally afterwards.
+  if (faultInject().config().CorruptTableByte != -1) {
+    std::string Text =
+        serializeTables(Target->grammar(), Target->build().Tables);
+    int64_t Off = faultInject().corruptTableBody(Text, tableBodyOffset(Text));
+    LRTables Loaded;
+    DiagnosticSink LoadDiags;
+    if (!deserializeTables(Text, Target->grammar(), Loaded, LoadDiags))
+      fprintf(stderr,
+              "table load rejected (byte %lld corrupted):\n%s"
+              "continuing with the in-memory tables\n",
+              (long long)Off, LoadDiags.renderAll().c_str());
+    else
+      fprintf(stderr, "table corruption at byte %lld went UNDETECTED\n",
+              (long long)Off);
+  }
+
   auto RunGG = [&](SimResult &R) -> bool {
     Program P;
     if (!loadProgram(Source, P))
       return false;
     GGCodeGenerator CG(*Target);
     std::string Asm;
-    if (!CG.compile(P, Asm, Err)) {
+    bool Ok = CG.compile(P, Asm, Err);
+    // Recovery warnings (and unrecoverable errors) from the ladder.
+    if (!CG.diagnostics().all().empty())
+      fputs(CG.diagnostics().renderAll().c_str(), stderr);
+    if (!Ok) {
       fprintf(stderr, "gg: %s\n", Err.c_str());
       return false;
     }

@@ -7,7 +7,11 @@
 # 1. configures a separate build tree with -fsanitize=address,undefined,
 # 2. builds everything and runs ctest,
 # 3. smoke-runs `run_vax --stats-json --trace-json` over every program in
-#    examples/programs/ and validates that the emitted JSON parses.
+#    examples/programs/ and validates that the emitted JSON parses,
+# 4. runs the fault-injection matrix: every example program under each
+#    fault kind must still produce the unfaulted program output (the
+#    degradation ladder recovers blocked trees via the PCC baseline),
+#    and table corruption must be rejected by the loader's checksum.
 #
 # --fast reuses the plain ./build tree (no sanitizers) for a quick
 # pre-commit pass.
@@ -62,5 +66,49 @@ for prog in examples/programs/*.c; do
   done
   echo "   $name: stats+trace JSON ok"
 done
+
+echo "== fault-injection matrix (degradation ladder under sanitizers)"
+# Each fault kind must leave the program output identical to the unfaulted
+# run (exit 0, recovered via the baseline) and, for the kinds that force
+# syntactic blocks or register exhaustion, must report at least one
+# recovered tree in the stats. cap-regs only bites on register-hungry
+# trees, so its recovery count is asserted on the matrix total instead of
+# per program.
+recovered_total=0
+for prog in examples/programs/*.c; do
+  name=$(basename "$prog" .c)
+  "$BUILD_DIR"/examples/run_vax "$prog" >"$TMP/$name.base.out" 2>/dev/null
+  for fault in drop-prod=push_l truncate-input=3 cap-regs=1; do
+    "$BUILD_DIR"/examples/run_vax "$prog" --fault="$fault" \
+      --stats-json="$TMP/$name.fault.json" \
+      >"$TMP/$name.fault.out" 2>"$TMP/$name.fault.err" ||
+      { echo "run_vax --fault=$fault failed on $name" >&2
+        cat "$TMP/$name.fault.err" >&2; exit 1; }
+    cmp -s "$TMP/$name.base.out" "$TMP/$name.fault.out" ||
+      { echo "output diverged under --fault=$fault on $name" >&2; exit 1; }
+    rec=$(grep -o '"cg.recovered_trees":[0-9]*' "$TMP/$name.fault.json" |
+          cut -d: -f2)
+    blk=$(grep -o '"cg.blocked_trees":[0-9]*' "$TMP/$name.fault.json" |
+          cut -d: -f2)
+    [[ "$rec" == "$blk" ]] ||
+      { echo "$name --fault=$fault: $blk blocked but only $rec recovered" >&2
+        exit 1; }
+    if [[ "$fault" != cap-regs=1 && "$rec" -lt 1 ]]; then
+      echo "$name --fault=$fault: expected >=1 recovered tree" >&2; exit 1
+    fi
+    recovered_total=$((recovered_total + rec))
+    echo "   $name --fault=$fault: output identical, $rec recovered"
+  done
+done
+[[ "$recovered_total" -ge 1 ]] ||
+  { echo "fault matrix never exercised the ladder" >&2; exit 1; }
+
+# Corrupted table files must be rejected by the checksum, not crash.
+"$BUILD_DIR"/examples/run_vax examples/programs/sieve.c \
+  --fault=corrupt-table >/dev/null 2>"$TMP/corrupt.err"
+grep -q "checksum" "$TMP/corrupt.err" ||
+  { echo "corrupt-table run did not produce a checksum diagnostic" >&2
+    exit 1; }
+echo "   corrupt-table: loader rejected the file via its checksum"
 
 echo "== all checks passed"

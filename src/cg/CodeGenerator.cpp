@@ -2,6 +2,8 @@
 
 #include "cg/CodeGenerator.h"
 #include "ir/Linearize.h"
+#include "pcc/PccCodeGen.h"
+#include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
@@ -19,9 +21,12 @@ void touchSchemaKeys() {
   static bool Done = [] {
     StatsRegistry &S = gg::stats();
     for (const char *Name :
-         {"cg.compiles", "cg.functions", "cg.trees", "match.trees",
+         {"cg.compiles", "cg.functions", "cg.trees", "cg.blocked_trees",
+          "cg.recovered_trees", "match.trees",
           "match.shifts", "match.reduces", "match.dynamic_ties",
           "match.chooser_invocations", "match.syntactic_blocks",
+          "match.depth_cap_hits", "fault.productions_dropped",
+          "fault.trees_truncated", "fault.table_bytes_corrupted",
           "phase1.cond_branch_rewrites", "phase1.bool_value_rewrites",
           "phase1.calls_factored", "phase1.constants_folded",
           "phase1.canonicalizations", "phase1.subtrees_swapped",
@@ -73,6 +78,7 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
                               std::string &Err) {
   Stats = CodeGenStats();
   Trace.clear();
+  Diags = DiagnosticSink();
   touchSchemaKeys();
   TraceSpan CompileSpan("cg.compile");
   AsmEmitter Emit(Prog.Syms);
@@ -112,36 +118,77 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
     auto CompileTree = [&](Node *Tree) -> bool {
       std::vector<LinToken> Input;
       MatchResult MR;
+      // Everything this tree emits sits after the mark; a failed tree is
+      // rolled back wholesale before the fallback path runs.
+      AsmEmitter::Mark TreeMark = Emit.mark();
       {
         TimerScope TS(MatchT);
         Input = linearize(Tree);
+        // truncate-input fault: models a phase-1/linearizer bug. A proper
+        // prefix of a prefix linearization can never parse to completion,
+        // so the matcher blocks instead of accepting a wrong parse.
+        Input.resize(faultInject().truncatedInputSize(Input.size()));
         Stats.MatcherTokens += Input.size();
         MR = Target.matcher().match(Input);
       }
-      if (!MR.Ok) {
-        Err = strf("%s\n  while matching: %s", MR.Error.c_str(),
-                   printLinear(Tree, Prog.Syms).c_str());
-        return false;
-      }
-      Stats.MatcherSteps += MR.Steps.size();
-      if (Opts.Trace) {
-        Trace += printLinear(Tree, Prog.Syms) + "\n";
-        Trace += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
-        Trace += "\n";
-      }
-      {
+      std::string TreeErr;
+      bool TreeOk = MR.Ok;
+      if (MR.Ok) {
+        Stats.MatcherSteps += MR.Steps.size();
+        if (Opts.Trace) {
+          Trace += printLinear(Tree, Prog.Syms) + "\n";
+          Trace += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
+          Trace += "\n";
+        }
         TimerScope TS(GenT);
         TraceSpan ReplaySpan("cg.replay");
         double EmitBefore = Emit.emitSeconds();
         std::string SemErr;
-        bool Ok = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
+        TreeOk = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
         EmitInGen += Emit.emitSeconds() - EmitBefore;
-        if (!Ok) {
-          Err = strf("%s\n  while generating: %s", SemErr.c_str(),
-                     printLinear(Tree, Prog.Syms).c_str());
+        if (!TreeOk)
+          TreeErr = strf("%s\n  while generating: %s", SemErr.c_str(),
+                         printLinear(Tree, Prog.Syms).c_str());
+      } else {
+        TreeErr = strf("%s\n  while matching: %s", MR.Error.c_str(),
+                       printLinear(Tree, Prog.Syms).c_str());
+      }
+      if (TreeOk) {
+        ++Stats.StatementTrees;
+        return true;
+      }
+
+      // Degradation ladder: one tree failing the table-driven path must
+      // not kill the module. Discard the tree's partial output and
+      // per-statement state, then regenerate it through the PCC baseline.
+      ++Stats.BlockedTrees;
+      ++gg::stats().counter("cg.blocked_trees");
+      if (!Opts.Recover) {
+        Err = TreeErr;
+        return false;
+      }
+      Emit.rollback(TreeMark);
+      Sem.resetAfterFailure();
+      Diags.warning(
+          strf("recovering via the baseline generator: %s", TreeErr.c_str()));
+      DiagnosticSink FallbackDiags;
+      {
+        TimerScope TS(GenT);
+        TraceSpan FallbackSpan("cg.fallback");
+        if (!pccGenStatement(Prog, F, Tree, Emit, FallbackDiags)) {
+          // Bottom of the ladder: a module-level diagnostic, never
+          // process death — the caller decides what to do with it.
+          Err = strf("tree failed the table-driven path AND the baseline "
+                     "fallback\n  table-driven: %s\n  fallback: %s",
+                     TreeErr.c_str(), FallbackDiags.renderAll().c_str());
+          Diags.error(Err);
           return false;
         }
       }
+      // Spliced code clobbers condition codes behind the CC tracker's back.
+      Sem.invalidateCC();
+      ++Stats.RecoveredTrees;
+      ++gg::stats().counter("cg.recovered_trees");
       ++Stats.StatementTrees;
       return true;
     };

@@ -9,8 +9,52 @@
 
 using namespace gg;
 
-Matcher::Matcher(const Grammar &G, const PackedTables &T) : G(G), T(T) {
+Matcher::Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts)
+    : G(G), T(T), Opts(Opts) {
   assert(G.isFrozen() && "matcher requires a frozen grammar");
+}
+
+std::string BlockReport::render() const {
+  // Joins up to \p Cap names; real grammars have dozens of shiftable
+  // terminals per state and the rendering must stay one line.
+  auto Join = [](const std::vector<std::string> &Names, size_t Cap) {
+    std::string Out;
+    for (size_t I = 0; I < Names.size() && I < Cap; ++I) {
+      if (I)
+        Out += ' ';
+      Out += Names[I];
+    }
+    if (Names.size() > Cap)
+      Out += strf(" ...(%zu more)", Names.size() - Cap);
+    return Out;
+  };
+
+  std::string Msg;
+  switch (Why) {
+  case Cause::UnknownTerminal:
+    Msg = strf("no terminal symbol '%s' in the machine description (token %zu)",
+               Lookahead.c_str(), TokenPos);
+    break;
+  case Cause::MissingGoto:
+    Msg = strf("internal error: missing goto for '%s' in state %d "
+               "(token %zu)",
+               Lookahead.c_str(), State, TokenPos);
+    break;
+  case Cause::DepthCap:
+    Msg = strf("syntactic block: parse stack depth %zu exceeded the cap in "
+               "state %d at token %zu ('%s')",
+               StackDepth, State, TokenPos, Lookahead.c_str());
+    break;
+  case Cause::NoAction:
+    Msg = strf("syntactic block in state %d at token %zu ('%s')", State,
+               TokenPos, Lookahead.c_str());
+    break;
+  }
+  if (!ViablePrefix.empty())
+    Msg += strf("; viable prefix: %s", Join(ViablePrefix, 12).c_str());
+  if (!ShiftableTerms.empty())
+    Msg += strf("; shiftable here: %s", Join(ShiftableTerms, 8).c_str());
+  return Msg;
 }
 
 int Matcher::termIndexFor(const std::string &Name) const {
@@ -33,6 +77,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
   static uint64_t &NumTies = Reg.counter("match.dynamic_ties");
   static uint64_t &NumChooser = Reg.counter("match.chooser_invocations");
   static uint64_t &NumBlocks = Reg.counter("match.syntactic_blocks");
+  static uint64_t &NumCapHits = Reg.counter("match.depth_cap_hits");
   static LogHistogram &DepthHist = Reg.histogram("match.stack_depth");
   static LogHistogram &TokensHist = Reg.histogram("match.tokens_per_tree");
   static LogHistogram &StepsHist = Reg.histogram("match.steps_per_tree");
@@ -42,6 +87,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
 
   MatchResult R;
   std::vector<int> StateStack{0};
+  std::vector<SymId> SymStack; ///< parallel symbol stack (viable prefix)
   R.Steps.reserve(Input.size() * 3);
   size_t MaxDepth = 1;
 
@@ -60,18 +106,45 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
     Span.arg("max_depth", static_cast<int64_t>(MaxDepth));
   };
 
+  // Fails the match with a structured report; Error is the rendering of
+  // Block so string-matching consumers keep working.
+  auto Blocked = [&](BlockReport::Cause Why, std::string Lookahead) {
+    BlockReport B;
+    B.Why = Why;
+    B.State = StateStack.back();
+    B.TokenPos = Pos;
+    B.StackDepth = StateStack.size();
+    B.Lookahead = std::move(Lookahead);
+    B.ViablePrefix.reserve(SymStack.size());
+    for (SymId S : SymStack)
+      B.ViablePrefix.push_back(G.symbolName(S));
+    for (int TI = 0; TI < T.numTerms(); ++TI)
+      if (T.actionAt(B.State, TI).Kind != ActionType::Error)
+        B.ShiftableTerms.push_back(G.symbolName(G.terminals()[TI]));
+    R.Error = B.render();
+    R.Block = std::move(B);
+    Finish();
+  };
+
   while (true) {
     int TermIdx;
     if (Pos < N) {
       TermIdx = termIndexFor(Input[Pos].Term);
       if (TermIdx < 0) {
-        R.Error = strf("no terminal symbol '%s' in the machine description",
-                       Input[Pos].Term.c_str());
-        Finish();
+        Blocked(BlockReport::Cause::UnknownTerminal, Input[Pos].Term);
         return R;
       }
     } else {
       TermIdx = EofIdx;
+    }
+
+    if (StateStack.size() > Opts.MaxStackDepth) {
+      // Cap hit: pathological input (or an injected fault) must degrade
+      // into a reportable block, not unbounded growth.
+      ++NumCapHits;
+      Blocked(BlockReport::Cause::DepthCap,
+              Pos < N ? Input[Pos].Term : G.symbolName(G.eofSymbol()));
+      return R;
     }
 
     int State = StateStack.back();
@@ -82,6 +155,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       R.Steps.push_back(
           {MatchStep::Shift, static_cast<int>(Pos), -1});
       StateStack.push_back(A.Target);
+      SymStack.push_back(G.terminals()[TermIdx]);
       MaxDepth = std::max(MaxDepth, StateStack.size());
       ++Pos;
       break;
@@ -105,16 +179,17 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       const Production &P = G.prod(Prod);
       assert(StateStack.size() > P.Rhs.size() && "stack underflow on reduce");
       StateStack.resize(StateStack.size() - P.Rhs.size());
+      SymStack.resize(SymStack.size() - P.Rhs.size());
       int GotoState = T.gotoAt(StateStack.back(), G.ntIndex(P.Lhs));
       if (GotoState < 0) {
-        R.Error = strf("internal error: missing goto for '%s' after "
-                       "reducing production %d",
-                       G.symbolName(P.Lhs).c_str(), Prod);
-        Finish();
+        // Lookahead carries the stranded nonterminal: corrupt/stale tables,
+        // not a description gap.
+        Blocked(BlockReport::Cause::MissingGoto, G.symbolName(P.Lhs));
         return R;
       }
       R.Steps.push_back({MatchStep::Reduce, -1, Prod});
       StateStack.push_back(GotoState);
+      SymStack.push_back(P.Lhs);
       MaxDepth = std::max(MaxDepth, StateStack.size());
       break;
     }
@@ -124,15 +199,12 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       Finish();
       return R;
 
-    case ActionType::Error: {
-      std::string At = Pos < N ? Input[Pos].Term : "$end";
+    case ActionType::Error:
       // A parse error on well-formed input is a syntactic block (§6.2.2):
       // the machine description cannot continue this viable prefix.
-      R.Error = strf("syntactic block in state %d at token %zu ('%s')",
-                     State, Pos, At.c_str());
-      Finish();
+      Blocked(BlockReport::Cause::NoAction,
+              Pos < N ? Input[Pos].Term : "$end");
       return R;
-    }
     }
   }
 }

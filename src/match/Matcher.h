@@ -26,6 +26,7 @@
 #include "tablegen/Packing.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,11 +41,46 @@ struct MatchStep {
   int ProdId = -1;     ///< valid for Reduce
 };
 
+/// Structured description of a syntactic block (§6.2.2): everything the
+/// degradation ladder and a description author need to understand why the
+/// matcher wedged, instead of a bare string.
+struct BlockReport {
+  enum class Cause : uint8_t {
+    NoAction,        ///< no action for (state, lookahead): a description gap
+    UnknownTerminal, ///< the input token is not a grammar terminal at all
+    MissingGoto,     ///< no goto after a reduce (corrupt or stale tables)
+    DepthCap         ///< the configured parse-stack depth cap was exceeded
+  };
+  Cause Why = Cause::NoAction;
+  int State = -1;           ///< parser state at the block
+  size_t TokenPos = 0;      ///< input position of the offending lookahead
+  size_t StackDepth = 0;    ///< parse-stack depth at the block
+  std::string Lookahead;    ///< offending token, or "$end"
+  /// Grammar symbols on the parse stack, bottom to top — the viable prefix
+  /// the tables could not extend.
+  std::vector<std::string> ViablePrefix;
+  /// Terminals for which the blocking state does have an action; the
+  /// "nearest shiftable terminals" a description fix would target.
+  std::vector<std::string> ShiftableTerms;
+
+  /// One-line human rendering (used as MatchResult::Error).
+  std::string render() const;
+};
+
 /// Outcome of matching one tree.
 struct MatchResult {
   bool Ok = false;
   std::string Error; ///< syntactic-block description when !Ok
+  std::optional<BlockReport> Block; ///< structured cause when !Ok
   std::vector<MatchStep> Steps;
+};
+
+/// Tunables for one Matcher instance.
+struct MatcherOptions {
+  /// Parse-stack depth cap: a pathological or fault-injected input yields a
+  /// BlockReport (Cause::DepthCap) instead of unbounded growth. Generous by
+  /// default — real trees stay well under 100 (match.stack_depth histogram).
+  size_t MaxStackDepth = 10000;
 };
 
 /// Chooses among reduce candidates (first entry is the statically
@@ -55,18 +91,21 @@ using DynamicChooser =
 /// A reusable matcher bound to one grammar and its packed tables.
 class Matcher {
 public:
-  Matcher(const Grammar &G, const PackedTables &T);
+  Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts = {});
 
   /// Matches \p Input (a prefix-linearized tree). A parse error here is a
   /// syntactic block: the description failed to cover well-formed input.
+  /// On failure, MatchResult::Block carries the structured cause.
   MatchResult match(const std::vector<LinToken> &Input,
                     const DynamicChooser &Chooser = nullptr) const;
 
   const Grammar &grammar() const { return G; }
+  const MatcherOptions &options() const { return Opts; }
 
 private:
   const Grammar &G;
   const PackedTables &T;
+  MatcherOptions Opts;
   mutable std::unordered_map<std::string, int> TermIndexCache;
 
   /// Terminal index for a token name, or -1 if the grammar lacks it.

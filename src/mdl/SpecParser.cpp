@@ -1,6 +1,7 @@
 //===- SpecParser.cpp - machine description spec files ---------------------===//
 
 #include "mdl/SpecParser.h"
+#include "support/FaultInject.h"
 #include "support/Strings.h"
 
 #include <cctype>
@@ -196,6 +197,15 @@ bool MdSpec::expand(Grammar &G, DiagnosticSink &Diags) const {
     }
 
     if (Used.empty()) {
+      // drop-prod fault: manufactures the paper's central failure mode (a
+      // description gap) on demand; the symbols are still interned so the
+      // matcher blocks instead of rejecting the terminal outright.
+      if (faultInject().shouldDropProduction(Rule.SemTag)) {
+        for (const std::string &Tok : Rule.Rhs)
+          G.getOrAddSymbol(Tok);
+        G.getOrAddSymbol(Rule.Lhs);
+        continue;
+      }
       std::vector<SymId> Rhs;
       for (const std::string &Tok : Rule.Rhs)
         Rhs.push_back(G.getOrAddSymbol(Tok));
@@ -207,12 +217,19 @@ bool MdSpec::expand(Grammar &G, DiagnosticSink &Diags) const {
     char Letter = *Used.begin();
     const TypeClass *Class = findClass(Letter);
     for (char Size : Class->Sizes) {
+      std::string SemTag = substToken(Rule.SemTag, Letter, Size);
+      if (faultInject().shouldDropProduction(SemTag)) {
+        for (const std::string &Tok : Rule.Rhs)
+          G.getOrAddSymbol(substToken(Tok, Letter, Size));
+        G.getOrAddSymbol(substToken(Rule.Lhs, Letter, Size));
+        continue;
+      }
       std::vector<SymId> Rhs;
       for (const std::string &Tok : Rule.Rhs)
         Rhs.push_back(G.getOrAddSymbol(substToken(Tok, Letter, Size)));
       G.addProduction(G.getOrAddSymbol(substToken(Rule.Lhs, Letter, Size)),
-                      std::move(Rhs), Rule.Kind,
-                      substToken(Rule.SemTag, Letter, Size), Rule.IsBridge,
+                      std::move(Rhs), Rule.Kind, std::move(SemTag),
+                      Rule.IsBridge,
                       /*FromReplication=*/true);
     }
   }

@@ -17,10 +17,11 @@ char scOf(Ty T) { return suffixChar(T); }
 
 class PccFunctionGen {
 public:
-  PccFunctionGen(Program &P, Function &F, AsmEmitter &Emit)
-      : P(P), F(F), A(*P.Arena), Emit(Emit) {}
+  PccFunctionGen(Program &P, Function &F, AsmEmitter &Emit,
+                 DiagnosticSink &Diags)
+      : P(P), F(F), A(*P.Arena), Emit(Emit), Diags(Diags) {}
 
-  bool run(std::string &Err) {
+  bool run() {
     // The baseline prevents spills the way PCC did: split register-hungry
     // statements up front, then walk with a simple accumulator stack.
     splitBusyStatements();
@@ -31,12 +32,10 @@ public:
       genStmt(S);
       if (S->is(Op::Ret))
         EndsWithRet = true;
-      if (!Fail.empty()) {
-        Err = Fail;
+      if (Failed)
         return false;
-      }
       if (BusyMask != 0) {
-        Err = "baseline register leak";
+        fatal("baseline register leak");
         return false;
       }
     }
@@ -45,17 +44,39 @@ public:
     return true;
   }
 
+  /// Generates one statement tree (the fallback path); splits it the same
+  /// way run() pre-splits the whole body, without touching F.Body.
+  bool runOne(Node *S) {
+    std::vector<Node *> Stmts;
+    splitStatement(S, Stmts);
+    for (Node *St : Stmts) {
+      genStmt(St);
+      if (Failed)
+        return false;
+      if (BusyMask != 0) {
+        fatal("baseline register leak");
+        return false;
+      }
+    }
+    return true;
+  }
+
 private:
   Program &P;
   Function &F;
   NodeArena &A;
   AsmEmitter &Emit;
+  DiagnosticSink &Diags;
   unsigned BusyMask = 0; ///< bit per scratch register r0..r5
-  std::string Fail;
+  bool Failed = false;
 
   void fatal(const std::string &M) {
-    if (Fail.empty())
-      Fail = M;
+    // First failure is the root cause; it accumulates as a diagnostic
+    // (never process death) so the baseline is safe as a fallback.
+    if (!Failed) {
+      Failed = true;
+      Diags.error(M);
+    }
   }
 
   int alloc() {
@@ -76,30 +97,36 @@ private:
     freeReg(O.Index);
   }
 
+  /// Pre-splits one statement into \p Out: embedded library calls are
+  /// hoisted so r0 is never live across the call, then register-hungry
+  /// subtrees are assigned to frame temporaries.
+  void splitStatement(Node *S, std::vector<Node *> &Out) {
+    // Unsigned division/modulus become library calls whose result
+    // arrives in r0; hoist each one to its own statement so r0 is
+    // never live across the call.
+    for (int Guard = 0; Guard < 16; ++Guard) {
+      Node **Lib = findLibCallSubtree(S, /*AtRoot=*/true);
+      if (!Lib)
+        break;
+      Node *Tmp = A.local((*Lib)->Type, F.allocLocal(4));
+      Out.push_back(A.bin(Op::Assign, (*Lib)->Type, Tmp, *Lib));
+      *Lib = A.clone(Tmp);
+    }
+    for (int Guard = 0; Guard < 16 && registerNeed(S) > 5; ++Guard) {
+      Node **Split = findHungryChild(S);
+      if (!Split)
+        break;
+      Node *Tmp = A.local((*Split)->Type, F.allocLocal(4));
+      Out.push_back(A.bin(Op::Assign, (*Split)->Type, Tmp, *Split));
+      *Split = A.clone(Tmp);
+    }
+    Out.push_back(S);
+  }
+
   void splitBusyStatements() {
     std::vector<Node *> Out;
-    for (Node *S : F.Body) {
-      // Unsigned division/modulus become library calls whose result
-      // arrives in r0; hoist each one to its own statement so r0 is
-      // never live across the call.
-      for (int Guard = 0; Guard < 16; ++Guard) {
-        Node **Lib = findLibCallSubtree(S, /*AtRoot=*/true);
-        if (!Lib)
-          break;
-        Node *Tmp = A.local((*Lib)->Type, F.allocLocal(4));
-        Out.push_back(A.bin(Op::Assign, (*Lib)->Type, Tmp, *Lib));
-        *Lib = A.clone(Tmp);
-      }
-      for (int Guard = 0; Guard < 16 && registerNeed(S) > 5; ++Guard) {
-        Node **Split = findHungryChild(S);
-        if (!Split)
-          break;
-        Node *Tmp = A.local((*Split)->Type, F.allocLocal(4));
-        Out.push_back(A.bin(Op::Assign, (*Split)->Type, Tmp, *Split));
-        *Split = A.clone(Tmp);
-      }
-      Out.push_back(S);
-    }
+    for (Node *S : F.Body)
+      splitStatement(S, Out);
     F.Body = std::move(Out);
   }
 
@@ -303,7 +330,7 @@ private:
 
   //===--- expressions ----------------------------------------------------------
   Operand genExpr(Node *N) {
-    if (!Fail.empty())
+    if (Failed)
       return Operand::imm(0, Ty::L);
     Ty T = N->Type;
     char SC = scOf(T);
@@ -561,9 +588,12 @@ bool PccCodeGenerator::compile(Program &Prog, std::string &Asm,
     size_t PrologueLine = Emit.lines().size();
     Emit.instRaw("subl2", {"$FRAME", "sp"});
 
-    PccFunctionGen Gen(Prog, F, Emit);
-    if (!Gen.run(Err))
+    DiagnosticSink Diags;
+    PccFunctionGen Gen(Prog, F, Emit, Diags);
+    if (!Gen.run()) {
+      Err = Diags.renderAll();
       return false;
+    }
     Emit.patchLine(PrologueLine, strf("\tsubl2\t$%d,sp", F.FrameSize));
   }
   T.stop();
@@ -571,5 +601,18 @@ bool PccCodeGenerator::compile(Program &Prog, std::string &Asm,
   Stats.Instructions = Emit.instructionCount();
   Asm += Emit.text();
   Stats.AsmLines = Emit.lineCount();
+  return true;
+}
+
+bool gg::pccGenStatement(Program &P, Function &F, Node *S, AsmEmitter &Emit,
+                         DiagnosticSink &Diags) {
+  // Fallback generation must be all-or-nothing: roll back anything a
+  // failed walk emitted so the caller can report a clean module error.
+  AsmEmitter::Mark M = Emit.mark();
+  PccFunctionGen Gen(P, F, Emit, Diags);
+  if (!Gen.runOne(S)) {
+    Emit.rollback(M);
+    return false;
+  }
   return true;
 }

@@ -25,11 +25,14 @@
 #define GG_PCC_PCCCODEGEN_H
 
 #include "ir/Program.h"
+#include "support/Error.h"
 
 #include <cstddef>
 #include <string>
 
 namespace gg {
+
+class AsmEmitter;
 
 /// Statistics for one baseline compilation.
 struct PccStats {
@@ -43,7 +46,8 @@ struct PccStats {
 class PccCodeGenerator {
 public:
   /// Compiles \p Prog, appending assembly to \p Asm; false + \p Err on an
-  /// unsupported construct (a baseline bug).
+  /// unsupported construct (a baseline bug). Failures accumulate in a
+  /// DiagnosticSink internally; \p Err is its rendering.
   bool compile(Program &Prog, std::string &Asm, std::string &Err);
 
   const PccStats &stats() const { return Stats; }
@@ -51,6 +55,19 @@ public:
 private:
   PccStats Stats;
 };
+
+/// Generates code for ONE statement tree of \p F through the baseline,
+/// appending to \p Emit — the degradation ladder's per-tree fallback when
+/// the table-driven path hits a syntactic block. \p S must already be
+/// phase-1 lowered (the baseline walker handles the GG pipeline's
+/// canonicalizations: reverse ops, AssignR, PostInc/PreDec, Conv).
+/// Register-hungry subtrees and embedded library calls are split into
+/// temporaries exactly as the whole-function baseline does; frame cells
+/// come from \p F so the caller's prologue patching covers them. Returns
+/// false with diagnostics in \p Diags on an unsupported construct,
+/// emitting nothing in that case.
+bool pccGenStatement(Program &P, Function &F, Node *S, AsmEmitter &Emit,
+                     DiagnosticSink &Diags);
 
 } // namespace gg
 

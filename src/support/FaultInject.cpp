@@ -1,0 +1,133 @@
+//===- FaultInject.cpp - deterministic fault injection ------------------------===//
+
+#include "support/FaultInject.h"
+#include "support/Stats.h"
+#include "support/Strings.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+using namespace gg;
+
+FaultInjector &FaultInjector::global() {
+  static FaultInjector *I = [] {
+    auto *Inj = new FaultInjector();
+    // Environment configuration lets the fault matrix wrap any driver or
+    // test binary without threading a flag through; a malformed value is a
+    // loud no-op rather than a silent one.
+    if (const char *Env = std::getenv("GG_FAULT")) {
+      std::string Err;
+      if (!Inj->configure(Env, Err))
+        fprintf(stderr, "warning: ignoring GG_FAULT: %s\n", Err.c_str());
+    }
+    return Inj;
+  }();
+  return *I;
+}
+
+bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
+  FaultConfig New;
+  for (std::string_view Item : splitString(Spec, ',')) {
+    Item = trim(Item);
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    std::string_view Key = Item.substr(0, Eq);
+    std::string_view Val =
+        Eq == std::string_view::npos ? std::string_view() : Item.substr(Eq + 1);
+
+    if (Key == "drop-prod") {
+      if (Val.empty()) {
+        Err = "drop-prod requires a semantic tag (drop-prod=mul_l)";
+        return false;
+      }
+      New.DropProdTag = std::string(Val);
+    } else if (Key == "corrupt-table") {
+      if (Val.empty()) {
+        New.CorruptTableByte = -2; // seed-derived offset
+      } else {
+        std::optional<int64_t> N = parseInt(Val);
+        if (!N || *N < 0) {
+          Err = strf("corrupt-table offset must be a non-negative integer, "
+                     "got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        New.CorruptTableByte = *N;
+      }
+    } else if (Key == "truncate-input") {
+      int64_t N = 1;
+      if (!Val.empty()) {
+        std::optional<int64_t> P = parseInt(Val);
+        if (!P || *P < 1) {
+          Err = strf("truncate-input period must be >= 1, got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        N = *P;
+      }
+      New.TruncateEveryNth = static_cast<int>(N);
+    } else if (Key == "cap-regs") {
+      std::optional<int64_t> K = Val.empty() ? std::nullopt : parseInt(Val);
+      if (!K || *K < 1 || *K > 6) {
+        Err = "cap-regs requires a register count in [1,6] (cap-regs=2)";
+        return false;
+      }
+      New.CapFreeRegs = static_cast<int>(*K);
+    } else if (Key == "seed") {
+      std::optional<int64_t> S = Val.empty() ? std::nullopt : parseInt(Val);
+      if (!S || *S < 0) {
+        Err = "seed requires a non-negative integer";
+        return false;
+      }
+      New.Seed = static_cast<uint64_t>(*S);
+    } else {
+      Err = strf("unknown fault kind '%.*s' (known: drop-prod, "
+                 "corrupt-table, truncate-input, cap-regs, seed)",
+                 static_cast<int>(Key.size()), Key.data());
+      return false;
+    }
+  }
+  C = New;
+  TreeOrdinal = 0;
+  return true;
+}
+
+bool FaultInjector::shouldDropProduction(std::string_view SemTag) {
+  if (C.DropProdTag.empty() || SemTag != C.DropProdTag)
+    return false;
+  ++stats().counter("fault.productions_dropped");
+  return true;
+}
+
+size_t FaultInjector::truncatedInputSize(size_t NumTokens) {
+  if (C.TruncateEveryNth <= 0)
+    return NumTokens;
+  uint64_t Ordinal = TreeOrdinal++;
+  if (Ordinal % static_cast<uint64_t>(C.TruncateEveryNth) != 0)
+    return NumTokens;
+  // A proper prefix of a prefix linearization is never itself well formed,
+  // so chopping trailing tokens always yields a syntactic block at $end —
+  // never a silently accepted wrong parse. Single-token trees are left
+  // alone (an empty input would not reach the interesting code).
+  if (NumTokens < 2)
+    return NumTokens;
+  size_t Keep = NumTokens - (NumTokens / 4 > 0 ? NumTokens / 4 : 1);
+  ++stats().counter("fault.trees_truncated");
+  return Keep;
+}
+
+int64_t FaultInjector::corruptTableBody(std::string &TableText,
+                                        size_t BodyStart) {
+  if (C.CorruptTableByte == -1 || BodyStart >= TableText.size())
+    return -1;
+  size_t BodyLen = TableText.size() - BodyStart;
+  uint64_t Off = C.CorruptTableByte >= 0
+                     ? static_cast<uint64_t>(C.CorruptTableByte)
+                     : C.Seed * 2654435761u; // Knuth hash of the seed
+  size_t Pos = BodyStart + static_cast<size_t>(Off % BodyLen);
+  TableText[Pos] ^= 0x01;
+  ++stats().counter("fault.table_bytes_corrupted");
+  return static_cast<int64_t>(Pos - BodyStart);
+}

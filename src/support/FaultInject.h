@@ -1,0 +1,112 @@
+//===- FaultInject.h - deterministic fault injection ------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the graceful-degradation ladder. The
+/// paper's central fragility is the *syntactic block*: a description gap
+/// wedges the matcher on well-formed input, and the authors could "only
+/// iterate on the grammar once per day". This subsystem manufactures those
+/// gaps (and the neighboring failure modes) on demand so every recovery
+/// path is exercised by tests and by `run_vax --fault=...`:
+///
+///   * `drop-prod=TAG`       drop expanded grammar productions whose
+///                           semantic tag is TAG (a description gap);
+///   * `corrupt-table[=OFF]` flip one byte of a serialized table file's
+///                           body (exercises the loader's checksum);
+///   * `truncate-input[=N]`  truncate the linearized input of every Nth
+///                           statement tree (a phase-1/linearizer bug);
+///   * `cap-regs=K`          let the register manager hand out only the
+///                           first K scratch registers (forces exhaustion);
+///   * `seed=S`              seed for derived offsets (deterministic).
+///
+/// Faults are process-global (like the stats registry), configured from a
+/// driver flag or the GG_FAULT environment variable, and default to off.
+/// Every injected event is counted under `fault.*` in gg-stats-v1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_FAULTINJECT_H
+#define GG_SUPPORT_FAULTINJECT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gg {
+
+/// Parsed fault-injection configuration; all faults default to off.
+struct FaultConfig {
+  /// Drop expanded productions whose semantic tag equals this (e.g.
+  /// "mul_l"). Empty = off.
+  std::string DropProdTag;
+  /// Flip one body byte of a serialized table file. -1 = off; -2 = on with
+  /// a seed-derived offset; >= 0 = explicit body offset.
+  int64_t CorruptTableByte = -1;
+  /// Truncate the matcher input of every Nth statement tree (1 = every
+  /// tree). 0 = off.
+  int TruncateEveryNth = 0;
+  /// Cap the register manager to the first K allocatable registers
+  /// (1 <= K <= 6). -1 = off.
+  int CapFreeRegs = -1;
+  /// Seed for derived choices (corrupt offset, truncation point).
+  uint64_t Seed = 1;
+
+  bool anyEnabled() const {
+    return !DropProdTag.empty() || CorruptTableByte != -1 ||
+           TruncateEveryNth > 0 || CapFreeRegs >= 0;
+  }
+};
+
+/// Process-global fault injector. Decision helpers are cheap no-ops when
+/// the corresponding fault is off, so production call sites stay hot-path
+/// friendly; helpers that fire also bump the matching `fault.*` counter.
+class FaultInjector {
+public:
+  static FaultInjector &global();
+
+  /// Parses a `--fault=` spec ("drop-prod=mul_l,cap-regs=2,seed=7") into
+  /// the active config. Returns false and sets \p Err on a malformed spec;
+  /// the previous config is kept in that case.
+  bool configure(std::string_view Spec, std::string &Err);
+
+  void setConfig(const FaultConfig &NewConfig) { C = NewConfig; }
+  const FaultConfig &config() const { return C; }
+  bool enabled() const { return C.anyEnabled(); }
+
+  /// Restores the all-off default (tests).
+  void reset() { C = FaultConfig(); TreeOrdinal = 0; }
+
+  /// True if the expanded production with semantic tag \p SemTag should be
+  /// dropped from the grammar (counts `fault.productions_dropped`).
+  bool shouldDropProduction(std::string_view SemTag);
+
+  /// Returns the truncated token count for the statement tree that is
+  /// about to be matched (counts `fault.trees_truncated` when it chops).
+  /// Advances the per-process tree ordinal; returns \p NumTokens unchanged
+  /// when the fault is off or this tree is not selected.
+  size_t truncatedInputSize(size_t NumTokens);
+
+  /// Register-manager cap: the number of allocatable scratch registers the
+  /// allocator may use, or -1 for no cap.
+  int capFreeRegs() const { return C.CapFreeRegs; }
+
+  /// Flips one byte of \p TableText within [BodyStart, TableText.size())
+  /// per the config (counts `fault.table_bytes_corrupted`). Returns the
+  /// corrupted offset, or -1 if the fault is off or the body is empty.
+  int64_t corruptTableBody(std::string &TableText, size_t BodyStart);
+
+private:
+  FaultConfig C;
+  uint64_t TreeOrdinal = 0; ///< statement trees seen (for truncate-input)
+};
+
+/// Shorthand for the global injector.
+inline FaultInjector &faultInject() { return FaultInjector::global(); }
+
+} // namespace gg
+
+#endif // GG_SUPPORT_FAULTINJECT_H

@@ -7,7 +7,7 @@ using namespace gg;
 
 namespace {
 constexpr const char *Magic = "ggtables";
-constexpr int Version = 1;
+constexpr int Version = 2;
 
 uint64_t hashCombine(uint64_t H, uint64_t V) {
   H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
@@ -18,6 +18,32 @@ uint64_t hashString(uint64_t H, const std::string &S) {
   for (char C : S)
     H = hashCombine(H, static_cast<uint8_t>(C));
   return H;
+}
+
+/// Checksum over the exact body bytes (everything after the three header
+/// lines). Verified before any structural parsing, so a corrupt file is a
+/// single clear diagnostic instead of whichever range check it trips.
+uint64_t bodyChecksum(std::string_view Body) {
+  uint64_t H = 0xC0DE;
+  for (char C : Body)
+    H = hashCombine(H, static_cast<uint8_t>(C));
+  return H;
+}
+
+/// Reads the next '\n'-terminated line of \p Text starting at \p Off,
+/// advancing \p Off past the newline. Returns false at end of text.
+bool nextLine(const std::string &Text, size_t &Off, std::string_view &Line) {
+  if (Off >= Text.size())
+    return false;
+  size_t End = Text.find('\n', Off);
+  if (End == std::string::npos) {
+    Line = std::string_view(Text).substr(Off);
+    Off = Text.size();
+  } else {
+    Line = std::string_view(Text).substr(Off, End - Off);
+    Off = End + 1;
+  }
+  return true;
 }
 } // namespace
 
@@ -37,11 +63,8 @@ uint64_t gg::grammarFingerprint(const Grammar &G) {
 }
 
 std::string gg::serializeTables(const Grammar &G, const LRTables &T) {
-  std::string Out;
-  Out += strf("%s %d\n", Magic, Version);
-  Out += strf("fingerprint %llx\n",
-              (unsigned long long)grammarFingerprint(G));
-  Out += strf("dims %d %d %d\n", T.NumStates, T.NumTerms, T.NumNonterms);
+  std::string Body;
+  Body += strf("dims %d %d %d\n", T.NumStates, T.NumTerms, T.NumNonterms);
 
   // Sparse action rows: "a <state> <term>:<kind>:<target> ...".
   for (int S = 0; S < T.NumStates; ++S) {
@@ -53,7 +76,7 @@ std::string gg::serializeTables(const Grammar &G, const LRTables &T) {
       Row += strf(" %d:%d:%d", TI, static_cast<int>(A.Kind), A.Target);
     }
     if (!Row.empty())
-      Out += strf("a %d%s\n", S, Row.c_str());
+      Body += strf("a %d%s\n", S, Row.c_str());
   }
   for (int S = 0; S < T.NumStates; ++S) {
     std::string Row;
@@ -64,51 +87,109 @@ std::string gg::serializeTables(const Grammar &G, const LRTables &T) {
       Row += strf(" %d:%d", NI, Dst);
     }
     if (!Row.empty())
-      Out += strf("g %d%s\n", S, Row.c_str());
+      Body += strf("g %d%s\n", S, Row.c_str());
   }
   for (const auto &[Key, Prods] : T.DynChoices) {
-    Out += strf("d %d %d", static_cast<int>(Key >> 32),
-                static_cast<int>(Key & 0xffffffff));
+    Body += strf("d %d %d", static_cast<int>(Key >> 32),
+                 static_cast<int>(Key & 0xffffffff));
     for (int P : Prods)
-      Out += strf(" %d", P);
-    Out += '\n';
+      Body += strf(" %d", P);
+    Body += '\n';
   }
-  Out += "end\n";
+  Body += "end\n";
+
+  std::string Out;
+  Out += strf("%s %d\n", Magic, Version);
+  Out += strf("fingerprint %llx\n",
+              (unsigned long long)grammarFingerprint(G));
+  Out += strf("checksum %llx %zu\n", (unsigned long long)bodyChecksum(Body),
+              Body.size());
+  Out += Body;
   return Out;
+}
+
+size_t gg::tableBodyOffset(const std::string &Text) {
+  // The body starts after the three header lines (magic, fingerprint,
+  // checksum).
+  size_t Off = 0;
+  for (int I = 0; I < 3; ++I) {
+    Off = Text.find('\n', Off);
+    if (Off == std::string::npos)
+      return std::string::npos;
+    ++Off;
+  }
+  return Off;
 }
 
 bool gg::deserializeTables(const std::string &Text, const Grammar &G,
                            LRTables &T, DiagnosticSink &Diags) {
   T = LRTables();
-  int LineNo = 0;
-  bool SawHeader = false, SawDims = false, SawEnd = false;
-  for (std::string_view Line : splitString(Text, '\n')) {
+
+  // Strict three-line header: magic+version, fingerprint, checksum. The
+  // checksum is verified over the exact remaining bytes BEFORE any
+  // structural parsing, so corruption anywhere in the body is one clear
+  // diagnostic rather than whichever range check it happens to trip.
+  size_t Off = 0;
+  std::string_view Line;
+  if (!nextLine(Text, Off, Line) || splitWhitespace(Line).size() != 2 ||
+      splitWhitespace(Line)[0] != Magic ||
+      parseInt(splitWhitespace(Line)[1]).value_or(-1) != Version) {
+    Diags.error("not a ggtables file (bad magic or version)", 1);
+    return false;
+  }
+  if (!nextLine(Text, Off, Line)) {
+    Diags.error("truncated table file (missing fingerprint line)", 2);
+    return false;
+  }
+  {
+    std::vector<std::string_view> Tok = splitWhitespace(Line);
+    if (Tok.size() != 2 || Tok[0] != "fingerprint") {
+      Diags.error("malformed fingerprint line", 2);
+      return false;
+    }
+    if (strf("%llx", (unsigned long long)grammarFingerprint(G)) !=
+        std::string(Tok[1])) {
+      Diags.error("table file does not match this grammar "
+                  "(fingerprint mismatch): rebuild the tables",
+                  2);
+      return false;
+    }
+  }
+  if (!nextLine(Text, Off, Line)) {
+    Diags.error("truncated table file (missing checksum line)", 3);
+    return false;
+  }
+  {
+    std::vector<std::string_view> Tok = splitWhitespace(Line);
+    if (Tok.size() != 3 || Tok[0] != "checksum") {
+      Diags.error("malformed checksum line", 3);
+      return false;
+    }
+    std::string_view Body = std::string_view(Text).substr(Off);
+    int64_t Len = parseInt(Tok[2]).value_or(-1);
+    if (Len < 0 || static_cast<size_t>(Len) != Body.size()) {
+      Diags.error(strf("checksum: body is %zu bytes but the header "
+                       "declares %lld (truncated table file?)",
+                       Body.size(), (long long)Len),
+                  3);
+      return false;
+    }
+    if (strf("%llx", (unsigned long long)bodyChecksum(Body)) !=
+        std::string(Tok[1])) {
+      Diags.error("checksum mismatch: table file is corrupt", 3);
+      return false;
+    }
+  }
+
+  int LineNo = 3;
+  bool SawDims = false, SawEnd = false;
+  while (nextLine(Text, Off, Line)) {
     ++LineNo;
     Line = trim(Line);
     if (Line.empty())
       continue;
     std::vector<std::string_view> Tok = splitWhitespace(Line);
 
-    if (!SawHeader) {
-      if (Tok.size() != 2 || Tok[0] != Magic ||
-          parseInt(Tok[1]).value_or(-1) != Version) {
-        Diags.error("not a ggtables file (bad magic or version)", LineNo);
-        return false;
-      }
-      SawHeader = true;
-      continue;
-    }
-    if (Tok[0] == "fingerprint") {
-      if (Tok.size() != 2 ||
-          strf("%llx", (unsigned long long)grammarFingerprint(G)) !=
-              std::string(Tok[1])) {
-        Diags.error("table file does not match this grammar "
-                    "(fingerprint mismatch): rebuild the tables",
-                    LineNo);
-        return false;
-      }
-      continue;
-    }
     if (Tok[0] == "dims") {
       if (Tok.size() != 4) {
         Diags.error("malformed dims line", LineNo);
@@ -157,7 +238,26 @@ bool gg::deserializeTables(const std::string &Text, const Grammar &G,
             Diags.error("action entry out of range", LineNo);
             return false;
           }
-          T.actionAt(S, TI) = {static_cast<ActionType>(Kind), Target};
+          // Targets are bounds-checked per kind: a shift must name a real
+          // state and a reduce a real production, or the matcher would
+          // index out of the tables it trusts.
+          auto K = static_cast<ActionType>(Kind);
+          if (K == ActionType::Shift && (Target < 0 || Target >= T.NumStates)) {
+            Diags.error(strf("shift target %d out of range (%d states)",
+                             Target, T.NumStates),
+                        LineNo);
+            return false;
+          }
+          if (K == ActionType::Reduce &&
+              (Target < 0 ||
+               Target >= static_cast<int>(G.numProductions()))) {
+            Diags.error(strf("reduce target %d out of range "
+                             "(%zu productions)",
+                             Target, G.numProductions()),
+                        LineNo);
+            return false;
+          }
+          T.actionAt(S, TI) = {K, Target};
         } else {
           if (Parts.size() != 2) {
             Diags.error("malformed goto entry", LineNo);
@@ -182,9 +282,22 @@ bool gg::deserializeTables(const std::string &Text, const Grammar &G,
       }
       int S = static_cast<int>(parseInt(Tok[1]).value_or(-1));
       int TI = static_cast<int>(parseInt(Tok[2]).value_or(-1));
+      if (S < 0 || S >= T.NumStates || TI < 0 || TI >= T.NumTerms) {
+        Diags.error("dynamic-choice state/terminal out of range", LineNo);
+        return false;
+      }
       std::vector<int> Prods;
-      for (size_t I = 3; I < Tok.size(); ++I)
-        Prods.push_back(static_cast<int>(parseInt(Tok[I]).value_or(-1)));
+      for (size_t I = 3; I < Tok.size(); ++I) {
+        int P = static_cast<int>(parseInt(Tok[I]).value_or(-1));
+        if (P < 0 || P >= static_cast<int>(G.numProductions())) {
+          Diags.error(strf("dynamic-choice production %d out of range "
+                           "(%zu productions)",
+                           P, G.numProductions()),
+                      LineNo);
+          return false;
+        }
+        Prods.push_back(P);
+      }
       T.DynChoices[LRTables::dynKey(S, TI)] = std::move(Prods);
       continue;
     }

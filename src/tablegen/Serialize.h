@@ -29,11 +29,20 @@ namespace gg {
 /// Stable fingerprint of a grammar's productions and symbol names.
 uint64_t grammarFingerprint(const Grammar &G);
 
-/// Renders tables (plus the grammar fingerprint) as text.
+/// Renders tables as text: a three-line header (magic+version, grammar
+/// fingerprint, body checksum+length) followed by the body.
 std::string serializeTables(const Grammar &G, const LRTables &T);
 
+/// Offset of the body (the checksummed region) within a serialized table
+/// text, i.e. the byte after the third header newline; npos if the text
+/// has fewer than three lines. Fault injection uses this to corrupt the
+/// body rather than the header.
+size_t tableBodyOffset(const std::string &Text);
+
 /// Parses a table file produced by serializeTables. Fails (with
-/// diagnostics) on version/fingerprint mismatch or malformed input.
+/// diagnostics) on version/fingerprint/checksum mismatch or malformed
+/// input; every action/goto/dynamic-choice entry is bounds-checked against
+/// the grammar's state, symbol, and production counts before use.
 bool deserializeTables(const std::string &Text, const Grammar &G,
                        LRTables &T, DiagnosticSink &Diags);
 

@@ -560,7 +560,7 @@ std::string gg::renderBuildReport(const Grammar &G, const BuildResult &R) {
   }
   Out += strf("potential syntactic blocks: %zu\n", R.Blocks.size());
   size_t Shown = 0;
-  for (const BlockReport &B : R.Blocks) {
+  for (const PotentialBlock &B : R.Blocks) {
     if (++Shown > 20) {
       Out += strf("  ... and %zu more\n", R.Blocks.size() - 20);
       break;

@@ -69,7 +69,7 @@ struct ChainLoop {
 
 /// A potential syntactic block: terminal Term has an error action in
 /// State although a same-category terminal is viable there.
-struct BlockReport {
+struct PotentialBlock {
   int State = 0;
   SymId Term = -1;
   SymId Witness = -1; ///< the same-category terminal that is viable
@@ -83,7 +83,7 @@ struct BuildResult {
   std::vector<ShiftReduceConflict> SRConflicts;
   std::vector<ReduceReduceConflict> RRConflicts;
   std::vector<ChainLoop> ChainLoops;
-  std::vector<BlockReport> Blocks;
+  std::vector<PotentialBlock> Blocks;
   size_t NumItemSets = 0; ///< == Tables.NumStates
   size_t TotalItems = 0;  ///< sum of closure sizes over all states
   double Seconds = 0;     ///< wall-clock construction time

@@ -59,6 +59,20 @@ public:
   size_t instructionCount() const { return NumInsts; }
   size_t lineCount() const { return Lines.size(); }
 
+  /// A position in the output stream; rollback() discards everything
+  /// emitted after the mark. The degradation ladder uses this to drop the
+  /// partial output of a tree whose match or replay failed before
+  /// splicing in the fallback generator's code.
+  struct Mark {
+    size_t NumLines = 0;
+    size_t NumInsts = 0;
+  };
+  Mark mark() const { return {Lines.size(), NumInsts}; }
+  void rollback(const Mark &M) {
+    Lines.resize(M.NumLines);
+    NumInsts = M.NumInsts;
+  }
+
   /// The full assembly text.
   std::string text() const;
 

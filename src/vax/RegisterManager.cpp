@@ -2,12 +2,28 @@
 
 #include "vax/RegisterManager.h"
 #include "support/Error.h"
+#include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 
 #include <algorithm>
 
 using namespace gg;
+
+void RegisterManager::reportError(const std::string &Message) {
+  // Sticky: the first failure is the root cause; later ones are fallout.
+  if (LastError.empty())
+    LastError = Message;
+  if (OnError)
+    OnError(Message);
+}
+
+int RegisterManager::lastAllocatable() const {
+  int Cap = faultInject().capFreeRegs();
+  if (Cap < 0)
+    return RegLastAlloc;
+  return std::min<int>(RegLastAlloc, RegFirstAlloc + Cap - 1);
+}
 
 void RegisterManager::markBusy(int R) {
   Busy[R] = true;
@@ -22,14 +38,20 @@ void RegisterManager::markBusy(int R) {
 }
 
 int RegisterManager::alloc() {
-  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R) {
+  const int Last = lastAllocatable();
+  for (int R = RegFirstAlloc; R <= Last; ++R) {
     if (!Busy[R]) {
       markBusy(R);
       return R;
     }
   }
-  spillOne();
-  for (int R = RegFirstAlloc; R <= RegLastAlloc; ++R) {
+  if (!spillOne()) {
+    // Recoverable: the caller's sticky-error check discards this tree.
+    // RegFirstAlloc is a defined value so downstream formatting stays
+    // well-behaved until the error is observed.
+    return RegFirstAlloc;
+  }
+  for (int R = RegFirstAlloc; R <= Last; ++R) {
     if (!Busy[R]) {
       markBusy(R);
       return R;
@@ -85,12 +107,14 @@ void RegisterManager::claim(int R) {
   markBusy(R);
 }
 
-void RegisterManager::evict(int R) {
+bool RegisterManager::evict(int R) {
   if (!isAllocatable(R) || !Busy[R])
-    return;
-  if (PinCount[R] > 0 || !Spillable(R))
-    fatalError(strf("cannot evict register %s (pinned or not relocatable)",
-                    regName(R)));
+    return true;
+  if (PinCount[R] > 0 || !Spillable(R)) {
+    reportError(strf("cannot evict register %s (pinned or not relocatable)",
+                     regName(R)));
+    return false;
+  }
   int CellOffset = AllocSpillCell();
   Operand Cell = Operand::disp(RegFP, CellOffset, Ty::L);
   Cell.Spilled = true;
@@ -98,6 +122,7 @@ void RegisterManager::evict(int R) {
   ++Stats.Spills;
   ++gg::stats().counter("regs.spills");
   free(R);
+  return true;
 }
 
 void RegisterManager::noteUnspill() {
@@ -112,7 +137,7 @@ int RegisterManager::numFree() const {
   return N;
 }
 
-void RegisterManager::spillOne() {
+bool RegisterManager::spillOne() {
   // "If there is no allocatable register available, a register from the
   // bottom of the stack is spilled" — the oldest unpinned allocation
   // whose value the semantics can relocate.
@@ -126,10 +151,11 @@ void RegisterManager::spillOne() {
     ++Stats.Spills;
     ++gg::stats().counter("regs.spills");
     free(R);
-    return;
+    return true;
   }
-  fatalError("all registers are pinned inside addressing modes; "
-             "expression too complex for the simple register manager");
+  reportError("all registers are pinned inside addressing modes; "
+              "expression too complex for the simple register manager");
+  return false;
 }
 
 void RegisterManager::resetForStatement() {
@@ -138,6 +164,7 @@ void RegisterManager::resetForStatement() {
     PinCount[R] = 0;
   }
   BusyOrder.clear();
+  LastError.clear();
 }
 
 bool RegisterManager::anyBusy() const {

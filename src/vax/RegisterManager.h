@@ -21,6 +21,7 @@
 #include "vax/Operand.h"
 
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace gg {
@@ -45,20 +46,27 @@ public:
   /// must live as a plain register operand on the semantic stack below the
   /// reduction currently in flight; values held in handler locals or in
   /// composite addressing modes cannot be rewritten after the fact).
+  /// \p OnError, when set, is invoked with a description of a recoverable
+  /// allocation failure (exhaustion, unevictable register); the manager
+  /// never aborts the process for input-dependent conditions — the caller
+  /// fails the current tree and the degradation ladder takes over.
   RegisterManager(std::function<void(int, const Operand &)> SpillStore,
                   std::function<int()> AllocSpillCell,
-                  std::function<bool(int)> Spillable)
+                  std::function<bool(int)> Spillable,
+                  std::function<void(const std::string &)> OnError = nullptr)
       : SpillStore(std::move(SpillStore)),
         AllocSpillCell(std::move(AllocSpillCell)),
-        Spillable(std::move(Spillable)) {}
+        Spillable(std::move(Spillable)), OnError(std::move(OnError)) {}
 
   static bool isAllocatable(int R) {
     return R >= RegFirstAlloc && R <= RegLastAlloc;
   }
 
   /// Allocates a register, spilling the oldest unpinned one if necessary.
-  /// Aborts (fatal) if every register is pinned — phase 1's spill
-  /// prevention exists to keep that from happening.
+  /// If every register is pinned (phase 1's spill prevention exists to
+  /// keep that from happening), reports a recoverable error via OnError /
+  /// lastError() and returns RegFirstAlloc — a defined value the caller's
+  /// sticky-error check discards along with the rest of the tree.
   int alloc();
 
   /// Allocates, preferring to reuse an allocatable source register that
@@ -81,8 +89,17 @@ public:
   /// Claims a specific free register (used for r0 after library calls).
   void claim(int R);
 
-  /// Forces \p R free by spilling its current value (fatal if pinned).
-  void evict(int R);
+  /// Forces \p R free by spilling its current value. Returns false (with
+  /// a recoverable error reported) if the register is pinned or not
+  /// relocatable; the register stays busy in that case.
+  bool evict(int R);
+
+  /// True if evict(R) would succeed (busy, unpinned, relocatable) —
+  /// callers with an alternative strategy probe this instead of letting
+  /// evict report an error.
+  bool canEvict(int R) const {
+    return isAllocatable(R) && Busy[R] && PinCount[R] == 0 && Spillable(R);
+  }
 
   /// Transfers busy state and pins from \p From to \p To (register-to-
   /// register relocation; \p To must be freshly allocated by the caller).
@@ -100,23 +117,35 @@ public:
   void noteUnspill();
 
   /// Resets all allocation state (between statements the expression stack
-  /// must be empty; this asserts nothing is still live).
+  /// must be empty; this asserts nothing is still live). Also clears any
+  /// sticky error.
   void resetForStatement();
 
   /// True if any register is still busy (diagnostic for leak checks).
   bool anyBusy() const;
 
+  /// First recoverable error since the last resetForStatement(), or empty.
+  /// Errors are sticky so a caller without an OnError callback can still
+  /// detect failure after the fact.
+  const std::string &lastError() const { return LastError; }
+  bool hasError() const { return !LastError.empty(); }
+
 private:
   std::function<void(int, const Operand &)> SpillStore;
   std::function<int()> AllocSpillCell;
   std::function<bool(int)> Spillable;
+  std::function<void(const std::string &)> OnError;
   bool Busy[RegLastAlloc + 1] = {};
   int PinCount[RegLastAlloc + 1] = {};
   std::vector<int> BusyOrder; ///< allocation order; front = oldest
   RegAllocStats Stats;
+  std::string LastError;
 
-  void spillOne();
+  bool spillOne();
   void markBusy(int R);
+  void reportError(const std::string &Message);
+  /// Highest allocatable register, honoring an injected cap-regs fault.
+  int lastAllocatable() const;
 };
 
 } // namespace gg

@@ -59,11 +59,21 @@ VaxSemantics::VaxSemantics(AsmEmitter &Emit, Function &F,
     : Emit(Emit), F(F), Opts(Opts),
       RM([this](int R, const Operand &Cell) { spillStore(R, Cell); },
          [this]() { return this->F.allocLocal(4); },
-         [this](int R) { return isSpillable(R); }) {}
+         [this](int R) { return isSpillable(R); },
+         [this](const std::string &Msg) { fail(Msg); }) {}
 
 void VaxSemantics::fail(const std::string &Message) {
   if (ReplayErr.empty())
     ReplayErr = Message;
+}
+
+void VaxSemantics::resetAfterFailure() {
+  ReplayErr.clear();
+  Stack.clear();
+  FrameBase = 0;
+  RM.resetForStatement();
+  invalidateCC();
+  Emit.clearContext();
 }
 
 //===----------------------------------------------------------------------===//
@@ -1114,7 +1124,7 @@ Operand VaxSemantics::libCall2(const char *Fn, Operand A, Operand B,
   RM.reclaim(A);
   RM.reclaim(B);
   if (RM.isBusy(RegR0)) {
-    if (isSpillable(RegR0)) {
+    if (RM.canEvict(RegR0)) {
       RM.evict(RegR0);
     } else {
       // r0 lives inside a composite addressing mode (pinned) or another

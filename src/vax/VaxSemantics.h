@@ -80,6 +80,11 @@ public:
   const IdiomStats &idiomStats() const { return Idioms; }
   void invalidateCC() { LastCCReg = -1; }
 
+  /// Discards all per-statement state after a failed match or replay so
+  /// the next statement starts clean — the degradation ladder calls this
+  /// before splicing in fallback code for the failed tree.
+  void resetAfterFailure();
+
 private:
   AsmEmitter &Emit;
   Function &F;

@@ -8,7 +8,7 @@ using namespace gg;
 
 std::unique_ptr<VaxTarget>
 VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
-                  BuildOptions TableOpts) {
+                  BuildOptions TableOpts, MatcherOptions MatchOpts) {
   TraceSpan Span("target.create");
   std::unique_ptr<VaxTarget> T(new VaxTarget());
   DiagnosticSink Diags;
@@ -27,6 +27,6 @@ VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
     return nullptr;
   }
   T->Packed = PackedTables::pack(T->Build.Tables);
-  T->M = std::make_unique<Matcher>(T->G, T->Packed);
+  T->M = std::make_unique<Matcher>(T->G, T->Packed, MatchOpts);
   return T;
 }

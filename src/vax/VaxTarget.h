@@ -32,10 +32,10 @@ public:
   /// Builds grammar + tables + matcher. Returns null and sets \p Err on
   /// description errors. \p TableOpts chooses the construction algorithm
   /// (experiment E4); the block-check category function is installed
-  /// automatically.
+  /// automatically. \p MatchOpts tunes the matcher (stack-depth cap).
   static std::unique_ptr<VaxTarget>
   create(std::string &Err, const VaxGrammarOptions &GrammarOpts = {},
-         BuildOptions TableOpts = {});
+         BuildOptions TableOpts = {}, MatcherOptions MatchOpts = {});
 
   const Grammar &grammar() const { return G; }
   const MdSpec &spec() const { return Spec; }

@@ -1,0 +1,334 @@
+//===- RecoveryTest.cpp - degradation ladder and fault injection ---------------===//
+//
+// End-to-end tests for the graceful-degradation pipeline: BlockReport
+// structure, the matcher stack-depth cap, fault-injection spec parsing,
+// and the per-tree PCC fallback keeping faulted modules runnable with
+// unchanged program output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "ir/Linearize.h"
+#include "match/Matcher.h"
+#include "mdl/SpecParser.h"
+#include "support/FaultInject.h"
+#include "tablegen/TableBuilder.h"
+#include "vaxsim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+/// Restores the all-off fault default when a test scope exits, so the
+/// process-global injector never leaks config into later tests.
+struct FaultGuard {
+  FaultGuard() { faultInject().reset(); }
+  ~FaultGuard() { faultInject().reset(); }
+};
+
+struct Built {
+  Grammar G;
+  BuildResult R;
+  std::unique_ptr<PackedTables> P;
+  std::unique_ptr<Matcher> M;
+};
+
+Built buildFrom(const char *Spec, MatcherOptions Opts = {}) {
+  Built B;
+  DiagnosticSink Diags;
+  MdSpec S;
+  EXPECT_TRUE(parseSpec(Spec, S, Diags)) << Diags.renderAll();
+  EXPECT_TRUE(S.expand(B.G, Diags)) << Diags.renderAll();
+  B.G.freeze();
+  B.R = buildTables(B.G);
+  EXPECT_TRUE(B.R.Ok) << B.R.Error;
+  B.P = std::make_unique<PackedTables>(PackedTables::pack(B.R.Tables));
+  B.M = std::make_unique<Matcher>(B.G, *B.P, Opts);
+  return B;
+}
+
+/// Compiles \p Source with the table-driven backend and runs it on the
+/// simulator; the fault config active at call time applies.
+SimResult compileAndRun(const char *Source, CodeGenStats *OutStats = nullptr,
+                        std::string *OutDiags = nullptr) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  EXPECT_NE(Target, nullptr) << Err;
+  Program P;
+  DiagnosticSink D;
+  EXPECT_TRUE(compileMiniC(Source, P, D)) << D.renderAll();
+  GGCodeGenerator CG(*Target);
+  std::string Asm;
+  EXPECT_TRUE(CG.compile(P, Asm, Err)) << Err;
+  if (OutStats)
+    *OutStats = CG.stats();
+  if (OutDiags)
+    *OutDiags = CG.diagnostics().renderAll();
+  return assembleAndRun(Asm);
+}
+
+TEST(BlockReport, NoActionCarriesStructuredFields) {
+  const char *Spec = R"(
+%start s
+s <- Plus_l Const_l Const_l : emit add
+)";
+  Built B = buildFrom(Spec);
+  std::vector<LinToken> Input;
+  Input.push_back({"Const_l", nullptr}); // Plus_l expected first
+  MatchResult MR = B.M->match(Input);
+  ASSERT_FALSE(MR.Ok);
+  ASSERT_TRUE(MR.Block.has_value());
+  EXPECT_EQ(MR.Block->Why, BlockReport::Cause::NoAction);
+  EXPECT_EQ(MR.Block->TokenPos, 0u);
+  EXPECT_GE(MR.Block->State, 0);
+  EXPECT_EQ(MR.Block->Lookahead, "Const_l");
+  // The report names what WOULD have shifted: the description gap is
+  // actionable, not just "error".
+  ASSERT_FALSE(MR.Block->ShiftableTerms.empty());
+  EXPECT_NE(MR.Error.find("shiftable here"), std::string::npos);
+  EXPECT_EQ(MR.Error, MR.Block->render());
+}
+
+TEST(BlockReport, UnknownTerminalCause) {
+  const char *Spec = R"(
+%start s
+s <- Const_l : emit c
+)";
+  Built B = buildFrom(Spec);
+  std::vector<LinToken> Input;
+  Input.push_back({"Quux_l", nullptr});
+  MatchResult MR = B.M->match(Input);
+  ASSERT_FALSE(MR.Ok);
+  ASSERT_TRUE(MR.Block.has_value());
+  EXPECT_EQ(MR.Block->Why, BlockReport::Cause::UnknownTerminal);
+  EXPECT_EQ(MR.Block->Lookahead, "Quux_l");
+}
+
+TEST(BlockReport, ViablePrefixShowsParseSoFar) {
+  const char *Spec = R"(
+%start s
+s <- Assign_l Name_l reg_l : emit mov
+reg_l <- Plus_l reg_l reg_l : emit add
+reg_l <- Const_l : emit load
+)";
+  Built B = buildFrom(Spec);
+  // Assign Name + (blocked: Assign is not an rval here).
+  std::vector<LinToken> Input;
+  Input.push_back({"Assign_l", nullptr});
+  Input.push_back({"Name_l", nullptr});
+  Input.push_back({"Plus_l", nullptr});
+  Input.push_back({"Assign_l", nullptr});
+  MatchResult MR = B.M->match(Input);
+  ASSERT_FALSE(MR.Ok);
+  ASSERT_TRUE(MR.Block.has_value());
+  EXPECT_EQ(MR.Block->TokenPos, 3u);
+  // The viable prefix holds the already-shifted/reduced symbols.
+  ASSERT_GE(MR.Block->ViablePrefix.size(), 3u);
+  EXPECT_EQ(MR.Block->ViablePrefix[0], "Assign_l");
+  EXPECT_NE(MR.Error.find("viable prefix"), std::string::npos);
+}
+
+TEST(BlockReport, DepthCapReportsAndCounts) {
+  // Right-recursive list: each element deepens the stack before any
+  // reduction, so a tiny cap trips mid-parse.
+  const char *Spec = R"(
+%start s
+s <- Seq_l Const_l s : emit cons
+s <- Const_l : emit nil
+)";
+  MatcherOptions Opts;
+  Opts.MaxStackDepth = 4;
+  Built B = buildFrom(Spec, Opts);
+  std::vector<LinToken> Input;
+  for (int I = 0; I < 8; ++I) {
+    Input.push_back({"Seq_l", nullptr});
+    Input.push_back({"Const_l", nullptr});
+  }
+  Input.push_back({"Const_l", nullptr});
+  MatchResult MR = B.M->match(Input);
+  ASSERT_FALSE(MR.Ok);
+  ASSERT_TRUE(MR.Block.has_value());
+  EXPECT_EQ(MR.Block->Why, BlockReport::Cause::DepthCap);
+  EXPECT_GT(MR.Block->StackDepth, Opts.MaxStackDepth);
+  EXPECT_NE(MR.Error.find("depth"), std::string::npos);
+
+  // The default cap is generous enough for the same input.
+  Built B2 = buildFrom(Spec);
+  EXPECT_TRUE(B2.M->match(Input).Ok);
+}
+
+TEST(FaultSpec, ParsesAndValidates) {
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("drop-prod=mul_l,seed=7", Err)) << Err;
+  EXPECT_EQ(faultInject().config().DropProdTag, "mul_l");
+  EXPECT_EQ(faultInject().config().Seed, 7u);
+
+  ASSERT_TRUE(faultInject().configure("corrupt-table", Err)) << Err;
+  EXPECT_EQ(faultInject().config().CorruptTableByte, -2);
+  ASSERT_TRUE(faultInject().configure("corrupt-table=41", Err)) << Err;
+  EXPECT_EQ(faultInject().config().CorruptTableByte, 41);
+
+  // Malformed specs are rejected and keep the previous config.
+  EXPECT_FALSE(faultInject().configure("cap-regs=0", Err));
+  EXPECT_FALSE(faultInject().configure("cap-regs=7", Err));
+  EXPECT_FALSE(faultInject().configure("truncate-input=0", Err));
+  EXPECT_FALSE(faultInject().configure("bogus-fault=1", Err));
+  EXPECT_NE(Err.find("bogus-fault"), std::string::npos);
+  EXPECT_EQ(faultInject().config().CorruptTableByte, 41);
+}
+
+TEST(Recovery, DroppedProductionFallsBackWithSameOutput) {
+  FaultGuard Guard;
+  // print() pushes its argument; push_l is the only production covering
+  // Push, so dropping it is a guaranteed description gap.
+  const char *Source = "int main() {\n"
+                       "  int i; i = 3;\n"
+                       "  print(i + 4);\n"
+                       "  print(i * i);\n"
+                       "  return i;\n"
+                       "}\n";
+  SimResult Clean = compileAndRun(Source);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("drop-prod=push_l", Err)) << Err;
+  CodeGenStats Stats;
+  std::string Diags;
+  SimResult Faulted = compileAndRun(Source, &Stats, &Diags);
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Error;
+
+  // The ladder fired: blocked trees were regenerated via the baseline...
+  EXPECT_GE(Stats.BlockedTrees, 1u);
+  EXPECT_EQ(Stats.RecoveredTrees, Stats.BlockedTrees);
+  EXPECT_NE(Diags.find("recovering via the baseline generator"),
+            std::string::npos);
+  EXPECT_NE(Diags.find("syntactic block"), std::string::npos);
+  // ...and the module still computes exactly the same thing.
+  EXPECT_EQ(Faulted.Output, Clean.Output);
+  EXPECT_EQ(Faulted.ReturnValue, Clean.ReturnValue);
+}
+
+TEST(Recovery, NoRecoverFailsTheModule) {
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("drop-prod=push_l", Err)) << Err;
+
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_NE(Target, nullptr) << Err;
+  Program P;
+  DiagnosticSink D;
+  ASSERT_TRUE(compileMiniC("int main() { print(1); return 0; }", P, D));
+  CodeGenOptions Opts;
+  Opts.Recover = false;
+  GGCodeGenerator CG(*Target, Opts);
+  std::string Asm;
+  EXPECT_FALSE(CG.compile(P, Asm, Err));
+  EXPECT_NE(Err.find("syntactic block"), std::string::npos);
+}
+
+TEST(Recovery, TruncatedInputFallsBackWithSameOutput) {
+  FaultGuard Guard;
+  const char *Source = "int main() {\n"
+                       "  int i; int s; s = 0;\n"
+                       "  for (i = 0; i < 5; i++) s = s + i * i;\n"
+                       "  print(s);\n"
+                       "  return s;\n"
+                       "}\n";
+  SimResult Clean = compileAndRun(Source);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("truncate-input=2", Err)) << Err;
+  CodeGenStats Stats;
+  SimResult Faulted = compileAndRun(Source, &Stats);
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Error;
+  EXPECT_GE(Stats.BlockedTrees, 1u);
+  EXPECT_EQ(Stats.RecoveredTrees, Stats.BlockedTrees);
+  EXPECT_EQ(Faulted.Output, Clean.Output);
+  EXPECT_EQ(Faulted.ReturnValue, Clean.ReturnValue);
+}
+
+TEST(Recovery, RegisterExhaustionFallsBackWithSameOutput) {
+  FaultGuard Guard;
+  // Indexed loads from byte arrays pin registers inside addressing modes;
+  // with only one scratch register the manager cannot satisfy the tree
+  // and reports a recoverable exhaustion instead of aborting.
+  const char *Source = "char t[8];\n"
+                       "int main() {\n"
+                       "  int p; int v; p = 1;\n"
+                       "  t[0] = 5; t[1] = 9; t[2] = 2;\n"
+                       "  v = t[p] * 10 + t[p + 1] - t[p - 1];\n"
+                       "  print(v);\n"
+                       "  return v;\n"
+                       "}\n";
+  SimResult Clean = compileAndRun(Source);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("cap-regs=1", Err)) << Err;
+  CodeGenStats Stats;
+  std::string Diags;
+  SimResult Faulted = compileAndRun(Source, &Stats, &Diags);
+  ASSERT_TRUE(Faulted.Ok) << Faulted.Error;
+  EXPECT_GE(Stats.BlockedTrees, 1u);
+  EXPECT_EQ(Stats.RecoveredTrees, Stats.BlockedTrees);
+  EXPECT_NE(Diags.find("recovering via the baseline generator"),
+            std::string::npos);
+  EXPECT_EQ(Faulted.Output, Clean.Output);
+  EXPECT_EQ(Faulted.ReturnValue, Clean.ReturnValue);
+}
+
+TEST(Recovery, RegisterManagerReportsInsteadOfAborting) {
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("cap-regs=2", Err)) << Err;
+
+  std::string Seen;
+  RegisterManager RM([](int, const Operand &) {}, [] { return -4; },
+                     [](int) { return false; }, // nothing is relocatable
+                     [&](const std::string &Msg) { Seen = Msg; });
+  int A = RM.alloc();
+  int B = RM.alloc();
+  RM.pin(A);
+  RM.pin(B);
+  // Third alloc: both capped registers pinned, nothing spillable — the
+  // old code called fatalError here.
+  int C = RM.alloc();
+  EXPECT_EQ(C, RegFirstAlloc);
+  EXPECT_TRUE(RM.hasError());
+  EXPECT_FALSE(Seen.empty());
+  EXPECT_NE(RM.lastError().find("pinned"), std::string::npos);
+
+  // evict() of a pinned register likewise reports instead of dying.
+  EXPECT_FALSE(RM.canEvict(A));
+  EXPECT_FALSE(RM.evict(A));
+
+  RM.unpin(A);
+  RM.unpin(B);
+  RM.free(A);
+  RM.free(B);
+  RM.resetForStatement();
+  EXPECT_FALSE(RM.hasError());
+}
+
+TEST(Recovery, DropProdCountsFaultStat) {
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("drop-prod=mul_l", Err)) << Err;
+  std::unique_ptr<VaxTarget> Faulted = VaxTarget::create(Err);
+  ASSERT_NE(Faulted, nullptr) << Err;
+  faultInject().reset();
+  std::unique_ptr<VaxTarget> Clean = VaxTarget::create(Err);
+  ASSERT_NE(Clean, nullptr) << Err;
+  // Exactly the dropped production is missing; its symbols survive so
+  // inputs mentioning them block instead of being rejected as unknown.
+  EXPECT_EQ(Faulted->grammar().numProductions() + 1,
+            Clean->grammar().numProductions());
+  EXPECT_GE(Faulted->grammar().lookup("Mul_l"), 0);
+}
+
+} // namespace

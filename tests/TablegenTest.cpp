@@ -165,7 +165,7 @@ TEST(BlockDetectTest, ReportsMissingSameCategoryTerminal) {
   BuildResult R = buildTables(G, Opts);
   ASSERT_TRUE(R.Ok) << R.Error;
   bool Found = false;
-  for (const BlockReport &B : R.Blocks)
+  for (const PotentialBlock &B : R.Blocks)
     if (G.symbolName(B.Term) == "Minus_l" &&
         G.symbolName(B.Witness) == "Plus_l")
       Found = true;

@@ -31,7 +31,7 @@ TEST(VaxGrammarTest, NoSyntacticBlocksForOperatorCategories) {
   std::unique_ptr<VaxTarget> T = VaxTarget::create(Err);
   ASSERT_NE(T, nullptr) << Err;
   std::string Blocks;
-  for (const BlockReport &B : T->build().Blocks) {
+  for (const PotentialBlock &B : T->build().Blocks) {
     Blocks += "state " + std::to_string(B.State) + ": " +
               T->grammar().symbolName(B.Term) + " (witness " +
               T->grammar().symbolName(B.Witness) + ")\n";
