@@ -53,6 +53,29 @@ void BM_PccCompile(benchmark::State &State) {
 }
 BENCHMARK(BM_PccCompile)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling sweep: the same corpus through the parallel per-function
+// pipeline at 1/2/4/8 workers. Output is byte-identical at every point
+// (asserted by parallel_test); this measures only wall-clock scaling,
+// which is hardware-dependent — on a single-core host all points
+// degenerate to serial speed plus pool overhead.
+void BM_GGCompileThreads(benchmark::State &State) {
+  const auto &Corpus = largeCorpus();
+  CodeGenOptions Opts;
+  Opts.Parallel.Threads = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    size_t Lines = 0;
+    for (const std::string &Source : Corpus) {
+      CodeGenStats S;
+      std::string Asm = ggbench::compileGG(Source, Opts, &S);
+      Lines += S.AsmLines;
+    }
+    benchmark::DoNotOptimize(Lines);
+  }
+}
+BENCHMARK(BM_GGCompileThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -93,6 +116,41 @@ int main(int argc, char **argv) {
          PccInsts, double(GGInsts) / double(PccInsts));
   printf("\ncorpus: %zu synthetic programs, ~10 functions each\n\n",
          Corpus.size());
+
+  // Thread-scaling table + one BENCH_JSON line per point (gg-stats-v1,
+  // carrying the cg.parallel.* counters for that thread count). Speedup is
+  // hardware-dependent: on a single-core host every point is ~1.0x.
+  printf("thread scaling (same corpus, parallel per-function pipeline):\n");
+  printf("%-24s %12s %9s %9s %9s\n", "", "seconds", "speedup", "tasks",
+         "steals");
+  double Serial = 0;
+  for (int Threads : {1, 2, 4, 8}) {
+    ggbench::resetStats();
+    CodeGenOptions Opts;
+    Opts.Parallel.Threads = Threads;
+    Timer T;
+    uint64_t Tasks = 0, Steals = 0;
+    {
+      TimerScope TS(T);
+      for (const std::string &Source : Corpus) {
+        CodeGenStats S;
+        ggbench::compileGG(Source, Opts, &S);
+        Tasks += S.Parallel.Tasks;
+        Steals += S.Parallel.Steals;
+      }
+    }
+    if (Threads == 1)
+      Serial = T.seconds();
+    char Row[32];
+    snprintf(Row, sizeof(Row), "threads=%d", Threads);
+    printf("%-24s %12.3f %8.2fx %9llu %9llu\n", Row, T.seconds(),
+           Serial / T.seconds(), static_cast<unsigned long long>(Tasks),
+           static_cast<unsigned long long>(Steals));
+    char Id[32];
+    snprintf(Id, sizeof(Id), "E3-threads-%d", Threads);
+    ggbench::emitBenchJson(Id);
+  }
+  printf("\n");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

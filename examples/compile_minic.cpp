@@ -2,9 +2,13 @@
 //
 // Compiles a MiniC source file to VAX assembly on stdout.
 //
-//   compile_minic FILE [--backend=gg|pcc] [--trace] [--no-idioms]
-//                 [--no-reverse-ops] [--no-recover] [--stats] [--explain]
-//                 [--fault=SPEC] [--stats-json=FILE] [--trace-json=FILE]
+//   compile_minic FILE [--backend=gg|pcc] [--threads=N] [--trace]
+//                 [--no-idioms] [--no-reverse-ops] [--no-recover] [--stats]
+//                 [--explain] [--fault=SPEC] [--stats-json=FILE]
+//                 [--trace-json=FILE]
+//
+// --threads=N compiles functions on N pool workers (0 = hardware
+// concurrency); the output is byte-identical at any thread count.
 //
 // --explain annotates each emitted instruction with the grammar
 // production whose reduction generated it. --stats-json / --trace-json
@@ -25,6 +29,7 @@
 #include "support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -78,7 +83,15 @@ int main(int argc, char **argv) {
       Opts.Idioms.CCTracking = false;
     } else if (A == "--no-reverse-ops")
       Opts.Transform.ReverseOps = false;
-    else if (A[0] == '-') {
+    else if (A.rfind("--threads=", 0) == 0) {
+      char *End = nullptr;
+      long N = strtol(A.c_str() + 10, &End, 10);
+      if (!End || *End || N < 0 || N > 256) {
+        fprintf(stderr, "bad --threads value: %s\n", A.c_str());
+        return 2;
+      }
+      Opts.Parallel.Threads = static_cast<int>(N);
+    } else if (A[0] == '-') {
       fprintf(stderr, "unknown option %s\n", A.c_str());
       return 2;
     } else
@@ -86,9 +99,9 @@ int main(int argc, char **argv) {
   }
   if (!File) {
     fprintf(stderr,
-            "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
-            "[--no-idioms] [--no-reverse-ops] [--no-recover] [--stats] "
-            "[--explain] [--fault=SPEC] [--stats-json=FILE] "
+            "usage: compile_minic FILE [--backend=gg|pcc] [--threads=N] "
+            "[--trace] [--no-idioms] [--no-reverse-ops] [--no-recover] "
+            "[--stats] [--explain] [--fault=SPEC] [--stats-json=FILE] "
             "[--trace-json=FILE]\n");
     return 2;
   }
@@ -151,6 +164,12 @@ int main(int argc, char **argv) {
               S.EmitSeconds, S.Idioms.BindingApplied, S.Idioms.RangeApplied,
               S.Idioms.CCTestsElided, S.Idioms.PseudoExpansions,
               S.Regs.Allocations, S.Regs.Spills, S.Regs.Unspills);
+      if (S.Parallel.Workers > 1)
+        fprintf(stderr,
+                "# parallel: %llu workers, %llu tasks, %llu steals\n",
+                static_cast<unsigned long long>(S.Parallel.Workers),
+                static_cast<unsigned long long>(S.Parallel.Tasks),
+                static_cast<unsigned long long>(S.Parallel.Steals));
     }
   }
   fputs(Asm.c_str(), stdout);

@@ -4,8 +4,12 @@
 // baseline with --backend=pcc) and executes it on the VAX simulator,
 // reporting program output, exit value and the simulator's cost counters.
 //
-//   run_vax FILE [--backend=gg|pcc] [--compare] [--fault=SPEC]
-//           [--stats-json=FILE] [--trace-json=FILE]
+//   run_vax FILE [--backend=gg|pcc] [--threads=N] [--compare]
+//           [--fault=SPEC] [--stats-json=FILE] [--trace-json=FILE]
+//
+// --threads=N compiles functions on N pool workers (0 = hardware
+// concurrency); assembly and simulation results are identical at any
+// thread count.
 //
 // With --compare, runs both backends and the IR interpreter and reports
 // all three (the differential setup the test suite uses).
@@ -34,6 +38,7 @@
 #include "vaxsim/Simulator.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -78,6 +83,7 @@ static bool loadProgram(const std::string &Source, Program &Prog) {
 int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Compare = false;
+  CodeGenOptions GGOpts;
   std::string StatsJsonPath, TraceJsonPath;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -87,7 +93,15 @@ int main(int argc, char **argv) {
       UsePcc = false;
     else if (A == "--compare")
       Compare = true;
-    else if (A.rfind("--stats-json=", 0) == 0)
+    else if (A.rfind("--threads=", 0) == 0) {
+      char *End = nullptr;
+      long N = strtol(A.c_str() + 10, &End, 10);
+      if (!End || *End || N < 0 || N > 256) {
+        fprintf(stderr, "bad --threads value: %s\n", A.c_str());
+        return 2;
+      }
+      GGOpts.Parallel.Threads = static_cast<int>(N);
+    } else if (A.rfind("--stats-json=", 0) == 0)
       StatsJsonPath = A.substr(13);
     else if (A.rfind("--trace-json=", 0) == 0)
       TraceJsonPath = A.substr(13);
@@ -101,8 +115,8 @@ int main(int argc, char **argv) {
       File = argv[I];
   }
   if (!File) {
-    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare] "
-                    "[--fault=SPEC] [--stats-json=FILE] "
+    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--threads=N] "
+                    "[--compare] [--fault=SPEC] [--stats-json=FILE] "
                     "[--trace-json=FILE]\n");
     return 2;
   }
@@ -149,7 +163,7 @@ int main(int argc, char **argv) {
     Program P;
     if (!loadProgram(Source, P))
       return false;
-    GGCodeGenerator CG(*Target);
+    GGCodeGenerator CG(*Target, GGOpts);
     std::string Asm;
     bool Ok = CG.compile(P, Asm, Err);
     // Recovery warnings (and unrecoverable errors) from the ladder.

@@ -5,16 +5,20 @@
 #   scripts/check.sh [--fast]
 #
 # 1. configures a separate build tree with -fsanitize=address,undefined,
-# 2. builds everything and runs ctest,
+# 2. builds everything, runs the tier1 label as a fast gate, then full
+#    ctest (tier1 + slow/fuzz corpora),
 # 3. smoke-runs `run_vax --stats-json --trace-json` over every program in
 #    examples/programs/ and validates that the emitted JSON parses,
 # 4. runs the fault-injection matrix: every example program under each
 #    fault kind must still produce the unfaulted program output (the
 #    degradation ladder recovers blocked trees via the PCC baseline),
-#    and table corruption must be rejected by the loader's checksum.
+#    and table corruption must be rejected by the loader's checksum,
+# 5. builds the parallel-determinism test under -fsanitize=thread and runs
+#    it: the work-stealing compile pipeline must be race-free, not just
+#    deterministic.
 #
-# --fast reuses the plain ./build tree (no sanitizers) for a quick
-# pre-commit pass.
+# --fast reuses the plain ./build tree (no sanitizers), runs only the
+# tier1 gate and skips the TSAN leg: a quick pre-commit pass.
 #===------------------------------------------------------------------------===#
 
 set -euo pipefail
@@ -22,9 +26,11 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-asan
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+FAST=0
 if [[ "${1:-}" == "--fast" ]]; then
   BUILD_DIR=build
   SAN_FLAGS=""
+  FAST=1
 fi
 
 echo "== configure ($BUILD_DIR)"
@@ -35,8 +41,16 @@ cmake -B "$BUILD_DIR" -S . \
 echo "== build"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-echo "== ctest"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "== ctest (tier1 fast gate)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L tier1 -j"$(nproc)"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== fast pass done (tier1 only; full run: scripts/check.sh)"
+  exit 0
+fi
+
+echo "== ctest (full suite: slow + fuzz corpora)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -LE tier1 -j"$(nproc)"
 
 echo "== telemetry smoke (--stats-json / --trace-json on examples/programs)"
 json_check() {
@@ -110,5 +124,17 @@ grep -q "checksum" "$TMP/corrupt.err" ||
   { echo "corrupt-table run did not produce a checksum diagnostic" >&2
     exit 1; }
 echo "   corrupt-table: loader rejected the file via its checksum"
+
+echo "== TSAN leg (parallel code generation under -fsanitize=thread)"
+# ASan and TSan cannot share a build tree; a third tree builds just the
+# parallel-determinism test and hammers the work-stealing pipeline. TSAN's
+# vector clocks detect ordering races even on a single-core host.
+cmake -B build-tsan -S . \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target parallel_test support_test
+build-tsan/tests/parallel_test
+build-tsan/tests/support_test --gtest_filter='StatsThreading.*'
+echo "   parallel_test + stats hammer: race-free under TSAN"
 
 echo "== all checks passed"

@@ -9,6 +9,8 @@
 #include "support/Timer.h"
 #include "support/Trace.h"
 
+#include <memory>
+
 using namespace gg;
 
 namespace {
@@ -22,11 +24,13 @@ void touchSchemaKeys() {
     StatsRegistry &S = gg::stats();
     for (const char *Name :
          {"cg.compiles", "cg.functions", "cg.trees", "cg.blocked_trees",
-          "cg.recovered_trees", "match.trees",
+          "cg.recovered_trees", "cg.parallel.threads", "cg.parallel.tasks",
+          "cg.parallel.steals", "match.trees",
           "match.shifts", "match.reduces", "match.dynamic_ties",
           "match.chooser_invocations", "match.syntactic_blocks",
           "match.depth_cap_hits", "fault.productions_dropped",
           "fault.trees_truncated", "fault.table_bytes_corrupted",
+          "fault.worker_stalls",
           "phase1.cond_branch_rewrites", "phase1.bool_value_rewrites",
           "phase1.calls_factored", "phase1.constants_folded",
           "phase1.canonicalizations", "phase1.subtrees_swapped",
@@ -40,7 +44,8 @@ void touchSchemaKeys() {
       S.counter(Name);
     for (const char *Name :
          {"cg.transform_seconds", "cg.match_seconds",
-          "cg.instrgen_seconds", "cg.emit_seconds"})
+          "cg.instrgen_seconds", "cg.emit_seconds",
+          "cg.parallel.worker_emit_seconds"})
       S.value(Name);
     for (const char *Name :
          {"match.stack_depth", "match.tokens_per_tree",
@@ -49,6 +54,216 @@ void touchSchemaKeys() {
     return true;
   }();
   (void)Done;
+}
+
+/// Everything one function's compilation produces, buffered privately so
+/// workers can run concurrently and compile() can stitch the results in
+/// source order — the output must be byte-identical at any thread count.
+struct FunctionResult {
+  std::unique_ptr<AsmEmitter> Emit;
+  DiagnosticSink Diags;
+  std::string TraceText;
+  bool Ok = true;
+  std::string Err;
+  double MatchSeconds = 0;
+  double GenSeconds = 0;
+  double EmitInGen = 0; ///< phase-4 time nested inside the GenT scope
+  size_t StatementTrees = 0;
+  size_t MatcherTokens = 0;
+  size_t MatcherSteps = 0;
+  size_t BlockedTrees = 0;
+  size_t RecoveredTrees = 0;
+  RegAllocStats Regs;
+  IdiomStats Idioms;
+};
+
+/// Number of statement trees the per-function walk below will push through
+/// the matcher — must mirror its switch exactly. Counted after phase 1 so
+/// the truncate-input fault's tree ordinals can be reserved per function
+/// up front, making fault selection independent of worker scheduling.
+size_t countStatementTrees(const Function &F) {
+  size_t N = 0;
+  for (const Node *S : F.Body) {
+    switch (S->Opcode) {
+    case Op::LabelDef:
+    case Op::Jump:
+      break;
+    case Op::Ret:
+    case Op::CallStmt:
+      N += S->left() ? 1 : 0;
+      break;
+    default:
+      ++N;
+      break;
+    }
+  }
+  return N;
+}
+
+/// Compiles one function into \p R's private emitter. Runs on a pool
+/// worker: it may only touch shared state that is immutable (tables,
+/// grammar, phase-1-complete trees) or internally synchronized (the stats
+/// registry, the trace recorder). All scratch state — register manager,
+/// semantic stack, copy-tree/fallback arena, output buffer — is local.
+void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
+                        Program &Prog, Function &F, uint64_t TreeOrdinal,
+                        FunctionResult &R) {
+  TraceSpan FnSpan("cg.function " + Prog.Syms.text(F.Name));
+  AsmEmitter &Emit = *R.Emit;
+  Timer MatchT, GenT;
+  // Worker-private arena: Ret/CallStmt copy trees and the fallback
+  // generator's splitter temporaries must not contend on the program's
+  // shared arena while other workers compile.
+  NodeArena LocalArena;
+
+  Emit.blank();
+  Emit.directive(strf(".globl %s", Prog.Syms.text(F.Name).c_str()));
+  Emit.labelText(Prog.Syms.text(F.Name));
+  Emit.directive(".word 0x0fc0"); // entry mask: save r6-r11
+  // The frame grows while compiling (spill cells, phase-1 temporaries of
+  // later statements): emit a placeholder and patch afterwards.
+  size_t PrologueLine = Emit.lines().size();
+  Emit.instRaw("subl2", {"$FRAME", "sp"});
+
+  VaxSemantics Sem(Emit, F, Opts.Idioms);
+
+  auto CompileTree = [&](Node *Tree) -> bool {
+    std::vector<LinToken> Input;
+    MatchResult MR;
+    // Everything this tree emits sits after the mark; a failed tree is
+    // rolled back wholesale before the fallback path runs.
+    AsmEmitter::Mark TreeMark = Emit.mark();
+    {
+      TimerScope TS(MatchT);
+      Input = linearize(Tree);
+      // truncate-input fault: models a phase-1/linearizer bug. A proper
+      // prefix of a prefix linearization can never parse to completion,
+      // so the matcher blocks instead of accepting a wrong parse. The
+      // explicit ordinal keeps the selected trees identical at any
+      // thread count.
+      Input.resize(
+          faultInject().truncatedInputSize(Input.size(), TreeOrdinal++));
+      R.MatcherTokens += Input.size();
+      MR = Target.matcher().match(Input);
+    }
+    std::string TreeErr;
+    bool TreeOk = MR.Ok;
+    if (MR.Ok) {
+      R.MatcherSteps += MR.Steps.size();
+      if (Opts.Trace) {
+        R.TraceText += printLinear(Tree, Prog.Syms) + "\n";
+        R.TraceText += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
+        R.TraceText += "\n";
+      }
+      TimerScope TS(GenT);
+      TraceSpan ReplaySpan("cg.replay");
+      double EmitBefore = Emit.emitSeconds();
+      std::string SemErr;
+      TreeOk = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
+      R.EmitInGen += Emit.emitSeconds() - EmitBefore;
+      if (!TreeOk)
+        TreeErr = strf("%s\n  while generating: %s", SemErr.c_str(),
+                       printLinear(Tree, Prog.Syms).c_str());
+    } else {
+      TreeErr = strf("%s\n  while matching: %s", MR.Error.c_str(),
+                     printLinear(Tree, Prog.Syms).c_str());
+    }
+    if (TreeOk) {
+      ++R.StatementTrees;
+      return true;
+    }
+
+    // Degradation ladder: one tree failing the table-driven path must
+    // not kill the module. Discard the tree's partial output and
+    // per-statement state, then regenerate it through the PCC baseline.
+    ++R.BlockedTrees;
+    ++gg::stats().counter("cg.blocked_trees");
+    if (!Opts.Recover) {
+      R.Err = TreeErr;
+      return false;
+    }
+    Emit.rollback(TreeMark);
+    Sem.resetAfterFailure();
+    R.Diags.warning(
+        strf("recovering via the baseline generator: %s", TreeErr.c_str()));
+    DiagnosticSink FallbackDiags;
+    {
+      TimerScope TS(GenT);
+      TraceSpan FallbackSpan("cg.fallback");
+      if (!pccGenStatement(Prog, F, Tree, Emit, FallbackDiags, &LocalArena)) {
+        // Bottom of the ladder: a module-level diagnostic, never
+        // process death — the caller decides what to do with it.
+        R.Err = strf("tree failed the table-driven path AND the baseline "
+                     "fallback\n  table-driven: %s\n  fallback: %s",
+                     TreeErr.c_str(), FallbackDiags.renderAll().c_str());
+        R.Diags.error(R.Err);
+        return false;
+      }
+    }
+    // Spliced code clobbers condition codes behind the CC tracker's back.
+    Sem.invalidateCC();
+    ++R.RecoveredTrees;
+    ++gg::stats().counter("cg.recovered_trees");
+    ++R.StatementTrees;
+    return true;
+  };
+
+  bool EndsWithRet = false;
+  for (Node *S : F.Body) {
+    EndsWithRet = false;
+    switch (S->Opcode) {
+    case Op::LabelDef:
+      Sem.emitLabel(S->Sym);
+      break;
+    case Op::Jump:
+      Sem.emitJump(S->left()->Sym);
+      break;
+    case Op::Ret:
+      if (S->left()) {
+        // Return value goes to r0: run "r0 := e" through the matcher.
+        Node *Copy = LocalArena.bin(Op::Assign, Ty::L,
+                                    LocalArena.dreg(RegR0, Ty::L),
+                                    S->left());
+        if (!CompileTree(Copy)) {
+          R.Ok = false;
+          return;
+        }
+      }
+      Sem.emitRet();
+      EndsWithRet = true;
+      break;
+    case Op::CallStmt: {
+      const Node *Call = S->right();
+      Sem.emitCall(Call->left()->Sym, static_cast<int>(Call->Value));
+      if (S->left()) {
+        Node *Copy = LocalArena.bin(Op::Assign, S->left()->Type,
+                                    S->left(),
+                                    LocalArena.dreg(RegR0, Ty::L));
+        if (!CompileTree(Copy)) {
+          R.Ok = false;
+          return;
+        }
+      }
+      break;
+    }
+    default:
+      if (!CompileTree(S)) {
+        R.Ok = false;
+        return;
+      }
+      break;
+    }
+  }
+  if (!EndsWithRet)
+    Sem.emitRet();
+
+  // Patch the prologue with the final frame size.
+  Emit.patchLine(PrologueLine, strf("\tsubl2\t$%d,sp", F.FrameSize));
+
+  R.Regs = Sem.regStats();
+  R.Idioms = Sem.idiomStats();
+  R.MatchSeconds = MatchT.seconds();
+  R.GenSeconds = GenT.seconds();
 }
 
 } // namespace
@@ -83,16 +298,17 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   TraceSpan CompileSpan("cg.compile");
   AsmEmitter Emit(Prog.Syms);
   Emit.setExplain(Opts.Explain);
-  Timer TransformT, MatchT, GenT;
-  double EmitInGen = 0; ///< phase-4 time nested inside the GenT scope
+  Timer TransformT;
 
   emitDataSection(Prog, Emit);
   Emit.directive(".text");
 
-  for (Function &F : Prog.Functions) {
-    TraceSpan FnSpan("cg.function " + Prog.Syms.text(F.Name));
-    {
-      TimerScope TS(TransformT);
+  // Phase 1 runs serially up front: it allocates from the program's shared
+  // node arena, interner and label counter. Code generation proper never
+  // touches those, so everything after this point is safe to parallelize.
+  {
+    TimerScope TS(TransformT);
+    for (Function &F : Prog.Functions) {
       TransformStats TF = runPhase1(Prog, F, Opts.Transform);
       Stats.Transform.CondBranchRewrites += TF.CondBranchRewrites;
       Stats.Transform.BoolValueRewrites += TF.BoolValueRewrites;
@@ -103,182 +319,95 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
       Stats.Transform.ReverseOpsUsed += TF.ReverseOpsUsed;
       Stats.Transform.SpillSplits += TF.SpillSplits;
     }
+  }
 
-    Emit.blank();
-    Emit.directive(strf(".globl %s", Prog.Syms.text(F.Name).c_str()));
-    Emit.labelText(Prog.Syms.text(F.Name));
-    Emit.directive(".word 0x0fc0"); // entry mask: save r6-r11
-    // The frame grows while compiling (spill cells, phase-1 temporaries of
-    // later statements): emit a placeholder and patch afterwards.
-    size_t PrologueLine = Emit.lines().size();
-    Emit.instRaw("subl2", {"$FRAME", "sp"});
+  // Reserve the whole compile's tree-ordinal block and assign each
+  // function its slice, reproducing the sequential numbering exactly:
+  // the truncate-input fault selects the same trees at any thread count.
+  const size_t NumFns = Prog.Functions.size();
+  std::vector<uint64_t> OrdinalBase(NumFns);
+  uint64_t TotalTrees = 0;
+  for (size_t I = 0; I < NumFns; ++I) {
+    OrdinalBase[I] = TotalTrees;
+    TotalTrees += countStatementTrees(Prog.Functions[I]);
+  }
+  uint64_t FirstOrdinal = faultInject().reserveTreeOrdinals(TotalTrees);
 
-    VaxSemantics Sem(Emit, F, Opts.Idioms);
+  std::vector<FunctionResult> Results(NumFns);
+  for (FunctionResult &R : Results) {
+    R.Emit = std::make_unique<AsmEmitter>(Prog.Syms);
+    R.Emit->setExplain(Opts.Explain);
+  }
 
-    auto CompileTree = [&](Node *Tree) -> bool {
-      std::vector<LinToken> Input;
-      MatchResult MR;
-      // Everything this tree emits sits after the mark; a failed tree is
-      // rolled back wholesale before the fallback path runs.
-      AsmEmitter::Mark TreeMark = Emit.mark();
-      {
-        TimerScope TS(MatchT);
-        Input = linearize(Tree);
-        // truncate-input fault: models a phase-1/linearizer bug. A proper
-        // prefix of a prefix linearization can never parse to completion,
-        // so the matcher blocks instead of accepting a wrong parse.
-        Input.resize(faultInject().truncatedInputSize(Input.size()));
-        Stats.MatcherTokens += Input.size();
-        MR = Target.matcher().match(Input);
-      }
-      std::string TreeErr;
-      bool TreeOk = MR.Ok;
-      if (MR.Ok) {
-        Stats.MatcherSteps += MR.Steps.size();
-        if (Opts.Trace) {
-          Trace += printLinear(Tree, Prog.Syms) + "\n";
-          Trace += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
-          Trace += "\n";
-        }
-        TimerScope TS(GenT);
-        TraceSpan ReplaySpan("cg.replay");
-        double EmitBefore = Emit.emitSeconds();
-        std::string SemErr;
-        TreeOk = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
-        EmitInGen += Emit.emitSeconds() - EmitBefore;
-        if (!TreeOk)
-          TreeErr = strf("%s\n  while generating: %s", SemErr.c_str(),
-                         printLinear(Tree, Prog.Syms).c_str());
-      } else {
-        TreeErr = strf("%s\n  while matching: %s", MR.Error.c_str(),
-                       printLinear(Tree, Prog.Syms).c_str());
-      }
-      if (TreeOk) {
-        ++Stats.StatementTrees;
-        return true;
-      }
+  // Every function runs even if another fails: the failure path then sees
+  // identical global counters at any thread count (a worker cannot know
+  // whether a source-order-earlier function has failed yet).
+  Stats.Parallel = parallelFor(NumFns, Opts.Parallel, [&](size_t I) {
+    faultInject().stallWorker(I);
+    compileOneFunction(Target, Opts, Prog, Prog.Functions[I],
+                       FirstOrdinal + OrdinalBase[I], Results[I]);
+  });
 
-      // Degradation ladder: one tree failing the table-driven path must
-      // not kill the module. Discard the tree's partial output and
-      // per-statement state, then regenerate it through the PCC baseline.
-      ++Stats.BlockedTrees;
-      ++gg::stats().counter("cg.blocked_trees");
-      if (!Opts.Recover) {
-        Err = TreeErr;
-        return false;
-      }
-      Emit.rollback(TreeMark);
-      Sem.resetAfterFailure();
-      Diags.warning(
-          strf("recovering via the baseline generator: %s", TreeErr.c_str()));
-      DiagnosticSink FallbackDiags;
-      {
-        TimerScope TS(GenT);
-        TraceSpan FallbackSpan("cg.fallback");
-        if (!pccGenStatement(Prog, F, Tree, Emit, FallbackDiags)) {
-          // Bottom of the ladder: a module-level diagnostic, never
-          // process death — the caller decides what to do with it.
-          Err = strf("tree failed the table-driven path AND the baseline "
-                     "fallback\n  table-driven: %s\n  fallback: %s",
-                     TreeErr.c_str(), FallbackDiags.renderAll().c_str());
-          Diags.error(Err);
-          return false;
-        }
-      }
-      // Spliced code clobbers condition codes behind the CC tracker's back.
-      Sem.invalidateCC();
-      ++Stats.RecoveredTrees;
-      ++gg::stats().counter("cg.recovered_trees");
-      ++Stats.StatementTrees;
-      return true;
-    };
-
-    bool EndsWithRet = false;
-    for (Node *S : F.Body) {
-      EndsWithRet = false;
-      switch (S->Opcode) {
-      case Op::LabelDef:
-        Sem.emitLabel(S->Sym);
-        break;
-      case Op::Jump:
-        Sem.emitJump(S->left()->Sym);
-        break;
-      case Op::Ret:
-        if (S->left()) {
-          // Return value goes to r0: run "r0 := e" through the matcher.
-          Node *Copy = Prog.Arena->bin(Op::Assign, Ty::L,
-                                       Prog.Arena->dreg(RegR0, Ty::L),
-                                       S->left());
-          if (!CompileTree(Copy))
-            return false;
-        }
-        Sem.emitRet();
-        EndsWithRet = true;
-        break;
-      case Op::CallStmt: {
-        const Node *Call = S->right();
-        Sem.emitCall(Call->left()->Sym, static_cast<int>(Call->Value));
-        if (S->left()) {
-          Node *Copy = Prog.Arena->bin(Op::Assign, S->left()->Type,
-                                       S->left(),
-                                       Prog.Arena->dreg(RegR0, Ty::L));
-          if (!CompileTree(Copy))
-            return false;
-        }
-        break;
-      }
-      default:
-        if (!CompileTree(S))
-          return false;
-        break;
-      }
+  // Stitch in source order; on failure report the first failing function,
+  // with diagnostics merged up to and including it (serial semantics).
+  double WorkerEmitSeconds = 0;
+  StatsRegistry &Reg = gg::stats();
+  for (size_t I = 0; I < NumFns; ++I) {
+    FunctionResult &R = Results[I];
+    Diags.append(R.Diags);
+    if (!R.Ok) {
+      Err = R.Err;
+      return false;
     }
-    if (!EndsWithRet)
-      Sem.emitRet();
+    Trace += R.TraceText;
+    Stats.MatchSeconds += R.MatchSeconds;
+    Stats.InstrGenSeconds += std::max(0.0, R.GenSeconds - R.EmitInGen);
+    Stats.StatementTrees += R.StatementTrees;
+    Stats.MatcherTokens += R.MatcherTokens;
+    Stats.MatcherSteps += R.MatcherSteps;
+    Stats.BlockedTrees += R.BlockedTrees;
+    Stats.RecoveredTrees += R.RecoveredTrees;
+    Stats.Regs.Allocations += R.Regs.Allocations;
+    Stats.Regs.Spills += R.Regs.Spills;
+    Stats.Regs.Unspills += R.Regs.Unspills;
+    Stats.Regs.MaxLive = std::max(Stats.Regs.MaxLive, R.Regs.MaxLive);
+    Stats.Idioms.BindingApplied += R.Idioms.BindingApplied;
+    Stats.Idioms.RangeApplied += R.Idioms.RangeApplied;
+    Stats.Idioms.CCTestsElided += R.Idioms.CCTestsElided;
+    Stats.Idioms.PseudoExpansions += R.Idioms.PseudoExpansions;
+    WorkerEmitSeconds += R.Emit->emitSeconds();
+    Emit.append(std::move(*R.Emit));
 
-    // Patch the prologue with the final frame size.
-    Emit.patchLine(PrologueLine, strf("\tsubl2\t$%d,sp", F.FrameSize));
-
-    Stats.Regs.Allocations += Sem.regStats().Allocations;
-    Stats.Regs.Spills += Sem.regStats().Spills;
-    Stats.Regs.Unspills += Sem.regStats().Unspills;
-    Stats.Regs.MaxLive = std::max(Stats.Regs.MaxLive,
-                                  Sem.regStats().MaxLive);
-    Stats.Idioms.BindingApplied += Sem.idiomStats().BindingApplied;
-    Stats.Idioms.RangeApplied += Sem.idiomStats().RangeApplied;
-    Stats.Idioms.CCTestsElided += Sem.idiomStats().CCTestsElided;
-    Stats.Idioms.PseudoExpansions += Sem.idiomStats().PseudoExpansions;
-
-    StatsRegistry &Reg = gg::stats();
     ++Reg.counter("cg.functions");
-    Reg.counter("idiom.binding_applied") += Sem.idiomStats().BindingApplied;
-    Reg.counter("idiom.range_applied") += Sem.idiomStats().RangeApplied;
-    Reg.counter("idiom.cc_tests_elided") += Sem.idiomStats().CCTestsElided;
-    Reg.counter("idiom.pseudo_expansions") +=
-        Sem.idiomStats().PseudoExpansions;
+    Reg.counter("idiom.binding_applied") += R.Idioms.BindingApplied;
+    Reg.counter("idiom.range_applied") += R.Idioms.RangeApplied;
+    Reg.counter("idiom.cc_tests_elided") += R.Idioms.CCTestsElided;
+    Reg.counter("idiom.pseudo_expansions") += R.Idioms.PseudoExpansions;
   }
 
   if (Opts.Peephole)
     Stats.Peephole = runPeephole(Emit.linesMutable());
 
   Stats.TransformSeconds = TransformT.seconds();
-  Stats.MatchSeconds = MatchT.seconds();
   // Figure-2 accounting: phase 3 is replay time minus the output
   // formatting nested inside it; phase 4 is all formatting (operands,
-  // prologue/data directives, final text rendering).
-  Stats.InstrGenSeconds = std::max(0.0, GenT.seconds() - EmitInGen);
+  // prologue/data directives, final text rendering). With Threads > 1
+  // these are summed per-worker CPU seconds, not wall time.
   Stats.Instructions = Emit.instructionCount();
   Asm += Emit.text();
   Stats.AsmLines = Emit.lineCount();
   Stats.EmitSeconds = Emit.emitSeconds();
 
-  StatsRegistry &Reg = gg::stats();
   ++Reg.counter("cg.compiles");
   Reg.counter("cg.trees") += Stats.StatementTrees;
   Reg.counter("emit.asm_lines") += Stats.AsmLines;
+  Reg.counter("cg.parallel.threads") += Stats.Parallel.Workers;
+  Reg.counter("cg.parallel.tasks") += Stats.Parallel.Tasks;
+  Reg.counter("cg.parallel.steals") += Stats.Parallel.Steals;
   Reg.value("cg.transform_seconds") += Stats.TransformSeconds;
   Reg.value("cg.match_seconds") += Stats.MatchSeconds;
   Reg.value("cg.instrgen_seconds") += Stats.InstrGenSeconds;
   Reg.value("cg.emit_seconds") += Stats.EmitSeconds;
+  Reg.value("cg.parallel.worker_emit_seconds") += WorkerEmitSeconds;
   return true;
 }

@@ -12,6 +12,12 @@ using namespace gg;
 Matcher::Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts)
     : G(G), T(T), Opts(Opts) {
   assert(G.isFrozen() && "matcher requires a frozen grammar");
+  // Precompute every terminal's dense index; unknown tokens miss the map
+  // and report -1. Eager construction keeps match() free of mutable state,
+  // which is what makes one matcher shareable across parallel workers.
+  TermIndex.reserve(G.terminals().size());
+  for (SymId S : G.terminals())
+    TermIndex.emplace(G.symbolName(S), G.termIndex(S));
 }
 
 std::string BlockReport::render() const {
@@ -58,26 +64,25 @@ std::string BlockReport::render() const {
 }
 
 int Matcher::termIndexFor(const std::string &Name) const {
-  auto It = TermIndexCache.find(Name);
-  if (It != TermIndexCache.end())
-    return It->second;
-  SymId S = G.lookup(Name);
-  int Idx = (S >= 0 && G.isTerminal(S)) ? G.termIndex(S) : -1;
-  TermIndexCache.emplace(Name, Idx);
-  return Idx;
+  auto It = TermIndex.find(Name);
+  return It == TermIndex.end() ? -1 : It->second;
 }
 
 MatchResult Matcher::match(const std::vector<LinToken> &Input,
                            const DynamicChooser &Chooser) const {
-  // Hot-path telemetry: entry references are stable, so look them up once.
+  // Hot-path telemetry: entry references are stable, so look them up once
+  // (and the entries themselves are atomics, safe for concurrent workers).
   StatsRegistry &Reg = stats();
-  static uint64_t &NumTrees = Reg.counter("match.trees");
-  static uint64_t &NumShifts = Reg.counter("match.shifts");
-  static uint64_t &NumReduces = Reg.counter("match.reduces");
-  static uint64_t &NumTies = Reg.counter("match.dynamic_ties");
-  static uint64_t &NumChooser = Reg.counter("match.chooser_invocations");
-  static uint64_t &NumBlocks = Reg.counter("match.syntactic_blocks");
-  static uint64_t &NumCapHits = Reg.counter("match.depth_cap_hits");
+  static std::atomic<uint64_t> &NumTrees = Reg.counter("match.trees");
+  static std::atomic<uint64_t> &NumShifts = Reg.counter("match.shifts");
+  static std::atomic<uint64_t> &NumReduces = Reg.counter("match.reduces");
+  static std::atomic<uint64_t> &NumTies = Reg.counter("match.dynamic_ties");
+  static std::atomic<uint64_t> &NumChooser =
+      Reg.counter("match.chooser_invocations");
+  static std::atomic<uint64_t> &NumBlocks =
+      Reg.counter("match.syntactic_blocks");
+  static std::atomic<uint64_t> &NumCapHits =
+      Reg.counter("match.depth_cap_hits");
   static LogHistogram &DepthHist = Reg.histogram("match.stack_depth");
   static LogHistogram &TokensHist = Reg.histogram("match.tokens_per_tree");
   static LogHistogram &StepsHist = Reg.histogram("match.steps_per_tree");

@@ -88,7 +88,10 @@ struct MatcherOptions {
 using DynamicChooser =
     std::function<int(int State, const std::vector<int> &Candidates)>;
 
-/// A reusable matcher bound to one grammar and its packed tables.
+/// A reusable matcher bound to one grammar and its packed tables. After
+/// construction a Matcher is immutable: match() touches only const state
+/// (plus the atomic stats registry), so one instance serves any number of
+/// concurrent code-generation workers.
 class Matcher {
 public:
   Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts = {});
@@ -96,6 +99,7 @@ public:
   /// Matches \p Input (a prefix-linearized tree). A parse error here is a
   /// syntactic block: the description failed to cover well-formed input.
   /// On failure, MatchResult::Block carries the structured cause.
+  /// Thread-safe: may be called concurrently from multiple workers.
   MatchResult match(const std::vector<LinToken> &Input,
                     const DynamicChooser &Chooser = nullptr) const;
 
@@ -106,7 +110,9 @@ private:
   const Grammar &G;
   const PackedTables &T;
   MatcherOptions Opts;
-  mutable std::unordered_map<std::string, int> TermIndexCache;
+  /// Terminal name -> dense terminal index, built eagerly at construction
+  /// (the grammar is frozen) so match() needs no mutable lookup cache.
+  std::unordered_map<std::string, int> TermIndex;
 
   /// Terminal index for a token name, or -1 if the grammar lacks it.
   int termIndexFor(const std::string &Name) const;

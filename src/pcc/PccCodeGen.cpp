@@ -18,8 +18,8 @@ char scOf(Ty T) { return suffixChar(T); }
 class PccFunctionGen {
 public:
   PccFunctionGen(Program &P, Function &F, AsmEmitter &Emit,
-                 DiagnosticSink &Diags)
-      : P(P), F(F), A(*P.Arena), Emit(Emit), Diags(Diags) {}
+                 DiagnosticSink &Diags, NodeArena *Arena = nullptr)
+      : P(P), F(F), A(Arena ? *Arena : *P.Arena), Emit(Emit), Diags(Diags) {}
 
   bool run() {
     // The baseline prevents spills the way PCC did: split register-hungry
@@ -605,11 +605,11 @@ bool PccCodeGenerator::compile(Program &Prog, std::string &Asm,
 }
 
 bool gg::pccGenStatement(Program &P, Function &F, Node *S, AsmEmitter &Emit,
-                         DiagnosticSink &Diags) {
+                         DiagnosticSink &Diags, NodeArena *Arena) {
   // Fallback generation must be all-or-nothing: roll back anything a
   // failed walk emitted so the caller can report a clean module error.
   AsmEmitter::Mark M = Emit.mark();
-  PccFunctionGen Gen(P, F, Emit, Diags);
+  PccFunctionGen Gen(P, F, Emit, Diags, Arena);
   if (!Gen.runOne(S)) {
     Emit.rollback(M);
     return false;

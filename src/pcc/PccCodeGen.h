@@ -65,9 +65,12 @@ private:
 /// temporaries exactly as the whole-function baseline does; frame cells
 /// come from \p F so the caller's prologue patching covers them. Returns
 /// false with diagnostics in \p Diags on an unsupported construct,
-/// emitting nothing in that case.
+/// emitting nothing in that case. \p Arena overrides the node arena for
+/// splitter temporaries (null = the program's own); parallel compile
+/// workers pass a private arena so concurrent recoveries never contend on
+/// the shared one.
 bool pccGenStatement(Program &P, Function &F, Node *S, AsmEmitter &Emit,
-                     DiagnosticSink &Diags);
+                     DiagnosticSink &Diags, NodeArena *Arena = nullptr);
 
 } // namespace gg
 

@@ -55,6 +55,13 @@ public:
     ++ErrorCount;
   }
 
+  /// Appends every diagnostic from \p Other in order. Parallel compile
+  /// workers accumulate into private sinks that are merged source-order.
+  void append(const DiagnosticSink &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    ErrorCount += Other.ErrorCount;
+  }
+
   bool hasErrors() const { return ErrorCount != 0; }
   unsigned errors() const { return ErrorCount; }
   const std::vector<Diagnostic> &all() const { return Diags; }

@@ -4,9 +4,11 @@
 #include "support/Stats.h"
 #include "support/Strings.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 
 using namespace gg;
 
@@ -75,6 +77,19 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
         return false;
       }
       New.CapFreeRegs = static_cast<int>(*K);
+    } else if (Key == "stall-worker") {
+      int64_t Ms = 5; // default cap keeps test runs short but reordering real
+      if (!Val.empty()) {
+        std::optional<int64_t> P = parseInt(Val);
+        if (!P || *P < 1 || *P > 1000) {
+          Err = strf("stall-worker delay cap must be in [1,1000] ms, "
+                     "got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        Ms = *P;
+      }
+      New.StallWorkerMs = static_cast<int>(Ms);
     } else if (Key == "seed") {
       std::optional<int64_t> S = Val.empty() ? std::nullopt : parseInt(Val);
       if (!S || *S < 0) {
@@ -84,13 +99,14 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
       New.Seed = static_cast<uint64_t>(*S);
     } else {
       Err = strf("unknown fault kind '%.*s' (known: drop-prod, "
-                 "corrupt-table, truncate-input, cap-regs, seed)",
+                 "corrupt-table, truncate-input, cap-regs, stall-worker, "
+                 "seed)",
                  static_cast<int>(Key.size()), Key.data());
       return false;
     }
   }
   C = New;
-  TreeOrdinal = 0;
+  TreeOrdinal.store(0, std::memory_order_relaxed);
   return true;
 }
 
@@ -101,10 +117,9 @@ bool FaultInjector::shouldDropProduction(std::string_view SemTag) {
   return true;
 }
 
-size_t FaultInjector::truncatedInputSize(size_t NumTokens) {
+size_t FaultInjector::truncatedInputSize(size_t NumTokens, uint64_t Ordinal) {
   if (C.TruncateEveryNth <= 0)
     return NumTokens;
-  uint64_t Ordinal = TreeOrdinal++;
   if (Ordinal % static_cast<uint64_t>(C.TruncateEveryNth) != 0)
     return NumTokens;
   // A proper prefix of a prefix linearization is never itself well formed,
@@ -116,6 +131,19 @@ size_t FaultInjector::truncatedInputSize(size_t NumTokens) {
   size_t Keep = NumTokens - (NumTokens / 4 > 0 ? NumTokens / 4 : 1);
   ++stats().counter("fault.trees_truncated");
   return Keep;
+}
+
+void FaultInjector::stallWorker(uint64_t TaskOrdinal) {
+  if (C.StallWorkerMs <= 0)
+    return;
+  // Knuth-hash the (seed, task) pair so neighboring tasks get unrelated
+  // delays: late early-tasks and early late-tasks force the stitcher to
+  // reorder buffers rather than getting completion order for free.
+  uint64_t H = (C.Seed * 2654435761u) ^ (TaskOrdinal * 0x9E3779B97F4A7C15ull);
+  uint64_t DelayUs =
+      (H >> 7) % (static_cast<uint64_t>(C.StallWorkerMs) * 1000 + 1);
+  ++stats().counter("fault.worker_stalls");
+  std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
 }
 
 int64_t FaultInjector::corruptTableBody(std::string &TableText,

@@ -20,6 +20,10 @@
 ///                           statement tree (a phase-1/linearizer bug);
 ///   * `cap-regs=K`          let the register manager hand out only the
 ///                           first K scratch registers (forces exhaustion);
+///   * `stall-worker[=MS]`   delay each parallel compile task by a
+///                           seed-derived amount up to MS milliseconds,
+///                           scrambling worker completion order (proves
+///                           source-order stitching is scheduling-proof);
 ///   * `seed=S`              seed for derived offsets (deterministic).
 ///
 /// Faults are process-global (like the stats registry), configured from a
@@ -31,6 +35,7 @@
 #ifndef GG_SUPPORT_FAULTINJECT_H
 #define GG_SUPPORT_FAULTINJECT_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -52,12 +57,15 @@ struct FaultConfig {
   /// Cap the register manager to the first K allocatable registers
   /// (1 <= K <= 6). -1 = off.
   int CapFreeRegs = -1;
-  /// Seed for derived choices (corrupt offset, truncation point).
+  /// Delay each parallel compile task by a seed-derived amount in
+  /// [0, StallWorkerMs] milliseconds. 0 = off.
+  int StallWorkerMs = 0;
+  /// Seed for derived choices (corrupt offset, truncation point, stalls).
   uint64_t Seed = 1;
 
   bool anyEnabled() const {
     return !DropProdTag.empty() || CorruptTableByte != -1 ||
-           TruncateEveryNth > 0 || CapFreeRegs >= 0;
+           TruncateEveryNth > 0 || CapFreeRegs >= 0 || StallWorkerMs > 0;
   }
 };
 
@@ -78,21 +86,39 @@ public:
   bool enabled() const { return C.anyEnabled(); }
 
   /// Restores the all-off default (tests).
-  void reset() { C = FaultConfig(); TreeOrdinal = 0; }
+  void reset() {
+    C = FaultConfig();
+    TreeOrdinal.store(0, std::memory_order_relaxed);
+  }
 
   /// True if the expanded production with semantic tag \p SemTag should be
   /// dropped from the grammar (counts `fault.productions_dropped`).
   bool shouldDropProduction(std::string_view SemTag);
 
-  /// Returns the truncated token count for the statement tree that is
-  /// about to be matched (counts `fault.trees_truncated` when it chops).
-  /// Advances the per-process tree ordinal; returns \p NumTokens unchanged
-  /// when the fault is off or this tree is not selected.
-  size_t truncatedInputSize(size_t NumTokens);
+  /// Atomically reserves \p Count consecutive tree ordinals, returning the
+  /// first. The code generator reserves its module's whole block up front
+  /// and numbers trees in source order, so truncate-input selects the same
+  /// trees at any thread count (and across compiles in one process, the
+  /// same trees the pre-parallel sequential counter selected).
+  uint64_t reserveTreeOrdinals(uint64_t Count) {
+    return TreeOrdinal.fetch_add(Count, std::memory_order_relaxed);
+  }
+
+  /// Returns the truncated token count for the statement tree numbered
+  /// \p Ordinal (counts `fault.trees_truncated` when it chops). Pure in
+  /// the ordinal: returns \p NumTokens unchanged when the fault is off or
+  /// this ordinal is not selected.
+  size_t truncatedInputSize(size_t NumTokens, uint64_t Ordinal);
 
   /// Register-manager cap: the number of allocatable scratch registers the
   /// allocator may use, or -1 for no cap.
   int capFreeRegs() const { return C.CapFreeRegs; }
+
+  /// stall-worker fault: sleeps for a deterministic, seed-derived delay
+  /// for compile task \p TaskOrdinal (counts `fault.worker_stalls`). No-op
+  /// when the fault is off. Different ordinals get different delays, so
+  /// parallel workers finish in adversarially shuffled order.
+  void stallWorker(uint64_t TaskOrdinal);
 
   /// Flips one byte of \p TableText within [BodyStart, TableText.size())
   /// per the config (counts `fault.table_bytes_corrupted`). Returns the
@@ -101,7 +127,9 @@ public:
 
 private:
   FaultConfig C;
-  uint64_t TreeOrdinal = 0; ///< statement trees seen (for truncate-input)
+  /// Statement trees numbered so far (truncate-input); atomic because
+  /// parallel compiles may reserve blocks concurrently.
+  std::atomic<uint64_t> TreeOrdinal{0};
 };
 
 /// Shorthand for the global injector.

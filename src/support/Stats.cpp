@@ -11,10 +11,11 @@ StatsRegistry &StatsRegistry::global() {
 }
 
 void StatsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
   for (auto &[Name, V] : Counters)
-    V = 0;
+    V.store(0, std::memory_order_relaxed);
   for (auto &[Name, V] : Values)
-    V = 0;
+    V.store(0, std::memory_order_relaxed);
   for (auto &[Name, H] : Histograms)
     H.reset();
 }
@@ -50,18 +51,20 @@ std::string gg::jsonEscape(std::string_view Text) {
 }
 
 std::string StatsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
   std::string Out = "{\"schema\":\"gg-stats-v1\",\"counters\":{";
   bool First = true;
   for (const auto &[Name, V] : Counters) {
     Out += strf("%s\"%s\":%llu", First ? "" : ",", jsonEscape(Name).c_str(),
-                static_cast<unsigned long long>(V));
+                static_cast<unsigned long long>(
+                    V.load(std::memory_order_relaxed)));
     First = false;
   }
   Out += "},\"values\":{";
   First = true;
   for (const auto &[Name, V] : Values) {
     Out += strf("%s\"%s\":%.9g", First ? "" : ",", jsonEscape(Name).c_str(),
-                V);
+                V.load(std::memory_order_relaxed));
     First = false;
   }
   Out += "},\"histograms\":{";
@@ -91,12 +94,15 @@ std::string StatsRegistry::toJson() const {
 }
 
 std::string StatsRegistry::toText() const {
+  std::lock_guard<std::mutex> Lock(M);
   std::string Out;
   for (const auto &[Name, V] : Counters)
     Out += strf("%-40s %12llu\n", Name.c_str(),
-                static_cast<unsigned long long>(V));
+                static_cast<unsigned long long>(
+                    V.load(std::memory_order_relaxed)));
   for (const auto &[Name, V] : Values)
-    Out += strf("%-40s %12.6f\n", Name.c_str(), V);
+    Out += strf("%-40s %12.6f\n", Name.c_str(),
+                V.load(std::memory_order_relaxed));
   for (const auto &[Name, H] : Histograms)
     Out += strf("%-40s n=%llu min=%llu mean=%.1f max=%llu\n", Name.c_str(),
                 static_cast<unsigned long long>(H.count()),

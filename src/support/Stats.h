@@ -28,9 +28,18 @@
 /// test relies on this for counters that are legitimately zero, e.g. the
 /// peephole counters when the optimizer is off).
 ///
-/// Entry references are stable for the registry's lifetime (std::map
-/// nodes); hot call sites may cache them in function-local statics.
-/// reset() zeroes every entry but never removes one.
+/// Thread safety: mutation is lock-free once registered. Counters and
+/// values are atomics mutated with relaxed ordering; histogram recording
+/// uses relaxed atomics with CAS loops for min/max. Registration (the
+/// first lookup of a name) takes a mutex, and entry references are stable
+/// for the registry's lifetime (std::map nodes), so hot call sites cache
+/// them in function-local statics and never touch the lock again. The
+/// parallel code generator's workers all record into this registry
+/// concurrently; because every mutation is a commutative add (or an
+/// order-free min/max), totals are deterministic at any thread count.
+/// reset() zeroes every entry but never removes one; readers racing a
+/// reset or a recording may observe transiently inconsistent histogram
+/// aggregates (count vs. sum), never torn values.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,8 +47,10 @@
 #define GG_SUPPORT_STATS_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace gg {
@@ -48,28 +59,48 @@ namespace gg {
 /// whose bit width is i, i.e. the ranges {0}, {1}, [2,3], [4,7], [8,15]…
 /// — compact, O(1) to record, and faithful enough for the scale questions
 /// the experiments ask (stack depths, tokens per tree, step counts).
+/// Recording is thread-safe (relaxed atomics; min/max via CAS).
 class LogHistogram {
 public:
   void record(uint64_t Sample) {
-    ++Count;
-    Sum += Sample;
-    if (Count == 1 || Sample < Min)
-      Min = Sample;
-    if (Sample > Max)
-      Max = Sample;
-    ++Buckets[bitWidth(Sample)];
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Sample, std::memory_order_relaxed);
+    uint64_t Cur = Min.load(std::memory_order_relaxed);
+    while (Sample < Cur &&
+           !Min.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed)) {
+    }
+    Cur = Max.load(std::memory_order_relaxed);
+    while (Sample > Cur &&
+           !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed)) {
+    }
+    Buckets[bitWidth(Sample)].fetch_add(1, std::memory_order_relaxed);
   }
 
-  void reset() { *this = LogHistogram(); }
+  void reset() {
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Min.store(NoSample, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
 
-  uint64_t count() const { return Count; }
-  uint64_t sum() const { return Sum; }
-  uint64_t min() const { return Count ? Min : 0; }
-  uint64_t max() const { return Max; }
-  double mean() const { return Count ? static_cast<double>(Sum) / Count : 0; }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == NoSample ? 0 : M;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t N = count();
+    return N ? static_cast<double>(sum()) / N : 0;
+  }
 
   /// Bucket count for samples of bit width \p W (0..64).
-  uint64_t bucket(int W) const { return Buckets[W]; }
+  uint64_t bucket(int W) const {
+    return Buckets[W].load(std::memory_order_relaxed);
+  }
 
   /// Inclusive upper bound of bucket \p W (0, 1, 3, 7, 15, ...).
   static uint64_t bucketUpper(int W) {
@@ -86,8 +117,9 @@ public:
   }
 
 private:
-  uint64_t Count = 0, Sum = 0, Min = 0, Max = 0;
-  std::array<uint64_t, 65> Buckets{};
+  static constexpr uint64_t NoSample = ~0ull; ///< Min sentinel: no samples yet
+  std::atomic<uint64_t> Count{0}, Sum{0}, Min{NoSample}, Max{0};
+  std::array<std::atomic<uint64_t>, 65> Buckets{};
 };
 
 /// Named counters, gauges and histograms. One process-wide instance
@@ -97,14 +129,22 @@ public:
   static StatsRegistry &global();
 
   /// The named counter, created at zero on first use. The reference is
-  /// stable; hot paths may cache it.
-  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+  /// stable; hot paths may cache it. Mutation (++, +=) is atomic.
+  std::atomic<uint64_t> &counter(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    return Counters[Name];
+  }
 
   /// The named accumulated double (seconds, bytes-as-double, ...).
-  double &value(const std::string &Name) { return Values[Name]; }
+  /// Mutation (+=) is atomic (C++20 floating-point fetch_add).
+  std::atomic<double> &value(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    return Values[Name];
+  }
 
   /// The named histogram.
   LogHistogram &histogram(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
     return Histograms[Name];
   }
 
@@ -122,15 +162,20 @@ public:
   /// Human-readable aligned text dump (the `--stats` surface).
   std::string toText() const;
 
-  const std::map<std::string, uint64_t> &counters() const { return Counters; }
-  const std::map<std::string, double> &values() const { return Values; }
+  const std::map<std::string, std::atomic<uint64_t>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, std::atomic<double>> &values() const {
+    return Values;
+  }
   const std::map<std::string, LogHistogram> &histograms() const {
     return Histograms;
   }
 
 private:
-  std::map<std::string, uint64_t> Counters;
-  std::map<std::string, double> Values;
+  mutable std::mutex M; ///< guards map registration only, not entry updates
+  std::map<std::string, std::atomic<uint64_t>> Counters;
+  std::map<std::string, std::atomic<double>> Values;
   std::map<std::string, LogHistogram> Histograms;
 };
 

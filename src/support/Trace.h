@@ -17,13 +17,21 @@
 /// branch. Timestamps are microseconds relative to the recorder's epoch
 /// (reset on enable()), taken from steady_clock.
 ///
+/// Thread safety: span entry/exit lock a mutex when the recorder is
+/// enabled (the parallel code generator's workers open per-function and
+/// per-tree spans concurrently), and nothing when disabled. The nesting
+/// depth is process-wide, so depths recorded by concurrent workers
+/// interleave; the Chrome JSON view keys on timestamps and is unaffected.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GG_SUPPORT_TRACE_H
 #define GG_SUPPORT_TRACE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,23 +57,27 @@ public:
   /// Enables recording and resets the epoch. Previously recorded events
   /// are kept (enable is idempotent mid-run).
   void enable() {
-    Enabled = true;
+    std::lock_guard<std::mutex> Lock(M);
+    Enabled.store(true, std::memory_order_relaxed);
     if (Events.empty() && CurDepth == 0)
       Epoch = Clock::now();
   }
-  void disable() { Enabled = false; }
-  bool enabled() const { return Enabled; }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
   void clear() {
+    std::lock_guard<std::mutex> Lock(M);
     Events.clear();
     CurDepth = 0;
     Epoch = Clock::now();
   }
 
+  /// Not safe against concurrent recording; read after workers join.
   const std::vector<TraceEvent> &events() const { return Events; }
 
   /// Microseconds since the recorder's epoch.
   double nowUs() const {
+    std::lock_guard<std::mutex> Lock(M);
     return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
         .count();
   }
@@ -78,15 +90,20 @@ public:
   std::string toText() const;
 
   // Span bookkeeping (used by TraceSpan).
-  int enter() { return CurDepth++; }
+  int enter() {
+    std::lock_guard<std::mutex> Lock(M);
+    return CurDepth++;
+  }
   void exit(TraceEvent E) {
+    std::lock_guard<std::mutex> Lock(M);
     --CurDepth;
     Events.push_back(std::move(E));
   }
 
 private:
   using Clock = std::chrono::steady_clock;
-  bool Enabled = false;
+  mutable std::mutex M; ///< guards Events/CurDepth/Epoch when enabled
+  std::atomic<bool> Enabled{false};
   int CurDepth = 0;
   Clock::time_point Epoch = Clock::now();
   std::vector<TraceEvent> Events;

@@ -73,12 +73,31 @@ public:
     NumInsts = M.NumInsts;
   }
 
+  /// Splices another emitter's whole output onto the end of this one,
+  /// consuming it. The parallel code generator compiles each function into
+  /// a private buffer and stitches the buffers in source order, so output
+  /// is byte-identical to the single-threaded stream at any thread count.
+  /// The donor's phase-4 seconds are folded in as well.
+  void append(AsmEmitter &&Other) {
+    Lines.insert(Lines.end(),
+                 std::make_move_iterator(Other.Lines.begin()),
+                 std::make_move_iterator(Other.Lines.end()));
+    NumInsts += Other.NumInsts;
+    ForeignEmitSeconds += Other.emitSeconds();
+    Other.Lines.clear();
+    Other.NumInsts = 0;
+  }
+
   /// The full assembly text.
   std::string text() const;
 
   /// Wall-clock seconds spent formatting instructions and rendering the
-  /// final text — the paper's phase 4 (output generation).
-  double emitSeconds() const { return EmitTimer.seconds(); }
+  /// final text — the paper's phase 4 (output generation). Includes time
+  /// charged by emitters spliced in via append(); under parallel
+  /// compilation this is summed worker time (CPU seconds), not wall time.
+  double emitSeconds() const {
+    return EmitTimer.seconds() + ForeignEmitSeconds;
+  }
 
   /// Explain mode: annotate each instruction with the production that
   /// reduced it. The context string is set by the instruction generator
@@ -95,6 +114,7 @@ private:
   std::vector<std::string> Lines;
   size_t NumInsts = 0;
   mutable Timer EmitTimer; ///< text() is const but charges phase 4
+  double ForeignEmitSeconds = 0; ///< phase-4 time of append()ed emitters
   bool Explain = false;
   std::string Context;
 

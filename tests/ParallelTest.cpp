@@ -1,0 +1,275 @@
+//===- ParallelTest.cpp - parallel code generation determinism -----------------===//
+//
+// The parallel compilation pipeline's contract: compiling a module on N
+// pool workers produces byte-identical assembly, identical simulator
+// behavior and identical recovery telemetry for every N. Also covers the
+// ThreadPool primitive itself (full index coverage, worker resolution,
+// chunking).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "support/FaultInject.h"
+#include "support/ThreadPool.h"
+#include "vaxsim/Simulator.h"
+#include "workload/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace gg;
+
+namespace {
+
+const VaxTarget &sharedTarget() {
+  static std::unique_ptr<VaxTarget> T = [] {
+    std::string Err;
+    std::unique_ptr<VaxTarget> P = VaxTarget::create(Err);
+    if (!P)
+      abort();
+    return P;
+  }();
+  return *T;
+}
+
+/// Restores the all-off fault default when a test scope exits, so the
+/// process-global injector never leaks config into later tests.
+struct FaultGuard {
+  FaultGuard() { faultInject().reset(); }
+  ~FaultGuard() { faultInject().reset(); }
+};
+
+/// A module with enough functions of uneven size that chunk dealing and
+/// stealing actually distribute work.
+const char *MultiFnSource = R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int gcd(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }
+int sum3(int a, int b, int c) { return a + b + c; }
+int poly(int x) { return x * x * x - 2 * x * x + 7 * x - 4; }
+int twice(int x) { return x + x; }
+int main() {
+  int acc = 0;
+  int i = 0;
+  while (i < 8) { acc = acc + fib(i) + poly(i); i = i + 1; }
+  print(acc);
+  print(gcd(462, 1071));
+  print(sum3(acc, twice(5), 3));
+  return acc % 100;
+}
+)";
+
+/// Compiles \p Source with the given thread count; fault config active at
+/// call time applies. The target is created fresh per call so table-build
+/// faults (drop-prod) take effect.
+bool compileAt(int Threads, const std::string &Source, std::string &Asm,
+               CodeGenStats *OutStats = nullptr,
+               std::string *OutDiags = nullptr) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  EXPECT_NE(Target, nullptr) << Err;
+  Program P;
+  DiagnosticSink D;
+  EXPECT_TRUE(compileMiniC(Source, P, D)) << D.renderAll();
+  CodeGenOptions Opts;
+  Opts.Parallel.Threads = Threads;
+  GGCodeGenerator CG(*Target, Opts);
+  bool Ok = CG.compile(P, Asm, Err);
+  EXPECT_TRUE(Ok) << Err;
+  if (OutStats)
+    *OutStats = CG.stats();
+  if (OutDiags)
+    *OutDiags = CG.diagnostics().renderAll();
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool primitive
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ResolvesWorkerCounts) {
+  EXPECT_EQ(resolveWorkerCount(1, 100), 1u);
+  EXPECT_EQ(resolveWorkerCount(4, 100), 4u);
+  EXPECT_EQ(resolveWorkerCount(4, 2), 2u) << "never more workers than items";
+  EXPECT_EQ(resolveWorkerCount(7, 0), 1u);
+  EXPECT_GE(resolveWorkerCount(0, 100), 1u) << "0 = hardware concurrency";
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int Threads : {1, 2, 4, 8}) {
+    for (int Chunking : {1, 3}) {
+      const size_t N = 37;
+      std::vector<std::atomic<int>> Hits(N);
+      ParallelOptions Opts;
+      Opts.Threads = Threads;
+      Opts.Chunking = Chunking;
+      PoolRunStats S = parallelFor(
+          N, Opts, [&](size_t I) { Hits[I].fetch_add(1); });
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Hits[I].load(), 1)
+            << "index " << I << " threads=" << Threads
+            << " chunking=" << Chunking;
+      EXPECT_EQ(S.Workers, resolveWorkerCount(Threads, N));
+      EXPECT_EQ(S.Tasks, (N + Chunking - 1) / static_cast<size_t>(Chunking));
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ParallelOptions Opts;
+  Opts.Threads = 4;
+  PoolRunStats S = parallelFor(0, Opts, [](size_t) { FAIL(); });
+  EXPECT_EQ(S.Workers, 0u);
+  EXPECT_EQ(S.Tasks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel code generation determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, ByteIdenticalAsmAcrossThreadCounts) {
+  std::string Serial;
+  ASSERT_TRUE(compileAt(1, MultiFnSource, Serial));
+  ASSERT_FALSE(Serial.empty());
+  for (int Threads : {2, 4, 8}) {
+    std::string Asm;
+    CodeGenStats Stats;
+    ASSERT_TRUE(compileAt(Threads, MultiFnSource, Asm, &Stats));
+    EXPECT_EQ(Serial, Asm) << "assembly diverged at threads=" << Threads;
+    EXPECT_GE(Stats.Parallel.Workers, 2u);
+  }
+}
+
+TEST(Parallel, ChunkingDoesNotChangeOutput) {
+  std::string Serial;
+  ASSERT_TRUE(compileAt(1, MultiFnSource, Serial));
+  for (int Chunking : {2, 4}) {
+    std::string Err;
+    Program P;
+    DiagnosticSink D;
+    ASSERT_TRUE(compileMiniC(MultiFnSource, P, D)) << D.renderAll();
+    CodeGenOptions Opts;
+    Opts.Parallel.Threads = 4;
+    Opts.Parallel.Chunking = Chunking;
+    GGCodeGenerator CG(sharedTarget(), Opts);
+    std::string Asm;
+    ASSERT_TRUE(CG.compile(P, Asm, Err)) << Err;
+    EXPECT_EQ(Serial, Asm) << "chunking=" << Chunking;
+  }
+}
+
+TEST(Parallel, SimulatorBehaviorIdenticalAcrossThreadCounts) {
+  std::string Serial;
+  ASSERT_TRUE(compileAt(1, MultiFnSource, Serial));
+  SimResult Base = assembleAndRun(Serial);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  for (int Threads : {2, 8}) {
+    std::string Asm;
+    ASSERT_TRUE(compileAt(Threads, MultiFnSource, Asm));
+    SimResult R = assembleAndRun(Asm);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(Base.Output, R.Output) << "threads=" << Threads;
+    EXPECT_EQ(Base.ReturnValue, R.ReturnValue) << "threads=" << Threads;
+    EXPECT_EQ(Base.Instructions, R.Instructions) << "threads=" << Threads;
+  }
+}
+
+TEST(Parallel, GeneratedProgramsIdenticalAcrossThreadCounts) {
+  // Wider structural variety than the hand-written module: generated
+  // programs exercise calls, globals, loops and recovery-free paths.
+  for (int Case = 0; Case < 10; ++Case) {
+    uint64_t Seed = 0x9A11E100u + static_cast<uint64_t>(Case);
+    GenOptions GOpts;
+    GOpts.Functions = 5;
+    GOpts.StmtsPerFunction = 6;
+    std::string Source = generateProgram(Seed, GOpts);
+    std::string Serial;
+    ASSERT_TRUE(compileAt(1, Source, Serial)) << "seed " << Seed;
+    for (int Threads : {4}) {
+      std::string Asm;
+      ASSERT_TRUE(compileAt(Threads, Source, Asm)) << "seed " << Seed;
+      EXPECT_EQ(Serial, Asm) << "seed " << Seed << " threads=" << Threads;
+    }
+  }
+}
+
+TEST(Parallel, RecoveryCountersIdenticalAcrossThreadCounts) {
+  // Drop the call-argument production so every call-bearing tree blocks
+  // and recovers through the PCC fallback, inside pool workers.
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("drop-prod=push_l", Err)) << Err;
+
+  std::string SerialAsm, SerialDiags;
+  CodeGenStats SerialStats;
+  ASSERT_TRUE(compileAt(1, MultiFnSource, SerialAsm, &SerialStats,
+                        &SerialDiags));
+  ASSERT_GE(SerialStats.BlockedTrees, 1u)
+      << "fault did not trigger; the test is vacuous";
+  EXPECT_EQ(SerialStats.BlockedTrees, SerialStats.RecoveredTrees);
+
+  for (int Threads : {2, 4, 8}) {
+    std::string Asm, Diags;
+    CodeGenStats Stats;
+    ASSERT_TRUE(compileAt(Threads, MultiFnSource, Asm, &Stats, &Diags));
+    EXPECT_EQ(SerialStats.BlockedTrees, Stats.BlockedTrees)
+        << "threads=" << Threads;
+    EXPECT_EQ(SerialStats.RecoveredTrees, Stats.RecoveredTrees)
+        << "threads=" << Threads;
+    EXPECT_EQ(SerialAsm, Asm)
+        << "recovered output diverged at threads=" << Threads;
+    EXPECT_EQ(SerialDiags, Diags)
+        << "diagnostics order diverged at threads=" << Threads;
+    SimResult R = assembleAndRun(Asm);
+    ASSERT_TRUE(R.Ok) << R.Error;
+  }
+}
+
+TEST(Parallel, TruncateInputOrdinalsIndependentOfScheduling) {
+  // truncate-input selects every Nth tree by a global ordinal; the
+  // reserved per-function ordinal blocks must make the selection — and so
+  // the recovered output — identical at any thread count.
+  std::string Serial;
+  CodeGenStats SerialStats;
+  {
+    FaultGuard Guard;
+    std::string Err;
+    ASSERT_TRUE(faultInject().configure("truncate-input=3", Err)) << Err;
+    ASSERT_TRUE(compileAt(1, MultiFnSource, Serial, &SerialStats));
+  }
+  ASSERT_GE(SerialStats.BlockedTrees, 1u);
+  for (int Threads : {2, 8}) {
+    FaultGuard Guard;
+    std::string Err;
+    ASSERT_TRUE(faultInject().configure("truncate-input=3", Err)) << Err;
+    std::string Asm;
+    CodeGenStats Stats;
+    ASSERT_TRUE(compileAt(Threads, MultiFnSource, Asm, &Stats));
+    EXPECT_EQ(SerialStats.BlockedTrees, Stats.BlockedTrees)
+        << "threads=" << Threads;
+    EXPECT_EQ(Serial, Asm) << "threads=" << Threads;
+  }
+}
+
+TEST(Parallel, TraceTextIdenticalAcrossThreadCounts) {
+  std::string Err;
+  auto TraceAt = [&](int Threads) {
+    Program P;
+    DiagnosticSink D;
+    EXPECT_TRUE(compileMiniC(MultiFnSource, P, D)) << D.renderAll();
+    CodeGenOptions Opts;
+    Opts.Trace = true;
+    Opts.Parallel.Threads = Threads;
+    GGCodeGenerator CG(sharedTarget(), Opts);
+    std::string Asm;
+    EXPECT_TRUE(CG.compile(P, Asm, Err)) << Err;
+    return CG.trace();
+  };
+  std::string Serial = TraceAt(1);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, TraceAt(4)) << "shift/reduce trace order diverged";
+}
+
+} // namespace

@@ -187,7 +187,7 @@ TEST(Stats, CounterSemantics) {
   EXPECT_EQ(R.counter("a.b"), 4u);
 
   // References are stable across further registration.
-  uint64_t &C = R.counter("a.b");
+  std::atomic<uint64_t> &C = R.counter("a.b");
   for (int I = 0; I < 100; ++I)
     R.counter(strf("filler.%d", I));
   C += 1;

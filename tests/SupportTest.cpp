@@ -2,10 +2,14 @@
 
 #include "support/Error.h"
 #include "support/Interner.h"
+#include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 using namespace gg;
 
@@ -127,6 +131,41 @@ TEST(TimerTest, GroupKeysAreIndependent) {
   EXPECT_GE(G.get("a").seconds(), 0.0);
   EXPECT_EQ(G.get("b").seconds(), 0.0);
   EXPECT_EQ(G.all().size(), 2u);
+}
+
+TEST(StatsThreading, OneCounterHammeredFromEightThreads) {
+  // Parallel compile workers bump shared registry counters concurrently;
+  // every increment must land. 8 threads x 10000 increments, through a
+  // mix of the pre-registered reference (the hot-path pattern) and fresh
+  // name lookups racing against registration of other keys.
+  StatsRegistry R;
+  std::atomic<uint64_t> &Hot = R.counter("hammer.hot");
+  constexpr int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        ++Hot;
+        R.counter("hammer.looked_up") += 2;
+        if (I % 1000 == 0)
+          R.counter(strf("hammer.reg.%d.%d", T, I)); // racing registration
+        R.value("hammer.val") += 1.0;
+        R.histogram("hammer.hist").record(static_cast<uint64_t>(I));
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(R.counter("hammer.hot"),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(R.counter("hammer.looked_up"),
+            static_cast<uint64_t>(Threads) * PerThread * 2);
+  EXPECT_EQ(R.value("hammer.val").load(),
+            static_cast<double>(Threads) * PerThread);
+  EXPECT_EQ(R.histogram("hammer.hist").count(),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(R.histogram("hammer.hist").min(), 0u);
+  EXPECT_EQ(R.histogram("hammer.hist").max(),
+            static_cast<uint64_t>(PerThread - 1));
 }
 
 } // namespace
