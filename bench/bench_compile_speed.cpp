@@ -15,6 +15,7 @@
 
 #include "support/Timer.h"
 #include <benchmark/benchmark.h>
+#include <cstring>
 
 using namespace gg;
 
@@ -79,6 +80,20 @@ BENCHMARK(BM_GGCompileThreads)
 } // namespace
 
 int main(int argc, char **argv) {
+  // --baseline-json=FILE: write the deterministic single-pass metrics as
+  // a gg-bench-v1 file for the regression sentinel and skip the noisy
+  // thread sweep / google-benchmark half. Consumed here so the benchmark
+  // library never sees the flag.
+  std::string BaselinePath;
+  for (int I = 1; I < argc; ++I)
+    if (strncmp(argv[I], "--baseline-json=", 16) == 0) {
+      BaselinePath = argv[I] + 16;
+      for (int J = I; J + 1 < argc; ++J)
+        argv[J] = argv[J + 1];
+      --argc;
+      break;
+    }
+
   ggbench::header("E3", "code generation speed and output size, GG vs PCC",
                   "GG 80.1s vs PCC 55.4s (1.45x slower); "
                   "11385 vs 11309 assembly lines (1.007x)");
@@ -116,6 +131,19 @@ int main(int argc, char **argv) {
          PccInsts, double(GGInsts) / double(PccInsts));
   printf("\ncorpus: %zu synthetic programs, ~10 functions each\n\n",
          Corpus.size());
+
+  if (!BaselinePath.empty())
+    return ggbench::writeBenchBaseline(
+               "compile_speed", BaselinePath,
+               {{"gg_asm_lines", double(GGLines)},
+                {"pcc_asm_lines", double(PccLines)},
+                {"gg_instructions", double(GGInsts)},
+                {"pcc_instructions", double(PccInsts)},
+                {"gg_seconds", TG.seconds()},
+                {"pcc_seconds", TP.seconds()},
+                {"gg_pcc_seconds_ratio", TG.seconds() / TP.seconds()}})
+               ? 0
+               : 1;
 
   // Thread-scaling table + one BENCH_JSON line per point (gg-stats-v1,
   // carrying the cg.parallel.* counters for that thread count). Speedup is

@@ -5,15 +5,25 @@
 //   compile_minic FILE [--backend=gg|pcc] [--threads=N] [--trace]
 //                 [--no-idioms] [--no-reverse-ops] [--no-recover] [--stats]
 //                 [--explain] [--fault=SPEC] [--stats-json=FILE]
-//                 [--trace-json=FILE]
+//                 [--trace-json=FILE] [--coverage-json=FILE]
+//   compile_minic --gen-corpus=N [--threads=N] [--coverage-json=FILE] ...
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
 // concurrency); the output is byte-identical at any thread count.
 //
 // --explain annotates each emitted instruction with the grammar
-// production whose reduction generated it. --stats-json / --trace-json
-// dump the stats registry and Chrome trace_event spans ("-" = stdout,
-// which for these flags means stderr to keep the assembly clean).
+// production whose reduction generated it. --stats-json / --trace-json /
+// --coverage-json dump the stats registry, Chrome trace_event spans and
+// the gg-coverage-v1 table-coverage artifact; "-" means stdout, the same
+// contract as run_vax (support/CliOptions.h — it used to mean stderr
+// here).
+//
+// --gen-corpus=N replaces FILE: it generates the N-seed deterministic
+// program corpus the differential tests use (seed 0xD1FF0000+i) and
+// compiles each program with the gg backend, cycling the worker count
+// through 1/2/4/8 unless --threads pins it. No assembly is printed; the
+// mode exists to accumulate telemetry (notably --coverage-json) over a
+// realistic program population in one process.
 //
 // --fault=SPEC injects deterministic faults (see support/FaultInject.h);
 // --no-recover disables the degradation ladder so the first syntactic
@@ -24,37 +34,87 @@
 #include "cg/CodeGenerator.h"
 #include "frontend/Parser.h"
 #include "pcc/PccCodeGen.h"
-#include "support/FaultInject.h"
+#include "support/CliOptions.h"
 #include "support/Stats.h"
-#include "support/Trace.h"
+#include "workload/ProgramGen.h"
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 using namespace gg;
 
-static void writeOrDump(const std::string &Path, const std::string &Text) {
-  if (Path == "-") {
-    fputs(Text.c_str(), stderr);
-    return;
+static void printGGStats(const CodeGenStats &S) {
+  fprintf(stderr,
+          "# gg: %zu trees, %zu instructions, %zu lines\n"
+          "# phases: transform %.4fs, match %.4fs, instr-gen %.4fs, "
+          "emit %.4fs\n"
+          "# idioms: %u binding, %u range, %u cc-elide, %u pseudo\n"
+          "# registers: %u allocations, %u spills, %u unspills\n",
+          S.StatementTrees, S.Instructions, S.AsmLines, S.TransformSeconds,
+          S.MatchSeconds, S.InstrGenSeconds, S.EmitSeconds,
+          S.Idioms.BindingApplied, S.Idioms.RangeApplied,
+          S.Idioms.CCTestsElided, S.Idioms.PseudoExpansions,
+          S.Regs.Allocations, S.Regs.Spills, S.Regs.Unspills);
+  if (S.Parallel.Workers > 1)
+    fprintf(stderr, "# parallel: %llu workers, %llu tasks, %llu steals\n",
+            static_cast<unsigned long long>(S.Parallel.Workers),
+            static_cast<unsigned long long>(S.Parallel.Tasks),
+            static_cast<unsigned long long>(S.Parallel.Steals));
+}
+
+/// Compiles the differential-test corpus (same seeds and sizes as
+/// tests/DifferentialTest.cpp) with the gg backend, discarding the
+/// assembly. Worker counts cycle 1/2/4/8 across cases unless the user
+/// pinned --threads; the telemetry a TelemetryDump writes afterwards
+/// covers the whole population.
+static int runCorpus(int Cases, const VaxTarget &Target, CodeGenOptions Opts,
+                     int PinnedThreads) {
+  static const int ThreadCycle[] = {1, 2, 4, 8};
+  for (int Case = 0; Case < Cases; ++Case) {
+    GenOptions GOpts;
+    GOpts.Functions = 4 + Case % 3;
+    GOpts.StmtsPerFunction = 6 + Case % 5;
+    std::string Source = generateProgram(0xD1FF0000u + Case, GOpts);
+
+    Program Prog;
+    DiagnosticSink Diags;
+    if (!compileMiniC(Source, Prog, Diags)) {
+      fprintf(stderr, "gen-corpus case %d: frontend rejected its own "
+                      "program:\n%s",
+              Case, Diags.renderAll().c_str());
+      return 1;
+    }
+    Opts.Parallel.Threads =
+        PinnedThreads >= 0 ? PinnedThreads : ThreadCycle[Case % 4];
+    GGCodeGenerator CG(Target, Opts);
+    std::string Asm, Err;
+    if (!CG.compile(Prog, Asm, Err)) {
+      fprintf(stderr, "gen-corpus case %d: %s\n", Case, Err.c_str());
+      return 1;
+    }
   }
-  std::ofstream Out(Path);
-  if (!Out)
-    fprintf(stderr, "cannot write %s\n", Path.c_str());
-  else
-    Out << Text;
+  fprintf(stderr, "gen-corpus: compiled %d programs\n", Cases);
+  return 0;
 }
 
 int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Trace = false, Stats = false;
-  std::string StatsJsonPath, TraceJsonPath;
+  int CorpusCases = -1;
   CodeGenOptions Opts;
+  CommonDriverOptions Common;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    switch (parseCommonDriverOption(A, Common)) {
+    case CliParse::Ok:
+      continue;
+    case CliParse::Bad:
+      return 2;
+    case CliParse::NotMine:
+      break;
+    }
     if (A == "--backend=pcc")
       UsePcc = true;
     else if (A == "--backend=gg")
@@ -65,17 +125,7 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (A == "--explain")
       Opts.Explain = true;
-    else if (A.rfind("--stats-json=", 0) == 0)
-      StatsJsonPath = A.substr(13);
-    else if (A.rfind("--trace-json=", 0) == 0)
-      TraceJsonPath = A.substr(13);
-    else if (A.rfind("--fault=", 0) == 0) {
-      std::string FaultErr;
-      if (!faultInject().configure(A.substr(8), FaultErr)) {
-        fprintf(stderr, "bad --fault spec: %s\n", FaultErr.c_str());
-        return 2;
-      }
-    } else if (A == "--no-recover")
+    else if (A == "--no-recover")
       Opts.Recover = false;
     else if (A == "--no-idioms") {
       Opts.Idioms.BindingIdioms = false;
@@ -83,30 +133,43 @@ int main(int argc, char **argv) {
       Opts.Idioms.CCTracking = false;
     } else if (A == "--no-reverse-ops")
       Opts.Transform.ReverseOps = false;
-    else if (A.rfind("--threads=", 0) == 0) {
+    else if (A.rfind("--gen-corpus=", 0) == 0) {
       char *End = nullptr;
-      long N = strtol(A.c_str() + 10, &End, 10);
-      if (!End || *End || N < 0 || N > 256) {
-        fprintf(stderr, "bad --threads value: %s\n", A.c_str());
+      long N = strtol(A.c_str() + 13, &End, 10);
+      if (!End || *End || N < 1 || N > 100000) {
+        fprintf(stderr, "bad --gen-corpus value: %s\n", A.c_str());
         return 2;
       }
-      Opts.Parallel.Threads = static_cast<int>(N);
+      CorpusCases = static_cast<int>(N);
     } else if (A[0] == '-') {
       fprintf(stderr, "unknown option %s\n", A.c_str());
       return 2;
     } else
       File = argv[I];
   }
-  if (!File) {
+  if (!File && CorpusCases < 0) {
     fprintf(stderr,
-            "usage: compile_minic FILE [--backend=gg|pcc] [--threads=N] "
-            "[--trace] [--no-idioms] [--no-reverse-ops] [--no-recover] "
-            "[--stats] [--explain] [--fault=SPEC] [--stats-json=FILE] "
-            "[--trace-json=FILE]\n");
+            "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
+            "[--no-idioms] [--no-reverse-ops] [--no-recover] [--stats] "
+            "[--explain] %s\n"
+            "       compile_minic --gen-corpus=N [common options]\n",
+            commonDriverUsage());
     return 2;
   }
-  if (!TraceJsonPath.empty())
-    TraceRecorder::global().enable();
+  TelemetryDump Dump(Common);
+  Opts.Trace = Trace;
+  if (Common.Threads >= 0)
+    Opts.Parallel.Threads = Common.Threads;
+
+  if (CorpusCases >= 0) {
+    std::string Err;
+    std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+    if (!Target) {
+      fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    return runCorpus(CorpusCases, *Target, Opts, Common.Threads);
+  }
 
   std::ifstream In(File);
   if (!In) {
@@ -140,7 +203,6 @@ int main(int argc, char **argv) {
       fprintf(stderr, "%s\n", Err.c_str());
       return 1;
     }
-    Opts.Trace = Trace;
     GGCodeGenerator CG(*Target, Opts);
     bool Ok = CG.compile(Prog, Asm, Err);
     if (!CG.diagnostics().all().empty())
@@ -151,31 +213,9 @@ int main(int argc, char **argv) {
     }
     if (Trace)
       fprintf(stderr, "%s", CG.trace().c_str());
-    if (Stats) {
-      const CodeGenStats &S = CG.stats();
-      fprintf(stderr,
-              "# gg: %zu trees, %zu instructions, %zu lines\n"
-              "# phases: transform %.4fs, match %.4fs, instr-gen %.4fs, "
-              "emit %.4fs\n"
-              "# idioms: %u binding, %u range, %u cc-elide, %u pseudo\n"
-              "# registers: %u allocations, %u spills, %u unspills\n",
-              S.StatementTrees, S.Instructions, S.AsmLines,
-              S.TransformSeconds, S.MatchSeconds, S.InstrGenSeconds,
-              S.EmitSeconds, S.Idioms.BindingApplied, S.Idioms.RangeApplied,
-              S.Idioms.CCTestsElided, S.Idioms.PseudoExpansions,
-              S.Regs.Allocations, S.Regs.Spills, S.Regs.Unspills);
-      if (S.Parallel.Workers > 1)
-        fprintf(stderr,
-                "# parallel: %llu workers, %llu tasks, %llu steals\n",
-                static_cast<unsigned long long>(S.Parallel.Workers),
-                static_cast<unsigned long long>(S.Parallel.Tasks),
-                static_cast<unsigned long long>(S.Parallel.Steals));
-    }
+    if (Stats)
+      printGGStats(CG.stats());
   }
   fputs(Asm.c_str(), stdout);
-  if (!StatsJsonPath.empty())
-    writeOrDump(StatsJsonPath, stats().toJson() + "\n");
-  if (!TraceJsonPath.empty())
-    writeOrDump(TraceJsonPath, TraceRecorder::global().toChromeJson());
   return 0;
 }

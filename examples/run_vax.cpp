@@ -6,6 +6,7 @@
 //
 //   run_vax FILE [--backend=gg|pcc] [--threads=N] [--compare]
 //           [--fault=SPEC] [--stats-json=FILE] [--trace-json=FILE]
+//           [--coverage-json=FILE]
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
 // concurrency); assembly and simulation results are identical at any
@@ -17,8 +18,11 @@
 // --stats-json dumps the process-wide stats registry (per-phase seconds,
 // matcher step/stack-depth distributions, table-constructor conflict
 // counts, idiom/peephole/register telemetry) as one JSON object;
-// --trace-json dumps Chrome trace_event JSON loadable in chrome://tracing.
-// "-" writes to stdout.
+// --trace-json dumps Chrome trace_event JSON loadable in chrome://tracing;
+// --coverage-json dumps the gg-coverage-v1 table-coverage artifact
+// (per-production/state/dyn-point/instruction-row hits) for gg-report.
+// "-" writes to stdout. These flags are shared with compile_minic
+// (support/CliOptions.h).
 //
 // --fault=SPEC injects deterministic faults to exercise the degradation
 // ladder (see support/FaultInject.h): e.g. --fault=drop-prod=mul_l,
@@ -31,6 +35,7 @@
 #include "frontend/Parser.h"
 #include "ir/Interp.h"
 #include "pcc/PccCodeGen.h"
+#include "support/CliOptions.h"
 #include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -43,33 +48,6 @@
 #include <sstream>
 
 using namespace gg;
-
-/// Dumps the registry / recorder on every exit path from main.
-struct TelemetryDump {
-  std::string StatsPath, TracePath;
-  ~TelemetryDump();
-};
-
-static bool writeTextFile(const std::string &Path, const std::string &Text) {
-  if (Path == "-") {
-    fputs(Text.c_str(), stdout);
-    return true;
-  }
-  std::ofstream Out(Path);
-  if (!Out) {
-    fprintf(stderr, "cannot write %s\n", Path.c_str());
-    return false;
-  }
-  Out << Text;
-  return true;
-}
-
-TelemetryDump::~TelemetryDump() {
-  if (!StatsPath.empty())
-    writeTextFile(StatsPath, stats().toJson() + "\n");
-  if (!TracePath.empty())
-    writeTextFile(TracePath, TraceRecorder::global().toChromeJson());
-}
 
 static bool loadProgram(const std::string &Source, Program &Prog) {
   DiagnosticSink Diags;
@@ -84,45 +62,34 @@ int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Compare = false;
   CodeGenOptions GGOpts;
-  std::string StatsJsonPath, TraceJsonPath;
+  CommonDriverOptions Common;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    switch (parseCommonDriverOption(A, Common)) {
+    case CliParse::Ok:
+      continue;
+    case CliParse::Bad:
+      return 2;
+    case CliParse::NotMine:
+      break;
+    }
     if (A == "--backend=pcc")
       UsePcc = true;
     else if (A == "--backend=gg")
       UsePcc = false;
     else if (A == "--compare")
       Compare = true;
-    else if (A.rfind("--threads=", 0) == 0) {
-      char *End = nullptr;
-      long N = strtol(A.c_str() + 10, &End, 10);
-      if (!End || *End || N < 0 || N > 256) {
-        fprintf(stderr, "bad --threads value: %s\n", A.c_str());
-        return 2;
-      }
-      GGOpts.Parallel.Threads = static_cast<int>(N);
-    } else if (A.rfind("--stats-json=", 0) == 0)
-      StatsJsonPath = A.substr(13);
-    else if (A.rfind("--trace-json=", 0) == 0)
-      TraceJsonPath = A.substr(13);
-    else if (A.rfind("--fault=", 0) == 0) {
-      std::string FaultErr;
-      if (!faultInject().configure(A.substr(8), FaultErr)) {
-        fprintf(stderr, "bad --fault spec: %s\n", FaultErr.c_str());
-        return 2;
-      }
-    } else
+    else
       File = argv[I];
   }
   if (!File) {
-    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--threads=N] "
-                    "[--compare] [--fault=SPEC] [--stats-json=FILE] "
-                    "[--trace-json=FILE]\n");
+    fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare] %s\n",
+            commonDriverUsage());
     return 2;
   }
-  if (!TraceJsonPath.empty())
-    TraceRecorder::global().enable();
-  TelemetryDump Dump{StatsJsonPath, TraceJsonPath};
+  if (Common.Threads >= 0)
+    GGOpts.Parallel.Threads = Common.Threads;
+  TelemetryDump Dump(Common);
   std::ifstream In(File);
   if (!In) {
     fprintf(stderr, "cannot open %s\n", File);

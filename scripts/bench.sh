@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Benchmark regression sentinel (see docs/observability.md).
+#
+#   scripts/bench.sh [--build-dir DIR] [--check] [--update]
+#
+# Runs the two deterministic bench suites (E3 compile speed, E7 code
+# quality) with --baseline-json and either:
+#
+#   --update (default)  writes BENCH_compile_speed.json and
+#                       BENCH_code_quality.json at the repo root — the
+#                       committed baselines;
+#   --check             writes fresh metrics into the build tree and
+#                       compares them against the committed baselines
+#                       with `gg-report --check-bench`. Exits nonzero on
+#                       any count-metric deviation beyond the default
+#                       0.5% threshold (time metrics are informational
+#                       and skipped; pass gg-report --time-threshold
+#                       manually to opt in).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+MODE=update
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --check) MODE=check; shift ;;
+    --update) MODE=update; shift ;;
+    *) echo "usage: bench.sh [--build-dir DIR] [--check|--update]" >&2; exit 2 ;;
+  esac
+done
+
+for bin in bench/bench_compile_speed bench/bench_code_quality tools/gg-report; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "bench.sh: $BUILD_DIR/$bin missing (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+if [ "$MODE" = update ]; then
+  echo "== writing bench baselines at $ROOT"
+  "$BUILD_DIR/bench/bench_compile_speed" \
+      --baseline-json="$ROOT/BENCH_compile_speed.json" > /dev/null
+  "$BUILD_DIR/bench/bench_code_quality" \
+      --baseline-json="$ROOT/BENCH_code_quality.json" > /dev/null
+  echo "   BENCH_compile_speed.json BENCH_code_quality.json"
+  exit 0
+fi
+
+echo "== bench sentinel: fresh run vs committed baselines"
+FRESH="$BUILD_DIR/bench-fresh"
+mkdir -p "$FRESH"
+"$BUILD_DIR/bench/bench_compile_speed" \
+    --baseline-json="$FRESH/compile_speed.json" > /dev/null
+"$BUILD_DIR/bench/bench_code_quality" \
+    --baseline-json="$FRESH/code_quality.json" > /dev/null
+"$BUILD_DIR/tools/gg-report" \
+    --check-bench="$FRESH/compile_speed.json:$ROOT/BENCH_compile_speed.json" \
+    --check-bench="$FRESH/code_quality.json:$ROOT/BENCH_code_quality.json"

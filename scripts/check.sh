@@ -13,7 +13,13 @@
 #    fault kind must still produce the unfaulted program output (the
 #    degradation ladder recovers blocked trees via the PCC baseline),
 #    and table corruption must be rejected by the loader's checksum,
-# 5. builds the parallel-determinism test under -fsanitize=thread and runs
+# 5. runs the coverage smoke leg: compiles the differential corpus plus a
+#    bridge-exercising program with --coverage-json, merges the artifacts
+#    with gg-report and gates on dead bridge families / zero dynamic-tie
+#    coverage,
+# 6. runs the benchmark regression sentinel: fresh deterministic bench
+#    metrics vs the committed BENCH_*.json baselines (scripts/bench.sh),
+# 7. builds the parallel-determinism test under -fsanitize=thread and runs
 #    it: the work-stealing compile pipeline must be race-free, not just
 #    deterministic.
 #
@@ -125,6 +131,64 @@ grep -q "checksum" "$TMP/corrupt.err" ||
     exit 1; }
 echo "   corrupt-table: loader rejected the file via its checksum"
 
+echo "== coverage smoke (gg-coverage-v1 artifacts through gg-report)"
+# The generated corpus plus every example program covers the common table
+# paths; the bridge program is hand-written to reach all three section
+# 6.2.2 bridge-production families (MiniC only reaches the byte widths,
+# so gg-report groups width replicas per family). The merged report must
+# show zero dead bridge families and nonzero dynamic-tie coverage.
+cat > "$TMP/bridges.c" <<'EOF'
+char ga[64];
+int main() {
+  register int x;
+  register char *cp;
+  int i; int j; int s;
+  s = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      x = i;
+      ga[x + i * j] = i + j;
+      cp = ga;
+      cp[i * j] = i - j;
+      ga[i * j] = i + 2 * j;
+      s = s + ga[x + i * j] + cp[i * j] + ga[i * j];
+    }
+  }
+  print(s);
+  return 0;
+}
+EOF
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=24 \
+  --coverage-json="$TMP/corpus.cov.json" >/dev/null 2>&1
+"$BUILD_DIR"/examples/compile_minic "$TMP/bridges.c" \
+  --coverage-json="$TMP/bridges.cov.json" >/dev/null
+for prog in examples/programs/*.c; do
+  name=$(basename "$prog" .c)
+  "$BUILD_DIR"/examples/compile_minic "$prog" \
+    --coverage-json="$TMP/$name.cov.json" >/dev/null
+done
+json_check "$TMP/corpus.cov.json"
+"$BUILD_DIR"/tools/gg-report "$TMP"/*.cov.json \
+  --json="$TMP/merged.cov.json" \
+  --fail-on-dead-bridge --fail-on-zero-dyn >"$TMP/coverage.report"
+json_check "$TMP/merged.cov.json"
+grep -E "productions reduced|dyn-tie points" "$TMP/coverage.report" |
+  sed 's/^/  /'
+echo "   coverage gates: bridge families live, dynamic ties exercised"
+
+# The artifact must be a property of the input, not the schedule: the
+# same corpus at different worker counts produces identical bytes.
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=6 --threads=1 \
+  --coverage-json="$TMP/cov.t1.json" >/dev/null 2>&1
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=6 --threads=4 \
+  --coverage-json="$TMP/cov.t4.json" >/dev/null 2>&1
+cmp "$TMP/cov.t1.json" "$TMP/cov.t4.json" ||
+  { echo "coverage artifact differs between thread counts" >&2; exit 1; }
+echo "   coverage artifact byte-identical at --threads=1 vs 4"
+
+echo "== benchmark regression sentinel (vs committed BENCH_*.json)"
+scripts/bench.sh --check --build-dir "$BUILD_DIR"
+
 echo "== TSAN leg (parallel code generation under -fsanitize=thread)"
 # ASan and TSan cannot share a build tree; a third tree builds just the
 # parallel-determinism test and hammers the work-stealing pipeline. TSAN's
@@ -132,9 +196,12 @@ echo "== TSAN leg (parallel code generation under -fsanitize=thread)"
 cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target parallel_test support_test
+cmake --build build-tsan -j"$(nproc)" --target parallel_test support_test \
+  coverage_test
 build-tsan/tests/parallel_test
 build-tsan/tests/support_test --gtest_filter='StatsThreading.*'
-echo "   parallel_test + stats hammer: race-free under TSAN"
+build-tsan/tests/coverage_test \
+  --gtest_filter='CoverageRegistry.ShardsSumExactlyUnderContention:CoveragePipeline.*'
+echo "   parallel_test + stats/coverage hammers: race-free under TSAN"
 
 echo "== all checks passed"

@@ -3,6 +3,7 @@
 #include "cg/CodeGenerator.h"
 #include "ir/Linearize.h"
 #include "pcc/PccCodeGen.h"
+#include "support/Coverage.h"
 #include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
@@ -295,6 +296,7 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   Trace.clear();
   Diags = DiagnosticSink();
   touchSchemaKeys();
+  coverage().noteCompile();
   TraceSpan CompileSpan("cg.compile");
   AsmEmitter Emit(Prog.Syms);
   Emit.setExplain(Opts.Explain);

@@ -1,6 +1,7 @@
 //===- Matcher.cpp - instruction pattern matcher ---------------------------===//
 
 #include "match/Matcher.h"
+#include "support/Coverage.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
@@ -18,6 +19,9 @@ Matcher::Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts)
   TermIndex.reserve(G.terminals().size());
   for (SymId S : G.terminals())
     TermIndex.emplace(G.symbolName(S), G.termIndex(S));
+  // Size the coverage counter arrays while construction is still serial
+  // (workers never resize; see support/Coverage.h).
+  coverage().sizeGrammar(G.numProductions(), T.numStates(), T.numDynPoints());
 }
 
 std::string BlockReport::render() const {
@@ -87,8 +91,15 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
   static LogHistogram &TokensHist = Reg.histogram("match.tokens_per_tree");
   static LogHistogram &StepsHist = Reg.histogram("match.steps_per_tree");
 
+  // Coverage recording costs one relaxed load per tree when disabled; the
+  // per-step recorders below are all behind this flag.
+  CoverageRegistry &Cov = coverage();
+  const bool Covering = Cov.enabled();
+
   TraceSpan Span("match.tree");
   ++NumTrees;
+  if (Covering)
+    Cov.noteStateVisit(0);
 
   MatchResult R;
   std::vector<int> StateStack{0};
@@ -157,6 +168,8 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
     switch (A.Kind) {
     case ActionType::Shift:
       ++NumShifts;
+      if (Covering)
+        Cov.noteStateVisit(A.Target);
       R.Steps.push_back(
           {MatchStep::Shift, static_cast<int>(Pos), -1});
       StateStack.push_back(A.Target);
@@ -168,10 +181,12 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
     case ActionType::Reduce: {
       ++NumReduces;
       int Prod = A.Target;
+      bool DynTie = false;
       if (const std::vector<int> *Ties = T.dynChoicesAt(State, TermIdx)) {
         // A longest-rule tie the table constructor deferred to match time
         // (§3.2 "choose among them dynamically using semantic attributes").
         ++NumTies;
+        DynTie = true;
         if (Chooser) {
           ++NumChooser;
           std::vector<int> Cands;
@@ -180,6 +195,11 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
           Cands.insert(Cands.end(), Ties->begin(), Ties->end());
           Prod = Chooser(State, Cands);
         }
+      }
+      if (Covering) {
+        Cov.noteReduce(Prod);
+        if (DynTie)
+          Cov.noteDynChoice(State, TermIdx, Prod);
       }
       const Production &P = G.prod(Prod);
       assert(StateStack.size() > P.Rhs.size() && "stack underflow on reduce");
@@ -192,6 +212,8 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
         Blocked(BlockReport::Cause::MissingGoto, G.symbolName(P.Lhs));
         return R;
       }
+      if (Covering)
+        Cov.noteStateVisit(GotoState);
       R.Steps.push_back({MatchStep::Reduce, -1, Prod});
       StateStack.push_back(GotoState);
       SymStack.push_back(P.Lhs);

@@ -1,0 +1,84 @@
+//===- CliOptions.cpp - shared example-driver options -------------------------===//
+
+#include "support/CliOptions.h"
+#include "support/Coverage.h"
+#include "support/FaultInject.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace gg;
+
+CliParse gg::parseCommonDriverOption(const std::string &Arg,
+                                     CommonDriverOptions &Opts) {
+  if (Arg.rfind("--threads=", 0) == 0) {
+    char *End = nullptr;
+    long N = strtol(Arg.c_str() + 10, &End, 10);
+    if (!End || *End || N < 0 || N > 256) {
+      fprintf(stderr, "bad --threads value: %s\n", Arg.c_str());
+      return CliParse::Bad;
+    }
+    Opts.Threads = static_cast<int>(N);
+    return CliParse::Ok;
+  }
+  if (Arg.rfind("--stats-json=", 0) == 0) {
+    Opts.StatsJsonPath = Arg.substr(13);
+    return CliParse::Ok;
+  }
+  if (Arg.rfind("--trace-json=", 0) == 0) {
+    Opts.TraceJsonPath = Arg.substr(13);
+    return CliParse::Ok;
+  }
+  if (Arg.rfind("--coverage-json=", 0) == 0) {
+    Opts.CoverageJsonPath = Arg.substr(16);
+    return CliParse::Ok;
+  }
+  if (Arg.rfind("--fault=", 0) == 0) {
+    std::string Err;
+    if (!faultInject().configure(Arg.substr(8), Err)) {
+      fprintf(stderr, "bad --fault spec: %s\n", Err.c_str());
+      return CliParse::Bad;
+    }
+    return CliParse::Ok;
+  }
+  return CliParse::NotMine;
+}
+
+const char *gg::commonDriverUsage() {
+  return "[--threads=N] [--fault=SPEC] [--stats-json=FILE] "
+         "[--trace-json=FILE] [--coverage-json=FILE]";
+}
+
+bool gg::writeTextOrStdout(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Text;
+  return true;
+}
+
+TelemetryDump::TelemetryDump(const CommonDriverOptions &O) : Opts(O) {
+  if (!Opts.TraceJsonPath.empty())
+    TraceRecorder::global().enable();
+  if (!Opts.CoverageJsonPath.empty())
+    coverage().enable();
+}
+
+TelemetryDump::~TelemetryDump() {
+  if (!Opts.StatsJsonPath.empty())
+    writeTextOrStdout(Opts.StatsJsonPath, stats().toJson() + "\n");
+  if (!Opts.TraceJsonPath.empty())
+    writeTextOrStdout(Opts.TraceJsonPath,
+                      TraceRecorder::global().toChromeJson());
+  if (!Opts.CoverageJsonPath.empty())
+    writeTextOrStdout(Opts.CoverageJsonPath, coverage().toJson() + "\n");
+}

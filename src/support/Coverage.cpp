@@ -1,0 +1,319 @@
+//===- Coverage.cpp - table coverage hit counters -----------------------------===//
+
+#include "support/Coverage.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+
+using namespace gg;
+
+//===----------------------------------------------------------------------===//
+// CoverageRegistry
+//===----------------------------------------------------------------------===//
+
+CoverageRegistry &CoverageRegistry::global() {
+  static CoverageRegistry R;
+  return R;
+}
+
+int CoverageRegistry::shardIndex() {
+  // Threads are dealt shards round-robin; the pool tops out well under
+  // NumShards on the hosts this targets, so shards are usually
+  // thread-private and contention only appears past 16 recorders.
+  static std::atomic<unsigned> NextShard{0};
+  static thread_local int Mine =
+      static_cast<int>(NextShard.fetch_add(1, std::memory_order_relaxed) &
+                       (NumShards - 1));
+  return Mine;
+}
+
+void CoverageRegistry::growLocked(Family &F, size_t N) {
+  Store *Old = F.Cur.load(std::memory_order_relaxed);
+  if (Old && Old->N >= N)
+    return;
+  auto S = std::make_unique<Store>();
+  S->N = N;
+  S->Shards.reserve(NumShards);
+  for (int I = 0; I < NumShards; ++I) {
+    auto Arr = std::make_unique<std::atomic<uint64_t>[]>(N);
+    for (size_t J = 0; J < N; ++J)
+      Arr[J].store(Old && J < Old->N
+                       ? Old->Shards[I][J].load(std::memory_order_relaxed)
+                       : 0,
+                   std::memory_order_relaxed);
+    S->Shards.push_back(std::move(Arr));
+  }
+  F.Cur.store(S.get(), std::memory_order_release);
+  F.Stores.push_back(std::move(S)); // the old store stays retired, not freed
+}
+
+uint64_t CoverageRegistry::sum(const Family &F, size_t Index) {
+  const Store *S = F.Cur.load(std::memory_order_acquire);
+  if (!S || Index >= S->N)
+    return 0;
+  uint64_t Total = 0;
+  for (int I = 0; I < NumShards; ++I)
+    Total += S->Shards[I][Index].load(std::memory_order_relaxed);
+  return Total;
+}
+
+void CoverageRegistry::sizeGrammar(size_t NumProds, size_t NumStates,
+                                   size_t DynPoints) {
+  std::lock_guard<std::mutex> Lock(M);
+  growLocked(ProdCounters, NumProds);
+  growLocked(StateCounters, NumStates);
+  NumDynPoints = std::max(NumDynPoints, DynPoints);
+}
+
+void CoverageRegistry::sizeInstrRows(const std::vector<std::string> &Names) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Names.size() > RowNames.size())
+    RowNames = Names;
+  growLocked(RowCounters, RowNames.size());
+}
+
+void CoverageRegistry::setFingerprint(const std::string &HexFP) {
+  std::lock_guard<std::mutex> Lock(M);
+  Fingerprint = HexFP;
+}
+
+void CoverageRegistry::noteDynChoice(int State, int TermIdx, int ChosenProd) {
+  if (!enabled())
+    return;
+  // Tie events are orders of magnitude rarer than shifts/reduces (one per
+  // deferred reduce/reduce tie actually hit), so a mutex-guarded map is
+  // fine here where it would not be in noteReduce.
+  std::lock_guard<std::mutex> Lock(M);
+  DynPointHits &P = Dyn[{State, TermIdx}];
+  ++P.Hits;
+  ++P.Chosen[ChosenProd];
+}
+
+void CoverageRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (Family *F : {&ProdCounters, &StateCounters, &RowCounters})
+    if (Store *S = F->Cur.load(std::memory_order_relaxed))
+      for (int I = 0; I < NumShards; ++I)
+        for (size_t J = 0; J < S->N; ++J)
+          S->Shards[I][J].store(0, std::memory_order_relaxed);
+  Dyn.clear();
+  Compiles.store(0, std::memory_order_relaxed);
+}
+
+CoverageSnapshot CoverageRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  CoverageSnapshot Out;
+  Out.Fingerprint = Fingerprint;
+  Out.Compiles = Compiles.load(std::memory_order_relaxed);
+  const Store *PS = ProdCounters.Cur.load(std::memory_order_acquire);
+  const Store *SS = StateCounters.Cur.load(std::memory_order_acquire);
+  const Store *RS = RowCounters.Cur.load(std::memory_order_acquire);
+  Out.NumProds = PS ? PS->N : 0;
+  Out.NumStates = SS ? SS->N : 0;
+  Out.NumDynPoints = NumDynPoints;
+  Out.NumRows = RS ? RS->N : 0;
+  for (size_t I = 0; I < Out.NumProds; ++I)
+    if (uint64_t H = sum(ProdCounters, I))
+      Out.ProdHits[static_cast<int>(I)] = H;
+  for (size_t I = 0; I < Out.NumStates; ++I)
+    if (uint64_t H = sum(StateCounters, I))
+      Out.StateHits[static_cast<int>(I)] = H;
+  for (size_t I = 0; I < Out.NumRows; ++I)
+    if (uint64_t H = sum(RowCounters, I))
+      Out.RowHits[RowNames[I]] = H;
+  Out.Dyn = Dyn;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CoverageSnapshot
+//===----------------------------------------------------------------------===//
+
+std::string CoverageSnapshot::toJson() const {
+  std::string Out = strf(
+      "{\"schema\":\"gg-coverage-v1\",\"fingerprint\":\"%s\","
+      "\"compiles\":%llu,\"shape\":{\"productions\":%llu,\"states\":%llu,"
+      "\"dyn_points\":%llu,\"instr_rows\":%llu}",
+      jsonEscape(Fingerprint).c_str(),
+      static_cast<unsigned long long>(Compiles),
+      static_cast<unsigned long long>(NumProds),
+      static_cast<unsigned long long>(NumStates),
+      static_cast<unsigned long long>(NumDynPoints),
+      static_cast<unsigned long long>(NumRows));
+  bool First;
+
+  Out += ",\"productions\":{";
+  First = true;
+  for (const auto &[Id, Hits] : ProdHits) {
+    Out += strf("%s\"%d\":%llu", First ? "" : ",", Id,
+                static_cast<unsigned long long>(Hits));
+    First = false;
+  }
+  Out += "},\"states\":{";
+  First = true;
+  for (const auto &[Id, Hits] : StateHits) {
+    Out += strf("%s\"%d\":%llu", First ? "" : ",", Id,
+                static_cast<unsigned long long>(Hits));
+    First = false;
+  }
+  Out += "},\"dyn\":{";
+  First = true;
+  for (const auto &[Key, P] : Dyn) {
+    Out += strf("%s\"%d:%d\":{\"hits\":%llu,\"chosen\":{", First ? "" : ",",
+                Key.first, Key.second,
+                static_cast<unsigned long long>(P.Hits));
+    bool FirstC = true;
+    for (const auto &[Prod, N] : P.Chosen) {
+      Out += strf("%s\"%d\":%llu", FirstC ? "" : ",", Prod,
+                  static_cast<unsigned long long>(N));
+      FirstC = false;
+    }
+    Out += "}}";
+    First = false;
+  }
+  Out += "},\"instr_rows\":{";
+  First = true;
+  for (const auto &[Name, Hits] : RowHits) {
+    Out += strf("%s\"%s\":%llu", First ? "" : ",", jsonEscape(Name).c_str(),
+                static_cast<unsigned long long>(Hits));
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}
+
+namespace {
+
+/// "12" -> 12; returns false on junk so corrupt artifacts fail loudly.
+bool parseIntKey(const std::string &Key, int &Out) {
+  if (Key.empty())
+    return false;
+  int V = 0;
+  for (char C : Key) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool readIdMap(const JsonValue *V, std::map<int, uint64_t> &Out,
+               const char *What, std::string &Err) {
+  if (!V || !V->isObject()) {
+    Err = strf("missing or non-object \"%s\"", What);
+    return false;
+  }
+  for (const auto &[Key, Val] : V->Obj) {
+    int Id;
+    if (!parseIntKey(Key, Id) || !Val.isNumber()) {
+      Err = strf("bad entry \"%s\" in \"%s\"", Key.c_str(), What);
+      return false;
+    }
+    Out[Id] += Val.asU64();
+  }
+  return true;
+}
+
+} // namespace
+
+bool CoverageSnapshot::parse(const JsonValue &V, std::string &Err) {
+  *this = CoverageSnapshot();
+  const JsonValue *Schema = V.find("schema");
+  if (!Schema || Schema->Str != "gg-coverage-v1") {
+    Err = "not a gg-coverage-v1 artifact";
+    return false;
+  }
+  if (const JsonValue *FP = V.find("fingerprint"))
+    Fingerprint = FP->Str;
+  Compiles = V.find("compiles") ? V.find("compiles")->asU64() : 0;
+  const JsonValue *Shape = V.find("shape");
+  if (!Shape || !Shape->isObject()) {
+    Err = "missing \"shape\"";
+    return false;
+  }
+  NumProds = static_cast<uint64_t>(Shape->numberOr("productions"));
+  NumStates = static_cast<uint64_t>(Shape->numberOr("states"));
+  NumDynPoints = static_cast<uint64_t>(Shape->numberOr("dyn_points"));
+  NumRows = static_cast<uint64_t>(Shape->numberOr("instr_rows"));
+  if (!readIdMap(V.find("productions"), ProdHits, "productions", Err) ||
+      !readIdMap(V.find("states"), StateHits, "states", Err))
+    return false;
+  const JsonValue *D = V.find("dyn");
+  if (!D || !D->isObject()) {
+    Err = "missing \"dyn\"";
+    return false;
+  }
+  for (const auto &[Key, Val] : D->Obj) {
+    size_t Colon = Key.find(':');
+    int State, Term;
+    if (Colon == std::string::npos ||
+        !parseIntKey(Key.substr(0, Colon), State) ||
+        !parseIntKey(Key.substr(Colon + 1), Term) || !Val.isObject()) {
+      Err = strf("bad dyn key \"%s\"", Key.c_str());
+      return false;
+    }
+    DynPointHits &P = Dyn[{State, Term}];
+    P.Hits = static_cast<uint64_t>(Val.numberOr("hits"));
+    if (const JsonValue *C = Val.find("chosen"))
+      if (!readIdMap(C, P.Chosen, "chosen", Err))
+        return false;
+  }
+  const JsonValue *Rows = V.find("instr_rows");
+  if (!Rows || !Rows->isObject()) {
+    Err = "missing \"instr_rows\"";
+    return false;
+  }
+  for (const auto &[Name, Val] : Rows->Obj) {
+    if (!Val.isNumber()) {
+      Err = strf("bad instr_rows entry \"%s\"", Name.c_str());
+      return false;
+    }
+    RowHits[Name] = Val.asU64();
+  }
+  return true;
+}
+
+bool CoverageSnapshot::parse(const std::string &Text, std::string &Err) {
+  JsonValue V;
+  if (!parseJson(Text, V, Err))
+    return false;
+  return parse(V, Err);
+}
+
+bool CoverageSnapshot::merge(const CoverageSnapshot &Other, std::string &Err) {
+  if (!Fingerprint.empty() && !Other.Fingerprint.empty() &&
+      Fingerprint != Other.Fingerprint) {
+    Err = strf("fingerprint mismatch (%s vs %s): artifacts come from "
+               "different grammars/tables",
+               Fingerprint.c_str(), Other.Fingerprint.c_str());
+    return false;
+  }
+  if ((NumProds && Other.NumProds && NumProds != Other.NumProds) ||
+      (NumStates && Other.NumStates && NumStates != Other.NumStates)) {
+    Err = "table shape mismatch: artifacts come from different tables";
+    return false;
+  }
+  if (Fingerprint.empty())
+    Fingerprint = Other.Fingerprint;
+  NumProds = std::max(NumProds, Other.NumProds);
+  NumStates = std::max(NumStates, Other.NumStates);
+  NumDynPoints = std::max(NumDynPoints, Other.NumDynPoints);
+  NumRows = std::max(NumRows, Other.NumRows);
+  Compiles += Other.Compiles;
+  for (const auto &[Id, H] : Other.ProdHits)
+    ProdHits[Id] += H;
+  for (const auto &[Id, H] : Other.StateHits)
+    StateHits[Id] += H;
+  for (const auto &[Key, P] : Other.Dyn) {
+    DynPointHits &Mine = Dyn[Key];
+    Mine.Hits += P.Hits;
+    for (const auto &[Prod, N] : P.Chosen)
+      Mine.Chosen[Prod] += N;
+  }
+  for (const auto &[Name, H] : Other.RowHits)
+    RowHits[Name] += H;
+  return true;
+}

@@ -1,0 +1,179 @@
+//===- Coverage.h - table coverage hit counters -----------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage profiling for the table-driven paths: which productions the
+/// matcher actually reduces by, which parse states real input visits,
+/// which dynamic-tie points fire (and what they choose), and which rows
+/// of the Figure-3 instruction table the semantic actions consult. This
+/// is the feedback loop the related work builds on — Samuelsson's
+/// example-based table specialization starts from exactly this usage
+/// data — packaged as a versioned `gg-coverage-v1` JSON artifact that the
+/// offline `gg-report` tool merges across runs.
+///
+/// Design constraints, in order:
+///   1. *Off is free.* Recording is gated on one relaxed atomic load; the
+///      default-off registry adds no measurable cost to the matcher loop.
+///   2. *On is cheap and thread-safe.* Hits land in per-thread shards of
+///      plain atomic arrays (no locks, no hashing on the hot path); the
+///      parallel code generator's workers record concurrently and the
+///      shards are summed only at dump time.
+///   3. *Deterministic artifacts.* Every recorded event is a property of
+///      the compiled input, not of scheduling, and the JSON emits sorted
+///      keys — so the artifact for a given input is byte-identical at any
+///      thread count (asserted by tests/CoverageTest.cpp).
+///
+/// Sizing (`sizeGrammar`, `sizeInstrRows`) must happen while no thread is
+/// recording. The pipeline guarantees this: targets are constructed
+/// serially (VaxTarget::create, Matcher constructor) before any compile
+/// workers start. Re-sizing retires the previous counter store instead of
+/// freeing it, so a (unsupported, but conceivable) racing reader never
+/// touches freed memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_COVERAGE_H
+#define GG_SUPPORT_COVERAGE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+struct JsonValue;
+
+/// One dynamic-tie point's recorded behavior: how often the matcher hit a
+/// deferred reduce/reduce tie there, and which production each event chose.
+struct DynPointHits {
+  uint64_t Hits = 0;
+  std::map<int, uint64_t> Chosen; ///< production id -> times chosen
+};
+
+/// A plain-data coverage artifact: what one `gg-coverage-v1` file holds.
+/// The registry serializes through this, and `gg-report` parses and
+/// merges artifacts with it.
+struct CoverageSnapshot {
+  std::string Fingerprint; ///< grammar/tables identity (hex); "" = unset
+  uint64_t Compiles = 0;   ///< compile() calls covered by the artifact
+  uint64_t NumProds = 0, NumStates = 0, NumDynPoints = 0, NumRows = 0;
+  std::map<int, uint64_t> ProdHits;  ///< production id -> reductions
+  std::map<int, uint64_t> StateHits; ///< state -> visits (pushes)
+  std::map<std::pair<int, int>, DynPointHits> Dyn; ///< (state, term) -> hits
+  std::map<std::string, uint64_t> RowHits; ///< instruction-table row -> hits
+
+  /// Serializes as one `gg-coverage-v1` JSON object with sorted keys.
+  std::string toJson() const;
+
+  /// Parses a `gg-coverage-v1` object. Returns false and sets \p Err on
+  /// malformed input or a schema mismatch.
+  bool parse(const JsonValue &V, std::string &Err);
+  bool parse(const std::string &Text, std::string &Err);
+
+  /// Adds \p Other into this artifact. Fails (false, \p Err) when the
+  /// fingerprints or table shapes disagree — artifacts from different
+  /// grammars must not be summed.
+  bool merge(const CoverageSnapshot &Other, std::string &Err);
+};
+
+/// The process-wide coverage registry. All recording is funneled through
+/// the free function coverage() below.
+class CoverageRegistry {
+public:
+  static CoverageRegistry &global();
+
+  /// Turns recording on (it is off — and free — by default). There is no
+  /// disable: the drivers enable it before compiling when a
+  /// `--coverage-json=` destination is given.
+  void enable() { On.store(true, std::memory_order_relaxed); }
+  bool enabled() const { return On.load(std::memory_order_relaxed); }
+
+  /// Sizes the production/state counter arrays (grow-only) and the
+  /// dynamic-point total used for utilization reporting. Serial-only; see
+  /// the file comment.
+  void sizeGrammar(size_t NumProds, size_t NumStates, size_t NumDynPoints);
+
+  /// Names the instruction-table rows (row id = index into \p Names).
+  void sizeInstrRows(const std::vector<std::string> &Names);
+
+  /// Sets the grammar/tables identity embedded in the artifact so
+  /// `gg-report` can decide whether its freshly built target's names
+  /// apply to the ids in a file.
+  void setFingerprint(const std::string &HexFP);
+
+  /// Hot-path recorders. Safe (and free) when disabled; out-of-range ids
+  /// are dropped rather than asserted — a stale artifact is better than a
+  /// crashed compiler.
+  void noteReduce(int Prod) { bump(ProdCounters, Prod); }
+  void noteStateVisit(int State) { bump(StateCounters, State); }
+  void noteInstrRow(int Row) { bump(RowCounters, Row); }
+  void noteDynChoice(int State, int TermIdx, int ChosenProd);
+  void noteCompile() {
+    if (enabled())
+      Compiles.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Zeroes all hit counts (sizes, names and the fingerprint stay).
+  void reset();
+
+  /// Sums the shards into a plain artifact / its JSON rendering.
+  CoverageSnapshot snapshot() const;
+  std::string toJson() const { return snapshot().toJson(); }
+
+private:
+  static constexpr int NumShards = 16; ///< power of two; see shardIndex()
+
+  /// One id-indexed counter family (productions, states or rows), stored
+  /// as NumShards independent atomic arrays. Recorders snapshot a
+  /// consistent (pointer, size) pair with a single acquire load of Cur;
+  /// growth publishes a new store and retires — never frees — the old.
+  struct Store {
+    size_t N = 0;
+    /// NumShards arrays of N counters each. Per-shard arrays are separate
+    /// allocations, so workers on different shards do not share lines.
+    std::vector<std::unique_ptr<std::atomic<uint64_t>[]>> Shards;
+  };
+  struct Family {
+    std::atomic<Store *> Cur{nullptr};
+    std::vector<std::unique_ptr<Store>> Stores; ///< current + retired
+  };
+
+  void bump(Family &F, int Index) {
+    if (!enabled() || Index < 0)
+      return;
+    Store *S = F.Cur.load(std::memory_order_acquire);
+    if (!S || static_cast<size_t>(Index) >= S->N)
+      return;
+    S->Shards[shardIndex()][Index].fetch_add(1, std::memory_order_relaxed);
+  }
+  static int shardIndex();
+  /// Publishes a store of at least \p N counters, carrying existing
+  /// per-shard counts over. Caller holds M; see the serial-sizing rule.
+  static void growLocked(Family &F, size_t N);
+  /// Shard-summed count for one id, 0 when unsized.
+  static uint64_t sum(const Family &F, size_t Index);
+
+  std::atomic<bool> On{false};
+  std::atomic<uint64_t> Compiles{0};
+  Family ProdCounters, StateCounters, RowCounters;
+
+  mutable std::mutex M; ///< sizing, names, fingerprint, dyn map
+  std::vector<std::string> RowNames;
+  std::string Fingerprint;
+  size_t NumDynPoints = 0;
+  std::map<std::pair<int, int>, DynPointHits> Dyn;
+};
+
+/// Shorthand for the global registry.
+inline CoverageRegistry &coverage() { return CoverageRegistry::global(); }
+
+} // namespace gg
+
+#endif // GG_SUPPORT_COVERAGE_H

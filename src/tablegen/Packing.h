@@ -51,6 +51,9 @@ public:
   int numStates() const { return NumStates; }
   int numTerms() const { return NumTerms; }
   int numNonterms() const { return NumNonterms; }
+  /// Dynamic-tie points carried over from the constructor (the coverage
+  /// profiler's denominator for dynamic-tie utilization).
+  size_t numDynPoints() const { return DynChoices.size(); }
   size_t numActionRows() const { return ActionRows.size(); }
   size_t numGotoRows() const { return GotoRows.size(); }
 

@@ -73,6 +73,17 @@ public:
     fillTables(R);
     detectBlocks(R);
 
+    // Accessing symbol per state (for naming states in coverage reports):
+    // the symbol of the transition that created it. findOrAddState never
+    // returns an existing state for a new symbol path to state 0, and
+    // every other state has exactly one accessing symbol in an LR
+    // automaton, so first-write-wins is exact, not approximate.
+    R.StateAccessSym.assign(States.size(), -1);
+    for (size_t S = 0; S < Transitions.size(); ++S)
+      for (const auto &[Sym, Dst] : Transitions[S])
+        if (R.StateAccessSym[Dst] == -1)
+          R.StateAccessSym[Dst] = Sym;
+
     R.NumItemSets = States.size();
     for (const std::vector<Item> &C : Closures)
       R.TotalItems += C.size();

@@ -80,6 +80,11 @@ struct BuildResult {
   bool Ok = false;
   std::string Error;
   LRTables Tables;
+  /// Per-state accessing symbol: the grammar symbol whose transition
+  /// created the state (every state except 0 has exactly one). Lets
+  /// reports name a bare state number — "state 17 (after Plus_l)" — when
+  /// listing never-visited states; -1 for the start state.
+  std::vector<SymId> StateAccessSym;
   std::vector<ShiftReduceConflict> SRConflicts;
   std::vector<ReduceReduceConflict> RRConflicts;
   std::vector<ChainLoop> ChainLoops;

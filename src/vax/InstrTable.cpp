@@ -3,6 +3,9 @@
 #include "vax/InstrTable.h"
 #include "support/Strings.h"
 
+#include <cassert>
+#include <iterator>
+
 using namespace gg;
 
 namespace {
@@ -43,6 +46,19 @@ const InstCluster *gg::findCluster(std::string_view TagBase) {
     if (TagBase == C.Tag)
       return &C;
   return nullptr;
+}
+
+size_t gg::numClusters() { return std::size(Clusters); }
+
+const InstCluster &gg::clusterAt(size_t Row) {
+  assert(Row < std::size(Clusters));
+  return Clusters[Row];
+}
+
+int gg::clusterId(const InstCluster &C) {
+  assert(&C >= Clusters && &C < Clusters + std::size(Clusters) &&
+         "cluster not from this table");
+  return static_cast<int>(&C - Clusters);
 }
 
 std::string gg::mnemonic(const char *Base, char SizeChar, int NumOps) {

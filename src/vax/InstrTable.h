@@ -57,6 +57,14 @@ struct InstCluster {
 /// Looks up the cluster for a semantic-tag base; null if absent.
 const InstCluster *findCluster(std::string_view TagBase);
 
+/// Row enumeration for the coverage profiler: the table's rows in
+/// Figure-3 order. clusterId() is the dense row id of a cluster returned
+/// by findCluster()/clusterAt() — stable for the process lifetime, used
+/// as the `instr_rows` dimension of `gg-coverage-v1` artifacts.
+size_t numClusters();
+const InstCluster &clusterAt(size_t Row);
+int clusterId(const InstCluster &C);
+
 /// Renders the whole instruction table in the style of Figure 3.
 std::string renderInstrTable();
 

@@ -1,12 +1,27 @@
 //===- VaxSemantics.cpp - phase-3 instruction generation ---------------------===//
 
 #include "vax/VaxSemantics.h"
+#include "support/Coverage.h"
 #include "support/Error.h"
 #include "support/Strings.h"
 
 #include <cstring>
 
 using namespace gg;
+
+namespace {
+
+/// Records a consultation of a Figure-3 row for the coverage profiler;
+/// when coverage is off both forms cost one relaxed load.
+void covRow(const InstCluster &C) { coverage().noteInstrRow(clusterId(C)); }
+void covRowByTag(std::string_view TagBase) {
+  if (!coverage().enabled())
+    return;
+  if (const InstCluster *C = findCluster(TagBase))
+    coverage().noteInstrRow(clusterId(*C));
+}
+
+} // namespace
 
 namespace {
 
@@ -582,6 +597,7 @@ SemVal VaxSemantics::doEmit(const Production &P, SemVal *Vals, size_t N,
     // so the test is always explicit.
     const Node *Cmp = Vals[1].Leaf;
     Operand Reg = Operand::reg(Vals[2].Leaf->Reg, Vals[2].Leaf->Type);
+    covRowByTag("cmp"); // tst is the cmp row's degenerate range form
     emitInst("tstl", {Reg});
     Emit.instRaw(strf("j%s", condName(Cmp->CC)),
                  {Emit.interner().text(Vals[4].Leaf->Sym)});
@@ -591,6 +607,7 @@ SemVal VaxSemantics::doEmit(const Production &P, SemVal *Vals, size_t N,
 
   // --- calls / stack ------------------------------------------------------------
   if (Base == "push") {
+    covRowByTag("push");
     Operand Src = Vals[1].Opnd;
     prepare(Src);
     emitInst("pushl", {Src});
@@ -658,6 +675,7 @@ SemVal VaxSemantics::doEmit(const Production &P, SemVal *Vals, size_t N,
 Operand VaxSemantics::arith(const InstCluster &C, char SC, bool IsUnsigned,
                             Operand S1, Operand S2, const Operand *DstOpt) {
   (void)IsUnsigned; // signed/unsigned share add/sub/mul/bis/xor
+  covRow(C);
   prepare(S1);
   prepare(S2);
   bool SubLike = !C.Swappable; // sub/div print divisor-first
@@ -818,6 +836,7 @@ Operand VaxSemantics::arith(const InstCluster &C, char SC, bool IsUnsigned,
 }
 
 void VaxSemantics::move(char SC, Operand Src, Operand Dst) {
+  covRowByTag("mov");
   prepare(Src);
   if (Src.sameLocation(Dst)) {
     // mov x,x: nothing to do (common for "return r0" when the value is
@@ -843,6 +862,8 @@ void VaxSemantics::move(char SC, Operand Src, Operand Dst) {
 
 Operand VaxSemantics::unary2(const char *OpBase, char SC, Operand Src,
                              const Operand *DstOpt) {
+  // mneg/mcom are the neg/com rows of Figure 3.
+  covRowByTag(strcmp(OpBase, "mneg") == 0 ? "neg" : "com");
   prepare(Src);
   Operand Dst = DstOpt
                     ? *DstOpt
@@ -894,6 +915,7 @@ Operand VaxSemantics::andOp(char SC, Operand S1, Operand S2,
   // The VAX has no and instruction: a & b == bic(~a, b). With a constant
   // mask the complement folds into the immediate; otherwise an mcom into a
   // scratch register is required (a pseudo-instruction of sorts).
+  covRowByTag("and");
   prepare(S1);
   prepare(S2);
   if (!S1.isImm() && S2.isImm())
@@ -966,6 +988,7 @@ Operand VaxSemantics::andOp(char SC, Operand S1, Operand S2,
 
 Operand VaxSemantics::shift(char SC, bool Right, bool IsUnsigned, Operand Val,
                             Operand Cnt, const Operand *DstOpt) {
+  covRowByTag(Right ? "rsh" : "ash");
   prepare(Val);
   prepare(Cnt);
   if (SC != 'l') {
@@ -1081,6 +1104,7 @@ Operand VaxSemantics::shift(char SC, bool Right, bool IsUnsigned, Operand Val,
 
 Operand VaxSemantics::modulus(char SC, bool IsUnsigned, Operand A, Operand B,
                               const Operand *DstOpt) {
+  covRowByTag("mod");
   if (IsUnsigned)
     return libCall2("__urem", A, B, DstOpt);
 
@@ -1163,6 +1187,7 @@ Operand VaxSemantics::libCall2(const char *Fn, Operand A, Operand B,
 
 void VaxSemantics::compareBranch(char SC, Cond C, Operand A, Operand B,
                                  InternedString Target) {
+  covRowByTag("cmp");
   prepare(A);
   prepare(B);
   if (Opts.RangeIdioms && A.isImm() && !B.isImm()) {

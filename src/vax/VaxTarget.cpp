@@ -1,10 +1,36 @@
 //===- VaxTarget.cpp - bundled VAX tables and matcher ------------------------===//
 
 #include "vax/VaxTarget.h"
+#include "support/Coverage.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
+#include "vax/InstrTable.h"
 
 using namespace gg;
+
+/// FNV-1a over the expanded grammar and table shape: two targets with the
+/// same fingerprint index productions/states identically, so gg-report
+/// can trust a freshly built target's names for the ids in an artifact.
+std::string VaxTarget::fingerprint(const Grammar &G, const PackedTables &T) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](std::string_view S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= 0xff;
+    H *= 1099511628211ull;
+  };
+  Mix(strf("%zu/%d/%d/%zu", G.numProductions(), T.numStates(), T.numTerms(),
+           T.numDynPoints()));
+  for (const Production &P : G.productions()) {
+    Mix(G.symbolName(P.Lhs));
+    for (SymId S : P.Rhs)
+      Mix(G.symbolName(S));
+    Mix(P.SemTag);
+  }
+  return strf("%016llx", static_cast<unsigned long long>(H));
+}
 
 std::unique_ptr<VaxTarget>
 VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
@@ -28,5 +54,14 @@ VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
   }
   T->Packed = PackedTables::pack(T->Build.Tables);
   T->M = std::make_unique<Matcher>(T->G, T->Packed, MatchOpts);
+  // Register the coverage dimensions while target construction is still
+  // serial: instruction-table rows by name, and the grammar/tables
+  // identity embedded in every gg-coverage-v1 artifact.
+  std::vector<std::string> Rows;
+  Rows.reserve(numClusters());
+  for (size_t I = 0; I < numClusters(); ++I)
+    Rows.push_back(clusterAt(I).Tag);
+  coverage().sizeInstrRows(Rows);
+  coverage().setFingerprint(fingerprint(T->G, T->Packed));
   return T;
 }

@@ -43,6 +43,11 @@ public:
   const PackedTables &packed() const { return Packed; }
   const Matcher &matcher() const { return *M; }
 
+  /// Grammar/tables identity (hex digest) embedded in `gg-coverage-v1`
+  /// artifacts; gg-report matches it before naming ids from a rebuilt
+  /// target.
+  static std::string fingerprint(const Grammar &G, const PackedTables &T);
+
 private:
   VaxTarget() = default;
   Grammar G;

@@ -1,0 +1,267 @@
+//===- CoverageTest.cpp - table coverage profiler tests -----------------------===//
+//
+// Covers the gg-coverage-v1 pipeline end to end: registry recording
+// semantics (off-by-default, sharded counters, out-of-range safety),
+// artifact serialization and merging, and the determinism contract — the
+// artifact for a given input is byte-identical at any worker count.
+//
+// The registry is process-global; ctest runs each TEST in its own process
+// (gtest_discover_tests), so every test starts from the default-off state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "support/Coverage.h"
+#include "support/Json.h"
+#include "vax/VaxTarget.h"
+#include "workload/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace gg;
+
+namespace {
+
+TEST(CoverageRegistry, OffByDefaultThenRecords) {
+  CoverageRegistry &R = coverage();
+  R.sizeGrammar(8, 8, 4);
+  R.noteReduce(1);
+  R.noteStateVisit(2);
+  R.noteDynChoice(3, 0, 1);
+  R.noteCompile();
+  CoverageSnapshot Off = R.snapshot();
+  EXPECT_TRUE(Off.ProdHits.empty()) << "recording while disabled";
+  EXPECT_TRUE(Off.StateHits.empty());
+  EXPECT_TRUE(Off.Dyn.empty());
+  EXPECT_EQ(Off.Compiles, 0u);
+
+  R.enable();
+  R.noteReduce(1);
+  R.noteReduce(1);
+  R.noteStateVisit(2);
+  R.noteDynChoice(3, 0, 1);
+  R.noteCompile();
+  CoverageSnapshot On = R.snapshot();
+  EXPECT_EQ(On.ProdHits[1], 2u);
+  EXPECT_EQ(On.StateHits[2], 1u);
+  EXPECT_EQ((On.Dyn[{3, 0}].Hits), 1u);
+  EXPECT_EQ((On.Dyn[{3, 0}].Chosen[1]), 1u);
+  EXPECT_EQ(On.Compiles, 1u);
+  EXPECT_EQ(On.NumProds, 8u);
+  EXPECT_EQ(On.NumDynPoints, 4u);
+}
+
+TEST(CoverageRegistry, OutOfRangeIdsAreDroppedNotFatal) {
+  CoverageRegistry &R = coverage();
+  R.enable();
+  R.sizeGrammar(4, 4, 0);
+  R.reset(); // counter sizes are grow-only and process-global; start clean
+  R.noteReduce(-1);
+  R.noteReduce(1 << 20);
+  R.noteStateVisit(-7);
+  R.noteStateVisit(1 << 20);
+  R.noteInstrRow(1 << 20);
+  CoverageSnapshot S = R.snapshot();
+  EXPECT_TRUE(S.ProdHits.empty());
+  EXPECT_TRUE(S.StateHits.empty());
+  EXPECT_TRUE(S.RowHits.empty());
+}
+
+TEST(CoverageRegistry, ResetZeroesHitsAndKeepsShape) {
+  CoverageRegistry &R = coverage();
+  R.enable();
+  R.sizeGrammar(8, 8, 4);
+  R.sizeInstrRows({"mov", "add"});
+  R.setFingerprint("deadbeef00000000");
+  R.noteReduce(3);
+  R.noteInstrRow(0);
+  R.noteDynChoice(1, 1, 3);
+  R.noteCompile();
+  R.reset();
+  CoverageSnapshot S = R.snapshot();
+  EXPECT_TRUE(S.ProdHits.empty());
+  EXPECT_TRUE(S.RowHits.empty());
+  EXPECT_TRUE(S.Dyn.empty());
+  EXPECT_EQ(S.Compiles, 0u);
+  EXPECT_EQ(S.NumProds, 8u) << "sizes survive reset";
+  EXPECT_EQ(S.NumRows, 2u);
+  EXPECT_EQ(S.Fingerprint, "deadbeef00000000");
+}
+
+TEST(CoverageRegistry, ShardsSumExactlyUnderContention) {
+  CoverageRegistry &R = coverage();
+  R.enable();
+  R.sizeGrammar(4, 4, 0);
+  R.reset();
+  constexpr int Threads = 8, PerThread = 20000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&R] {
+      for (int I = 0; I < PerThread; ++I) {
+        R.noteReduce(2);
+        R.noteStateVisit(I & 3);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  CoverageSnapshot S = R.snapshot();
+  EXPECT_EQ(S.ProdHits[2], uint64_t(Threads) * PerThread);
+  uint64_t StateTotal = 0;
+  for (const auto &[Id, H] : S.StateHits)
+    StateTotal += H;
+  EXPECT_EQ(StateTotal, uint64_t(Threads) * PerThread);
+}
+
+TEST(CoverageSnapshot, JsonRoundTrip) {
+  CoverageSnapshot S;
+  S.Fingerprint = "0123456789abcdef";
+  S.Compiles = 7;
+  S.NumProds = 100;
+  S.NumStates = 200;
+  S.NumDynPoints = 50;
+  S.NumRows = 3;
+  S.ProdHits = {{2, 10}, {99, 1}};
+  S.StateHits = {{0, 5}, {13, 2}};
+  S.Dyn[{4, 1}].Hits = 3;
+  S.Dyn[{4, 1}].Chosen = {{2, 2}, {5, 1}};
+  S.RowHits = {{"add", 4}, {"mov", 9}};
+
+  std::string Err;
+  CoverageSnapshot Back;
+  ASSERT_TRUE(Back.parse(S.toJson(), Err)) << Err;
+  EXPECT_EQ(Back.Fingerprint, S.Fingerprint);
+  EXPECT_EQ(Back.Compiles, S.Compiles);
+  EXPECT_EQ(Back.NumProds, S.NumProds);
+  EXPECT_EQ(Back.NumStates, S.NumStates);
+  EXPECT_EQ(Back.NumDynPoints, S.NumDynPoints);
+  EXPECT_EQ(Back.NumRows, S.NumRows);
+  EXPECT_EQ(Back.ProdHits, S.ProdHits);
+  EXPECT_EQ(Back.StateHits, S.StateHits);
+  EXPECT_EQ(Back.RowHits, S.RowHits);
+  ASSERT_EQ(Back.Dyn.size(), 1u);
+  EXPECT_EQ((Back.Dyn[{4, 1}].Hits), 3u);
+  EXPECT_EQ((Back.Dyn[{4, 1}].Chosen), (S.Dyn[{4, 1}].Chosen));
+  // And the round-trip is a fixed point at the byte level.
+  EXPECT_EQ(Back.toJson(), S.toJson());
+}
+
+TEST(CoverageSnapshot, ParseRejectsJunk) {
+  CoverageSnapshot S;
+  std::string Err;
+  EXPECT_FALSE(S.parse("{}", Err));
+  EXPECT_FALSE(S.parse("{\"schema\":\"gg-stats-v1\"}", Err));
+  EXPECT_FALSE(S.parse("not json", Err));
+  EXPECT_FALSE(S.parse("{\"schema\":\"gg-coverage-v1\",\"shape\":{},"
+                       "\"productions\":{\"xyz\":1},\"states\":{},"
+                       "\"dyn\":{},\"instr_rows\":{}}",
+                       Err))
+      << "non-numeric production key must be rejected";
+}
+
+TEST(CoverageSnapshot, MergeSumsAndChecksIdentity) {
+  CoverageSnapshot A, B;
+  A.Fingerprint = B.Fingerprint = "feedface00000000";
+  A.NumProds = B.NumProds = 10;
+  A.Compiles = 1;
+  B.Compiles = 2;
+  A.ProdHits = {{1, 5}};
+  B.ProdHits = {{1, 7}, {2, 1}};
+  A.Dyn[{0, 0}].Hits = 1;
+  A.Dyn[{0, 0}].Chosen[3] = 1;
+  B.Dyn[{0, 0}].Hits = 2;
+  B.Dyn[{0, 0}].Chosen[3] = 2;
+  B.RowHits["mov"] = 4;
+
+  std::string Err;
+  ASSERT_TRUE(A.merge(B, Err)) << Err;
+  EXPECT_EQ(A.Compiles, 3u);
+  EXPECT_EQ(A.ProdHits[1], 12u);
+  EXPECT_EQ(A.ProdHits[2], 1u);
+  EXPECT_EQ((A.Dyn[{0, 0}].Hits), 3u);
+  EXPECT_EQ((A.Dyn[{0, 0}].Chosen[3]), 3u);
+  EXPECT_EQ(A.RowHits["mov"], 4u);
+
+  CoverageSnapshot Foreign;
+  Foreign.Fingerprint = "0000000000000001";
+  EXPECT_FALSE(A.merge(Foreign, Err));
+  EXPECT_NE(Err.find("fingerprint"), std::string::npos) << Err;
+
+  CoverageSnapshot WrongShape;
+  WrongShape.Fingerprint = A.Fingerprint;
+  WrongShape.NumProds = 11;
+  EXPECT_FALSE(A.merge(WrongShape, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline contract: real compiles record, and the artifact is a
+// property of the input alone — byte-identical at any worker count.
+//===----------------------------------------------------------------------===//
+
+std::string compileCorpusAndSnapshot(const VaxTarget &Target, int Threads) {
+  coverage().reset();
+  for (int Case = 0; Case < 6; ++Case) {
+    GenOptions GOpts;
+    GOpts.Functions = 4 + Case % 3;
+    GOpts.StmtsPerFunction = 6 + Case % 5;
+    Program P;
+    DiagnosticSink Diags;
+    std::string Source = generateProgram(0xD1FF0000u + Case, GOpts);
+    EXPECT_TRUE(compileMiniC(Source, P, Diags)) << Diags.renderAll();
+    CodeGenOptions Opts;
+    Opts.Parallel.Threads = Threads;
+    GGCodeGenerator CG(Target, Opts);
+    std::string Asm, Err;
+    EXPECT_TRUE(CG.compile(P, Asm, Err)) << Err;
+  }
+  return coverage().toJson();
+}
+
+TEST(CoveragePipeline, RealCompileRecordsEverything) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+  coverage().enable();
+
+  Program P;
+  DiagnosticSink Diags;
+  ASSERT_TRUE(compileMiniC("int main() { int i; int s; s = 0;"
+                           " for (i = 0; i < 9; i = i + 1) s = s + i * i;"
+                           " print(s); return s; }",
+                           P, Diags));
+  GGCodeGenerator CG(*Target);
+  std::string Asm;
+  ASSERT_TRUE(CG.compile(P, Asm, Err)) << Err;
+
+  CoverageSnapshot S = coverage().snapshot();
+  EXPECT_EQ(S.Compiles, 1u);
+  EXPECT_EQ(S.NumProds, Target->grammar().numProductions());
+  EXPECT_FALSE(S.ProdHits.empty());
+  EXPECT_FALSE(S.StateHits.empty());
+  EXPECT_FALSE(S.RowHits.empty()) << "semantic actions must record rows";
+  EXPECT_EQ(S.Fingerprint,
+            VaxTarget::fingerprint(Target->grammar(), Target->packed()));
+  // The artifact itself is valid gg-coverage-v1.
+  CoverageSnapshot Back;
+  ASSERT_TRUE(Back.parse(S.toJson(), Err)) << Err;
+  EXPECT_EQ(Back.toJson(), S.toJson());
+}
+
+TEST(CoveragePipeline, ArtifactIdenticalAcrossWorkerCounts) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+  coverage().enable();
+
+  std::string Baseline = compileCorpusAndSnapshot(*Target, 1);
+  ASSERT_NE(Baseline.find("\"productions\":{\""), std::string::npos)
+      << "corpus compile recorded nothing";
+  for (int Threads : {2, 4, 8})
+    EXPECT_EQ(compileCorpusAndSnapshot(*Target, Threads), Baseline)
+        << "coverage artifact drifted at --threads=" << Threads;
+}
+
+} // namespace

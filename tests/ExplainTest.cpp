@@ -1,0 +1,81 @@
+//===- ExplainTest.cpp - golden --explain annotation tests --------------------===//
+//
+// --explain annotates each emitted instruction with the production whose
+// reduction generated it. The annotations ride through the parallel
+// per-function pipeline's per-worker buffers, so the golden property is
+// that the annotated assembly is byte-identical at any worker count and
+// every annotation names a real production of the target grammar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CodeGenerator.h"
+#include "frontend/Parser.h"
+#include "vax/VaxTarget.h"
+
+#include <gtest/gtest.h>
+
+using namespace gg;
+
+namespace {
+
+const char *SmallProgram = "int g[8];\n"
+                           "int add3(int a, int b, int c) "
+                           "{ return a + b + c; }\n"
+                           "int main() {\n"
+                           "  int i; int s; s = 0;\n"
+                           "  for (i = 0; i < 8; i = i + 1) "
+                           "g[i] = add3(i, i * 2, 1);\n"
+                           "  for (i = 0; i < 8; i = i + 1) s = s + g[i];\n"
+                           "  print(s); return s;\n"
+                           "}\n";
+
+std::string compileExplained(const VaxTarget &Target, int Threads) {
+  Program P;
+  DiagnosticSink Diags;
+  EXPECT_TRUE(compileMiniC(SmallProgram, P, Diags)) << Diags.renderAll();
+  CodeGenOptions Opts;
+  Opts.Explain = true;
+  Opts.Parallel.Threads = Threads;
+  GGCodeGenerator CG(Target, Opts);
+  std::string Asm, Err;
+  EXPECT_TRUE(CG.compile(P, Asm, Err)) << Err;
+  return Asm;
+}
+
+TEST(Explain, AnnotationsSurviveParallelWorkers) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  std::string Serial = compileExplained(*Target, 1);
+  ASSERT_NE(Serial.find("\t# P"), std::string::npos) << Serial;
+  ASSERT_NE(Serial.find("<-"), std::string::npos);
+  for (int Threads : {2, 4})
+    EXPECT_EQ(compileExplained(*Target, Threads), Serial)
+        << "annotated assembly drifted at --threads=" << Threads;
+}
+
+TEST(Explain, AnnotationsNameRealProductions) {
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  std::string Asm = compileExplained(*Target, 4);
+  size_t Count = 0;
+  for (size_t At = Asm.find("\t# P"); At != std::string::npos;
+       At = Asm.find("\t# P", At + 1)) {
+    size_t IdStart = At + 4, IdEnd = IdStart;
+    while (IdEnd < Asm.size() && isdigit(static_cast<unsigned char>(Asm[IdEnd])))
+      ++IdEnd;
+    ASSERT_GT(IdEnd, IdStart) << "annotation without a production id";
+    int Id = atoi(Asm.substr(IdStart, IdEnd - IdStart).c_str());
+    ASSERT_LT(static_cast<size_t>(Id), Target->grammar().numProductions())
+        << "annotation names production " << Id << " which does not exist";
+    ++Count;
+  }
+  EXPECT_GT(Count, 10u) << "a multi-function program must produce many "
+                           "annotations:\n"
+                        << Asm;
+}
+
+} // namespace

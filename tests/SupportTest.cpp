@@ -2,6 +2,7 @@
 
 #include "support/Error.h"
 #include "support/Interner.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
@@ -166,6 +167,81 @@ TEST(StatsThreading, OneCounterHammeredFromEightThreads) {
   EXPECT_EQ(R.histogram("hammer.hist").min(), 0u);
   EXPECT_EQ(R.histogram("hammer.hist").max(),
             static_cast<uint64_t>(PerThread - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Json: the reader behind gg-report and the coverage merge path.
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesScalarsAndContainers) {
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(
+      R"({"n":42,"neg":-1.5,"e":2e3,"s":"hi","t":true,"f":false,"z":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v"}})",
+      V, Err))
+      << Err;
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("n")->asU64(), 42u);
+  EXPECT_DOUBLE_EQ(V.find("neg")->asDouble(), -1.5);
+  EXPECT_DOUBLE_EQ(V.find("e")->asDouble(), 2000.0);
+  EXPECT_EQ(V.find("s")->Str, "hi");
+  EXPECT_TRUE(V.find("t")->B);
+  EXPECT_FALSE(V.find("f")->B);
+  EXPECT_EQ(V.find("z")->K, JsonValue::Null);
+  ASSERT_TRUE(V.find("arr")->isArray());
+  EXPECT_EQ(V.find("arr")->Arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(V.find("arr")->Arr[1].Num, 2.0);
+  EXPECT_EQ(V.find("obj")->find("k")->Str, "v");
+  EXPECT_EQ(V.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(V.numberOr("n"), 42.0);
+  EXPECT_DOUBLE_EQ(V.numberOr("missing", 7.0), 7.0);
+}
+
+TEST(Json, StringEscapes) {
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(R"({"k":"a\"b\\c\/d\n\tA"})", V, Err)) << Err;
+  EXPECT_EQ(V.find("k")->Str, "a\"b\\c/d\n\tA");
+}
+
+TEST(Json, ReportsErrorsWithByteOffset) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson("{\"k\":}", V, Err));
+  EXPECT_NE(Err.find("5"), std::string::npos) << Err;
+  EXPECT_FALSE(parseJson("", V, Err));
+  EXPECT_FALSE(parseJson("[1,2", V, Err));
+  EXPECT_FALSE(parseJson("{\"a\":1} junk", V, Err))
+      << "trailing garbage must be rejected";
+  EXPECT_FALSE(parseJson("{'a':1}", V, Err));
+}
+
+TEST(Json, DepthLimitStopsRunawayNesting) {
+  std::string Deep(100, '[');
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson(Deep, V, Err));
+  EXPECT_NE(Err.find("deep"), std::string::npos) << Err;
+  // 32 levels is comfortably inside the limit.
+  std::string Ok = std::string(32, '[') + "1" + std::string(32, ']');
+  EXPECT_TRUE(parseJson(Ok, V, Err)) << Err;
+}
+
+TEST(Json, RoundTripsWriterOutput) {
+  // The stats registry is one of the writers gg-report consumes; its
+  // output must parse without loss of the keys.
+  StatsRegistry R;
+  R.counter("a.count") += 3;
+  R.value("a.seconds") += 0.25;
+  R.histogram("a.hist").record(7);
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(R.toJson(), V, Err)) << Err;
+  EXPECT_EQ(V.find("schema")->Str, "gg-stats-v1");
+  EXPECT_EQ(V.find("counters")->find("a.count")->asU64(), 3u);
+  EXPECT_DOUBLE_EQ(V.find("values")->find("a.seconds")->asDouble(), 0.25);
+  EXPECT_EQ(V.find("histograms")->find("a.hist")->numberOr("count"), 1.0);
 }
 
 } // namespace

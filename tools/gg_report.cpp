@@ -1,0 +1,449 @@
+//===- gg_report.cpp - merge telemetry artifacts into one report --------------===//
+//
+// Offline companion to the `--coverage-json=` / `--stats-json=` driver
+// surfaces: merges artifacts from many runs and reports how much of the
+// table-driven machinery real input actually exercises.
+//
+//   gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE]
+//             [--fail-on-dead-bridge] [--fail-on-zero-dyn]
+//             [--check-bench=FRESH:BASELINE] [--threshold=PCT]
+//             [--time-threshold=PCT]
+//
+// Artifacts are dispatched on their "schema" field:
+//
+//   gg-coverage-v1  merged (fingerprint/shape-checked) into one artifact;
+//                   the report lists table utilization, hot and dead
+//                   productions, never-visited states, dynamic-tie points
+//                   and instruction-table row usage. When the artifact
+//                   fingerprint matches a freshly built VAX target, ids
+//                   are rendered with grammar names.
+//   gg-stats-v1     per-phase *_seconds values are summed into a time
+//                   breakdown across all stats artifacts.
+//   gg-bench-v1     via --check-bench only (see below).
+//
+// --json=FILE writes the merged coverage artifact (itself gg-coverage-v1,
+// so reports can be merged hierarchically). --fail-on-dead-bridge exits
+// nonzero when a bridge-production family (section 6.2.2; width replicas
+// grouped) has zero reductions; --fail-on-zero-dyn when no dynamic-tie
+// event was recorded. Both back the check.sh coverage gate.
+//
+// --check-bench=FRESH:BASELINE compares two gg-bench-v1 metric files: any
+// count metric deviating from the baseline by more than --threshold
+// percent (default 0.5) fails, as does a metric missing from FRESH.
+// Metrics with "seconds" in the name are wall-clock and skipped unless
+// --time-threshold=PCT opts them in. This is the benchmark regression
+// sentinel: scripts/bench.sh writes the files, check.sh runs the compare
+// against the baselines committed at the repo root.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mdl/Grammar.h"
+#include "support/Coverage.h"
+#include "support/Json.h"
+#include "support/Strings.h"
+#include "vax/VaxTarget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gg;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    fprintf(stderr, "gg-report: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+double pct(uint64_t Part, uint64_t Whole) {
+  return Whole ? 100.0 * double(Part) / double(Whole) : 0.0;
+}
+
+/// Strips the type-replicator's width suffix so bridgedx1_b/_w/_l report
+/// as one family: a family is dead only if no width of it ever fired.
+std::string familyOf(const std::string &SemTag) {
+  size_t N = SemTag.size();
+  if (N > 2 && SemTag[N - 2] == '_' &&
+      (SemTag[N - 1] == 'b' || SemTag[N - 1] == 'w' || SemTag[N - 1] == 'l'))
+    return SemTag.substr(0, N - 2);
+  return SemTag;
+}
+
+/// The coverage half of the report. Names come from \p Target when its
+/// fingerprint matches the artifact; otherwise ids are printed raw.
+struct CoverageReport {
+  CoverageSnapshot Cov;
+  const VaxTarget *Target = nullptr; ///< null = names unavailable
+
+  std::string prodName(int Id) const {
+    if (Target && Id >= 0 &&
+        static_cast<size_t>(Id) < Target->grammar().numProductions())
+      return renderProduction(Target->grammar(), Target->grammar().prod(Id));
+    return strf("P%d", Id);
+  }
+
+  std::string stateName(int S) const {
+    if (Target && S >= 0 &&
+        static_cast<size_t>(S) < Target->build().StateAccessSym.size()) {
+      SymId Sym = Target->build().StateAccessSym[S];
+      return strf("s%d(%s)", S,
+                  Sym < 0 ? "start" : Target->grammar().symbolName(Sym).c_str());
+    }
+    return strf("s%d", S);
+  }
+
+  std::string termName(int TermIdx) const {
+    if (Target) {
+      const Grammar &G = Target->grammar();
+      for (SymId S = 0; S < static_cast<SymId>(G.numSymbols()); ++S)
+        if (G.isTerminal(S) && G.termIndex(S) == TermIdx)
+          return G.symbolName(S);
+    }
+    return strf("t%d", TermIdx);
+  }
+
+  uint64_t hits(const std::map<int, uint64_t> &M, int Id) const {
+    auto It = M.find(Id);
+    return It == M.end() ? 0 : It->second;
+  }
+
+  /// Prints the report; returns false when an enabled gate fires.
+  bool print(int Top, bool FailDeadBridge, bool FailZeroDyn) const;
+};
+
+bool CoverageReport::print(int Top, bool FailDeadBridge,
+                           bool FailZeroDyn) const {
+  printf("== coverage (%llu compiles, fingerprint %s%s)\n",
+         static_cast<unsigned long long>(Cov.Compiles),
+         Cov.Fingerprint.c_str(),
+         Target ? "" : ", no matching target: raw ids");
+
+  uint64_t DynHitsTotal = 0;
+  for (const auto &[Key, D] : Cov.Dyn)
+    DynHitsTotal += D.Hits;
+  printf("  productions reduced   %4zu / %-4llu (%.1f%%)\n",
+         Cov.ProdHits.size(), static_cast<unsigned long long>(Cov.NumProds),
+         pct(Cov.ProdHits.size(), Cov.NumProds));
+  printf("  states visited        %4zu / %-4llu (%.1f%%)\n",
+         Cov.StateHits.size(), static_cast<unsigned long long>(Cov.NumStates),
+         pct(Cov.StateHits.size(), Cov.NumStates));
+  printf("  dyn-tie points fired  %4zu / %-4llu (%.1f%%, %llu events)\n",
+         Cov.Dyn.size(), static_cast<unsigned long long>(Cov.NumDynPoints),
+         pct(Cov.Dyn.size(), Cov.NumDynPoints),
+         static_cast<unsigned long long>(DynHitsTotal));
+  printf("  instr-table rows used %4zu / %-4llu (%.1f%%)\n",
+         Cov.RowHits.size(), static_cast<unsigned long long>(Cov.NumRows),
+         pct(Cov.RowHits.size(), Cov.NumRows));
+
+  // Hot productions, by reductions.
+  std::vector<std::pair<uint64_t, int>> Hot;
+  for (const auto &[Id, N] : Cov.ProdHits)
+    Hot.push_back({N, Id});
+  std::sort(Hot.begin(), Hot.end(), [](const auto &A, const auto &B) {
+    return A.first != B.first ? A.first > B.first : A.second < B.second;
+  });
+  printf("\n  hot productions (top %d of %zu):\n", Top, Hot.size());
+  for (size_t I = 0; I < Hot.size() && I < static_cast<size_t>(Top); ++I)
+    printf("    %10llu  %s\n", static_cast<unsigned long long>(Hot[I].first),
+           prodName(Hot[I].second).c_str());
+
+  // Dead productions. With names available, bridges are tracked per
+  // family; everything else is listed (capped) so the report stays
+  // readable on sparse single-run artifacts.
+  std::vector<int> Dead;
+  for (uint64_t Id = 0; Id < Cov.NumProds; ++Id)
+    if (!hits(Cov.ProdHits, static_cast<int>(Id)))
+      Dead.push_back(static_cast<int>(Id));
+  printf("\n  dead productions: %zu\n", Dead.size());
+  size_t Shown = 0;
+  for (int Id : Dead) {
+    if (Shown++ >= static_cast<size_t>(Top)) {
+      printf("    ... %zu more\n", Dead.size() - Shown + 1);
+      break;
+    }
+    printf("    %s\n", prodName(Id).c_str());
+  }
+
+  bool Ok = true;
+  if (Target) {
+    // Bridge families (section 6.2.2): MiniC can only reach the byte
+    // widths, so a family counts as covered when any width replica fired.
+    std::map<std::string, uint64_t> Families;
+    for (const Production &P : Target->grammar().productions())
+      if (P.IsBridge)
+        Families[familyOf(P.SemTag)] += hits(Cov.ProdHits, P.Id);
+    printf("\n  bridge families:\n");
+    for (const auto &[Name, N] : Families) {
+      printf("    %-12s %10llu%s\n", Name.c_str(),
+             static_cast<unsigned long long>(N), N ? "" : "  DEAD");
+      if (!N && FailDeadBridge) {
+        fprintf(stderr, "gg-report: bridge family %s has zero reductions\n",
+                Name.c_str());
+        Ok = false;
+      }
+    }
+  } else if (FailDeadBridge) {
+    fprintf(stderr, "gg-report: --fail-on-dead-bridge needs a matching "
+                    "target to identify bridge productions\n");
+    Ok = false;
+  }
+
+  if (FailZeroDyn && DynHitsTotal == 0) {
+    fprintf(stderr, "gg-report: no dynamic-tie events recorded\n");
+    Ok = false;
+  }
+
+  // Never-visited states: a sample labeled by accessing symbol.
+  std::vector<int> Unvisited;
+  for (uint64_t S = 0; S < Cov.NumStates; ++S)
+    if (!hits(Cov.StateHits, static_cast<int>(S)))
+      Unvisited.push_back(static_cast<int>(S));
+  printf("\n  never-visited states: %zu", Unvisited.size());
+  for (size_t I = 0; I < Unvisited.size() && I < 8; ++I)
+    printf("%s%s", I ? " " : "  e.g. ", stateName(Unvisited[I]).c_str());
+  printf("\n");
+
+  // Dynamic-tie points with their choice distribution.
+  std::vector<std::pair<uint64_t, std::pair<int, int>>> DynHot;
+  for (const auto &[Key, D] : Cov.Dyn)
+    DynHot.push_back({D.Hits, Key});
+  std::sort(DynHot.begin(), DynHot.end(),
+            [](const auto &A, const auto &B) { return A.first > B.first; });
+  printf("\n  dynamic-tie points (top %d of %zu):\n", Top, DynHot.size());
+  for (size_t I = 0; I < DynHot.size() && I < static_cast<size_t>(Top); ++I) {
+    const auto &[State, Term] = DynHot[I].second;
+    const DynPointHits &D = Cov.Dyn.at(DynHot[I].second);
+    printf("    %10llu  %s on %s ->",
+           static_cast<unsigned long long>(D.Hits), stateName(State).c_str(),
+           termName(Term).c_str());
+    for (const auto &[Prod, N] : D.Chosen)
+      printf(" %s x%llu", prodName(Prod).c_str(),
+             static_cast<unsigned long long>(N));
+    printf("\n");
+  }
+
+  printf("\n  instruction-table rows:\n");
+  for (const auto &[Name, N] : Cov.RowHits)
+    printf("    %-8s %10llu\n", Name.c_str(),
+           static_cast<unsigned long long>(N));
+  return Ok;
+}
+
+/// One gg-bench-v1 file: {"schema":...,"bench":NAME,"metrics":{k:v}}.
+struct BenchMetrics {
+  std::string Bench;
+  std::map<std::string, double> Metrics;
+
+  bool load(const std::string &Path) {
+    std::string Text, Err;
+    JsonValue V;
+    if (!readFile(Path, Text))
+      return false;
+    if (!parseJson(Text, V, Err)) {
+      fprintf(stderr, "gg-report: %s: %s\n", Path.c_str(), Err.c_str());
+      return false;
+    }
+    const JsonValue *Schema = V.find("schema");
+    if (!Schema || Schema->Str != "gg-bench-v1") {
+      fprintf(stderr, "gg-report: %s is not a gg-bench-v1 file\n",
+              Path.c_str());
+      return false;
+    }
+    if (const JsonValue *B = V.find("bench"))
+      Bench = B->Str;
+    const JsonValue *M = V.find("metrics");
+    if (!M || M->K != JsonValue::Kind::Object) {
+      fprintf(stderr, "gg-report: %s has no metrics object\n", Path.c_str());
+      return false;
+    }
+    for (const auto &[K, Val] : M->Obj)
+      Metrics[K] = Val.Num;
+    return true;
+  }
+};
+
+/// The sentinel compare: every baseline metric must exist in the fresh
+/// run and stay within the allowed relative deviation. Count metrics are
+/// deterministic, so the default threshold is tight; time metrics are
+/// noisy and only checked when --time-threshold opts them in.
+bool checkBench(const BenchMetrics &Fresh, const BenchMetrics &Baseline,
+                double ThresholdPct, double TimeThresholdPct) {
+  bool Ok = true;
+  int Checked = 0, Skipped = 0;
+  for (const auto &[Name, Base] : Baseline.Metrics) {
+    bool IsTime = Name.find("seconds") != std::string::npos;
+    double Allowed = IsTime ? TimeThresholdPct : ThresholdPct;
+    if (Allowed < 0) {
+      ++Skipped;
+      continue;
+    }
+    auto It = Fresh.Metrics.find(Name);
+    if (It == Fresh.Metrics.end()) {
+      fprintf(stderr, "  MISSING %s (baseline %.6g)\n", Name.c_str(), Base);
+      Ok = false;
+      continue;
+    }
+    ++Checked;
+    double Denom = std::max(std::fabs(Base), 1e-9);
+    double DeltaPct = 100.0 * std::fabs(It->second - Base) / Denom;
+    if (DeltaPct > Allowed) {
+      fprintf(stderr, "  REGRESSION %s: %.6g -> %.6g (%+.2f%%, allowed %.2f%%)\n",
+              Name.c_str(), Base, It->second,
+              100.0 * (It->second - Base) / Denom, Allowed);
+      Ok = false;
+    }
+  }
+  for (const auto &[Name, Val] : Fresh.Metrics)
+    if (!Baseline.Metrics.count(Name))
+      printf("  note: new metric %s = %.6g (not in baseline)\n", Name.c_str(),
+             Val);
+  printf("== bench %s: %d metrics checked, %d skipped: %s\n",
+         Baseline.Bench.c_str(), Checked, Skipped, Ok ? "OK" : "REGRESSED");
+  return Ok;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Artifacts;
+  std::vector<std::pair<std::string, std::string>> BenchChecks;
+  std::string MergedJsonPath;
+  int Top = 10;
+  bool FailDeadBridge = false, FailZeroDyn = false;
+  double ThresholdPct = 0.5, TimeThresholdPct = -1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--top=", 0) == 0)
+      Top = atoi(A.c_str() + 6);
+    else if (A.rfind("--json=", 0) == 0)
+      MergedJsonPath = A.substr(7);
+    else if (A == "--fail-on-dead-bridge")
+      FailDeadBridge = true;
+    else if (A == "--fail-on-zero-dyn")
+      FailZeroDyn = true;
+    else if (A.rfind("--threshold=", 0) == 0)
+      ThresholdPct = atof(A.c_str() + 12);
+    else if (A.rfind("--time-threshold=", 0) == 0)
+      TimeThresholdPct = atof(A.c_str() + 17);
+    else if (A.rfind("--check-bench=", 0) == 0) {
+      std::string Pair = A.substr(14);
+      size_t Colon = Pair.find(':');
+      if (Colon == std::string::npos) {
+        fprintf(stderr, "gg-report: --check-bench wants FRESH:BASELINE\n");
+        return 2;
+      }
+      BenchChecks.push_back({Pair.substr(0, Colon), Pair.substr(Colon + 1)});
+    } else if (A[0] == '-') {
+      fprintf(stderr,
+              "usage: gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE] "
+              "[--fail-on-dead-bridge] [--fail-on-zero-dyn] "
+              "[--check-bench=FRESH:BASELINE] [--threshold=PCT] "
+              "[--time-threshold=PCT]\n");
+      return 2;
+    } else
+      Artifacts.push_back(A);
+  }
+
+  bool Ok = true;
+
+  // Merge the coverage artifacts and sum phase times from stats artifacts.
+  CoverageSnapshot Merged;
+  bool HaveCov = false;
+  std::map<std::string, double> PhaseSeconds;
+  int StatsFiles = 0;
+  for (const std::string &Path : Artifacts) {
+    std::string Text, Err;
+    JsonValue V;
+    if (!readFile(Path, Text) || !parseJson(Text, V, Err)) {
+      if (!Err.empty())
+        fprintf(stderr, "gg-report: %s: %s\n", Path.c_str(), Err.c_str());
+      return 1;
+    }
+    const JsonValue *Schema = V.find("schema");
+    std::string Kind = Schema ? Schema->Str : "";
+    if (Kind == "gg-coverage-v1") {
+      CoverageSnapshot S;
+      if (!S.parse(V, Err) || (HaveCov && !Merged.merge(S, Err))) {
+        fprintf(stderr, "gg-report: %s: %s\n", Path.c_str(), Err.c_str());
+        return 1;
+      }
+      if (!HaveCov)
+        Merged = std::move(S);
+      HaveCov = true;
+    } else if (Kind == "gg-stats-v1") {
+      ++StatsFiles;
+      if (const JsonValue *Vals = V.find("values"))
+        for (const auto &[Name, Val] : Vals->Obj)
+          if (Name.find("seconds") != std::string::npos)
+            PhaseSeconds[Name] += Val.Num;
+    } else {
+      fprintf(stderr, "gg-report: %s: unrecognized schema \"%s\"\n",
+              Path.c_str(), Kind.c_str());
+      return 1;
+    }
+  }
+
+  if (HaveCov) {
+    CoverageReport Report;
+    Report.Cov = std::move(Merged);
+    // Rebuild the target to name ids — only trusted when the artifact was
+    // produced by a grammar/tables identical to what we just built.
+    std::string Err;
+    std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+    if (Target &&
+        VaxTarget::fingerprint(Target->grammar(), Target->packed()) ==
+            Report.Cov.Fingerprint)
+      Report.Target = Target.get();
+    if (!Report.print(Top, FailDeadBridge, FailZeroDyn))
+      Ok = false;
+    if (!MergedJsonPath.empty()) {
+      std::ofstream Out(MergedJsonPath);
+      if (!Out) {
+        fprintf(stderr, "gg-report: cannot write %s\n",
+                MergedJsonPath.c_str());
+        return 1;
+      }
+      Out << Report.Cov.toJson() << "\n";
+    }
+  } else if (FailDeadBridge || FailZeroDyn || !MergedJsonPath.empty()) {
+    fprintf(stderr, "gg-report: no gg-coverage-v1 artifacts given\n");
+    return 1;
+  }
+
+  if (StatsFiles) {
+    double Total = 0;
+    for (const auto &[Name, S] : PhaseSeconds)
+      Total += S;
+    printf("\n== phase times (%d stats artifacts)\n", StatsFiles);
+    for (const auto &[Name, S] : PhaseSeconds)
+      printf("  %-36s %10.4fs (%.1f%%)\n", Name.c_str(), S,
+             Total > 0 ? 100.0 * S / Total : 0.0);
+  }
+
+  for (const auto &[FreshPath, BasePath] : BenchChecks) {
+    BenchMetrics Fresh, Base;
+    if (!Fresh.load(FreshPath) || !Base.load(BasePath))
+      return 1;
+    if (!checkBench(Fresh, Base, ThresholdPct, TimeThresholdPct))
+      Ok = false;
+  }
+
+  return Ok ? 0 : 1;
+}
