@@ -13,6 +13,8 @@
 
 #include "BenchCommon.h"
 
+#include "support/CliOptions.h"
+#include "support/Profile.h"
 #include "support/Timer.h"
 #include <benchmark/benchmark.h>
 #include <cstring>
@@ -80,19 +82,37 @@ BENCHMARK(BM_GGCompileThreads)
 } // namespace
 
 int main(int argc, char **argv) {
-  // --baseline-json=FILE: write the deterministic single-pass metrics as
-  // a gg-bench-v1 file for the regression sentinel and skip the noisy
-  // thread sweep / google-benchmark half. Consumed here so the benchmark
-  // library never sees the flag.
-  std::string BaselinePath;
-  for (int I = 1; I < argc; ++I)
-    if (strncmp(argv[I], "--baseline-json=", 16) == 0) {
-      BaselinePath = argv[I] + 16;
+  // Flags consumed here so the benchmark library never sees them:
+  //   --baseline-json=FILE      write the deterministic single-pass
+  //                             metrics as a gg-bench-v1 file for the
+  //                             regression sentinel and skip the noisy
+  //                             thread sweep / google-benchmark half
+  //   --profile-json=FILE       profile the GG leg (instr mode) and
+  //                             write its gg-profile-v1 artifact
+  //   --pcc-profile-json=FILE   same for the PCC leg — the --diff-pcc
+  //                             input of gg-report
+  std::string BaselinePath, ProfilePath, PccProfilePath;
+  for (int I = 1; I < argc;) {
+    auto Consume = [&](const char *Prefix, std::string &Dest) {
+      size_t N = strlen(Prefix);
+      if (strncmp(argv[I], Prefix, N) != 0)
+        return false;
+      Dest = argv[I] + N;
       for (int J = I; J + 1 < argc; ++J)
         argv[J] = argv[J + 1];
       --argc;
-      break;
-    }
+      return true;
+    };
+    if (!Consume("--baseline-json=", BaselinePath) &&
+        !Consume("--profile-json=", ProfilePath) &&
+        !Consume("--pcc-profile-json=", PccProfilePath))
+      ++I;
+  }
+  // The two legs are profiled separately (reset between them) so each
+  // artifact attributes exactly one generator's work.
+  const bool Profiling = !ProfilePath.empty() || !PccProfilePath.empty();
+  if (Profiling)
+    gg::profile().configure(ProfileMode::Instr);
 
   ggbench::header("E3", "code generation speed and output size, GG vs PCC",
                   "GG 80.1s vs PCC 55.4s (1.45x slower); "
@@ -102,6 +122,7 @@ int main(int argc, char **argv) {
   const auto &Corpus = largeCorpus();
   Timer TG, TP;
   size_t GGLines = 0, PccLines = 0, GGInsts = 0, PccInsts = 0;
+  double GGTransform = 0, GGMatch = 0, GGInstrGen = 0, GGEmit = 0;
   {
     TimerScope TS(TG);
     for (const std::string &Source : Corpus) {
@@ -109,7 +130,16 @@ int main(int argc, char **argv) {
       ggbench::compileGG(Source, {}, &S);
       GGLines += S.AsmLines;
       GGInsts += S.Instructions;
+      GGTransform += S.TransformSeconds;
+      GGMatch += S.MatchSeconds;
+      GGInstrGen += S.InstrGenSeconds;
+      GGEmit += S.EmitSeconds;
     }
+  }
+  if (Profiling) {
+    if (!ProfilePath.empty())
+      gg::writeTextOrStdout(ProfilePath, gg::profile().toJson() + "\n");
+    gg::profile().reset();
   }
   {
     TimerScope TS(TP);
@@ -119,6 +149,12 @@ int main(int argc, char **argv) {
       PccLines += S.AsmLines;
       PccInsts += S.Instructions;
     }
+  }
+  if (Profiling) {
+    if (!PccProfilePath.empty())
+      gg::writeTextOrStdout(PccProfilePath, gg::profile().toJson() + "\n");
+    gg::profile().reset();
+    gg::profile().configure(ProfileMode::Off);
   }
 
   printf("%-24s %12s %12s %9s\n", "", "GG (table)", "PCC (hand)", "ratio");
@@ -140,6 +176,15 @@ int main(int argc, char **argv) {
                 {"gg_instructions", double(GGInsts)},
                 {"pcc_instructions", double(PccInsts)},
                 {"gg_seconds", TG.seconds()},
+                // Per-phase wall seconds: like every "seconds" metric
+                // these are skipped by the sentinel unless a
+                // --time-threshold opts them in, but they make the
+                // committed baseline show where phase time goes and let
+                // bench.sh --check watch phase-level regressions.
+                {"gg_transform_seconds", GGTransform},
+                {"gg_match_seconds", GGMatch},
+                {"gg_instrgen_seconds", GGInstrGen},
+                {"gg_emit_seconds", GGEmit},
                 {"pcc_seconds", TP.seconds()},
                 {"gg_pcc_seconds_ratio", TG.seconds() / TP.seconds()}})
                ? 0

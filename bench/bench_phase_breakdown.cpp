@@ -13,9 +13,20 @@
 
 #include "BenchCommon.h"
 
+#include <cstring>
+
 using namespace gg;
 
-int main() {
+int main(int argc, char **argv) {
+  // --baseline-json=FILE: write the per-phase seconds and deterministic
+  // matcher work counts as a gg-bench-v1 file, so bench.sh --check can
+  // watch phase-level regressions (time metrics stay opt-in behind
+  // gg-report's --time-threshold, counts are checked tight).
+  std::string BaselinePath;
+  for (int I = 1; I < argc; ++I)
+    if (strncmp(argv[I], "--baseline-json=", 16) == 0)
+      BaselinePath = argv[I] + 16;
+
   ggbench::header("E5", "code generation time by phase",
                   "roughly one half of the time is pattern matching");
 
@@ -55,5 +66,21 @@ int main() {
          "paper blames:\n conversions, operand-category glue, constant "
          "condensations)\n");
   ggbench::emitBenchJson("E5");
+
+  if (!BaselinePath.empty())
+    return ggbench::writeBenchBaseline(
+               "phase_breakdown", BaselinePath,
+               {{"trees", double(Trees)},
+                {"matcher_tokens", double(Tokens)},
+                {"matcher_steps", double(Steps)},
+                {"transform_seconds", Transform},
+                {"match_seconds", Match},
+                {"instrgen_seconds", Gen},
+                {"emit_seconds", Emit},
+                // "seconds" in the name keeps the share out of the
+                // tight count check — it is wall-clock-derived.
+                {"match_seconds_share_pct", 100 * Match / Total}})
+               ? 0
+               : 1;
   return 0;
 }

@@ -6,6 +6,8 @@
 //                 [--no-idioms] [--no-reverse-ops] [--no-recover] [--stats]
 //                 [--explain] [--fault=SPEC] [--stats-json=FILE]
 //                 [--trace-json=FILE] [--coverage-json=FILE]
+//                 [--profile=off|instr|perf[,cycles|,steps]]
+//                 [--profile-json=FILE]
 //   compile_minic --gen-corpus=N [--threads=N] [--coverage-json=FILE] ...
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
@@ -16,7 +18,9 @@
 // --coverage-json dump the stats registry, Chrome trace_event spans and
 // the gg-coverage-v1 table-coverage artifact; "-" means stdout, the same
 // contract as run_vax (support/CliOptions.h — it used to mean stderr
-// here).
+// here). --profile=/--profile-json= arm the hot-path cost profiler and
+// dump its gg-profile-v1 artifact for gg-report --profile
+// (support/Profile.h; docs/observability.md).
 //
 // --gen-corpus=N replaces FILE: it generates the N-seed deterministic
 // program corpus the differential tests use (seed 0xD1FF0000+i) and

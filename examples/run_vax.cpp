@@ -6,7 +6,8 @@
 //
 //   run_vax FILE [--backend=gg|pcc] [--threads=N] [--compare]
 //           [--fault=SPEC] [--stats-json=FILE] [--trace-json=FILE]
-//           [--coverage-json=FILE]
+//           [--coverage-json=FILE] [--profile=off|instr|perf[,cycles|,steps]]
+//           [--profile-json=FILE]
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
 // concurrency); assembly and simulation results are identical at any
@@ -20,7 +21,9 @@
 // counts, idiom/peephole/register telemetry) as one JSON object;
 // --trace-json dumps Chrome trace_event JSON loadable in chrome://tracing;
 // --coverage-json dumps the gg-coverage-v1 table-coverage artifact
-// (per-production/state/dyn-point/instruction-row hits) for gg-report.
+// (per-production/state/dyn-point/instruction-row hits) for gg-report;
+// --profile=/--profile-json= dump the gg-profile-v1 cost-attribution
+// artifact (support/Profile.h) for gg-report --profile.
 // "-" writes to stdout. These flags are shared with compile_minic
 // (support/CliOptions.h).
 //

@@ -3,10 +3,11 @@
 #
 #   scripts/bench.sh [--build-dir DIR] [--check] [--update]
 #
-# Runs the two deterministic bench suites (E3 compile speed, E7 code
-# quality) with --baseline-json and either:
+# Runs the deterministic bench suites (E3 compile speed, E5 phase
+# breakdown, E7 code quality) with --baseline-json and either:
 #
-#   --update (default)  writes BENCH_compile_speed.json and
+#   --update (default)  writes BENCH_compile_speed.json,
+#                       BENCH_phase_breakdown.json and
 #                       BENCH_code_quality.json at the repo root — the
 #                       committed baselines;
 #   --check             writes fresh metrics into the build tree and
@@ -30,7 +31,8 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-for bin in bench/bench_compile_speed bench/bench_code_quality tools/gg-report; do
+for bin in bench/bench_compile_speed bench/bench_phase_breakdown \
+           bench/bench_code_quality tools/gg-report; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "bench.sh: $BUILD_DIR/$bin missing (build the tree first)" >&2
     exit 1
@@ -41,9 +43,12 @@ if [ "$MODE" = update ]; then
   echo "== writing bench baselines at $ROOT"
   "$BUILD_DIR/bench/bench_compile_speed" \
       --baseline-json="$ROOT/BENCH_compile_speed.json" > /dev/null
+  "$BUILD_DIR/bench/bench_phase_breakdown" \
+      --baseline-json="$ROOT/BENCH_phase_breakdown.json" > /dev/null
   "$BUILD_DIR/bench/bench_code_quality" \
       --baseline-json="$ROOT/BENCH_code_quality.json" > /dev/null
-  echo "   BENCH_compile_speed.json BENCH_code_quality.json"
+  echo "   BENCH_compile_speed.json BENCH_phase_breakdown.json" \
+       "BENCH_code_quality.json"
   exit 0
 fi
 
@@ -52,8 +57,11 @@ FRESH="$BUILD_DIR/bench-fresh"
 mkdir -p "$FRESH"
 "$BUILD_DIR/bench/bench_compile_speed" \
     --baseline-json="$FRESH/compile_speed.json" > /dev/null
+"$BUILD_DIR/bench/bench_phase_breakdown" \
+    --baseline-json="$FRESH/phase_breakdown.json" > /dev/null
 "$BUILD_DIR/bench/bench_code_quality" \
     --baseline-json="$FRESH/code_quality.json" > /dev/null
 "$BUILD_DIR/tools/gg-report" \
     --check-bench="$FRESH/compile_speed.json:$ROOT/BENCH_compile_speed.json" \
+    --check-bench="$FRESH/phase_breakdown.json:$ROOT/BENCH_phase_breakdown.json" \
     --check-bench="$FRESH/code_quality.json:$ROOT/BENCH_code_quality.json"

@@ -17,9 +17,14 @@
 #    bridge-exercising program with --coverage-json, merges the artifacts
 #    with gg-report and gates on dead bridge families / zero dynamic-tie
 #    coverage,
-# 6. runs the benchmark regression sentinel: fresh deterministic bench
+# 6. runs the profile smoke leg: compiles the corpus with --profile=instr
+#    and --profile-json, merges the gg-profile-v1 artifacts with
+#    gg-report --profile, gates on >= 90% of the GG wall time being
+#    attributed to instrumented phases, and asserts the steps-timebase
+#    artifact is byte-identical across worker counts,
+# 7. runs the benchmark regression sentinel: fresh deterministic bench
 #    metrics vs the committed BENCH_*.json baselines (scripts/bench.sh),
-# 7. builds the parallel-determinism test under -fsanitize=thread and runs
+# 8. builds the parallel-determinism test under -fsanitize=thread and runs
 #    it: the work-stealing compile pipeline must be race-free, not just
 #    deterministic.
 #
@@ -186,6 +191,49 @@ cmp "$TMP/cov.t1.json" "$TMP/cov.t4.json" ||
   { echo "coverage artifact differs between thread counts" >&2; exit 1; }
 echo "   coverage artifact byte-identical at --threads=1 vs 4"
 
+echo "== profile smoke (gg-profile-v1 artifacts through gg-report)"
+# Compile the generated corpus under --profile=instr and feed the artifact
+# through gg-report: it must parse, merge, rank, and attribute >= 90% of
+# the GG matcher+codegen wall time (cg.total) to the instrumented phases.
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=24 \
+  --profile=instr --profile-json="$TMP/corpus.prof.json" >/dev/null 2>&1
+json_check "$TMP/corpus.prof.json"
+grep -q '"schema":"gg-profile-v1"' "$TMP/corpus.prof.json" ||
+  { echo "profile artifact missing gg-profile-v1 schema" >&2; exit 1; }
+"$BUILD_DIR"/examples/compile_minic examples/programs/sieve.c \
+  --profile=instr --profile-json="$TMP/sieve.prof.json" >/dev/null
+"$BUILD_DIR"/tools/gg-report --profile \
+  "$TMP/corpus.prof.json" "$TMP/sieve.prof.json" \
+  --profile-json="$TMP/merged.prof.json" \
+  --fail-attribution-below=90 >"$TMP/profile.report"
+json_check "$TMP/merged.prof.json"
+grep -E "attributed:|hot states" "$TMP/profile.report" | sed 's/^/  /'
+echo "   profile gates: artifacts merged, >=90% of wall time attributed"
+
+# Joining coverage against the profile flags hot-but-rarely-hit buckets.
+"$BUILD_DIR"/tools/gg-report --profile \
+  "$TMP/merged.prof.json" "$TMP/corpus.cov.json" >/dev/null ||
+  { echo "gg-report --profile with coverage join failed" >&2; exit 1; }
+echo "   profile+coverage join ok"
+
+# Under the steps timebase the artifact is a property of the input, not
+# the schedule: byte-identical at different worker counts.
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=6 --threads=1 \
+  --profile=instr,steps --profile-json="$TMP/prof.t1.json" >/dev/null 2>&1
+"$BUILD_DIR"/examples/compile_minic --gen-corpus=6 --threads=4 \
+  --profile=instr,steps --profile-json="$TMP/prof.t4.json" >/dev/null 2>&1
+cmp "$TMP/prof.t1.json" "$TMP/prof.t4.json" ||
+  { echo "profile artifact differs between thread counts" >&2; exit 1; }
+echo "   steps-timebase artifact byte-identical at --threads=1 vs 4"
+
+# The no-artifact misuse paths must diagnose, not silently succeed.
+if "$BUILD_DIR"/tools/gg-report >/dev/null 2>"$TMP/noargs.err"; then
+  echo "gg-report with no arguments must fail" >&2; exit 1
+fi
+grep -q "usage:" "$TMP/noargs.err" ||
+  { echo "gg-report no-args path printed no usage" >&2; exit 1; }
+echo "   gg-report no-args path: usage diagnostic, nonzero exit"
+
 echo "== benchmark regression sentinel (vs committed BENCH_*.json)"
 scripts/bench.sh --check --build-dir "$BUILD_DIR"
 
@@ -197,11 +245,12 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target parallel_test support_test \
-  coverage_test
+  coverage_test profile_test
 build-tsan/tests/parallel_test
 build-tsan/tests/support_test --gtest_filter='StatsThreading.*'
 build-tsan/tests/coverage_test \
   --gtest_filter='CoverageRegistry.ShardsSumExactlyUnderContention:CoveragePipeline.*'
-echo "   parallel_test + stats/coverage hammers: race-free under TSAN"
+build-tsan/tests/profile_test --gtest_filter='ProfilePipeline.*'
+echo "   parallel_test + stats/coverage/profile hammers: race-free under TSAN"
 
 echo "== all checks passed"

@@ -5,6 +5,7 @@
 #include "pcc/PccCodeGen.h"
 #include "support/Coverage.h"
 #include "support/FaultInject.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
@@ -136,7 +137,10 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
     AsmEmitter::Mark TreeMark = Emit.mark();
     {
       TimerScope TS(MatchT);
-      Input = linearize(Tree);
+      {
+        ProfilePhaseScope PS(ProfPhase::Linearize);
+        Input = linearize(Tree);
+      }
       // truncate-input fault: models a phase-1/linearizer bug. A proper
       // prefix of a prefix linearization can never parse to completion,
       // so the matcher blocks instead of accepting a wrong parse. The
@@ -145,6 +149,7 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
       Input.resize(
           faultInject().truncatedInputSize(Input.size(), TreeOrdinal++));
       R.MatcherTokens += Input.size();
+      ProfilePhaseScope PS(ProfPhase::Match);
       MR = Target.matcher().match(Input);
     }
     std::string TreeErr;
@@ -158,6 +163,7 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
       }
       TimerScope TS(GenT);
       TraceSpan ReplaySpan("cg.replay");
+      ProfilePhaseScope PS(ProfPhase::Replay);
       double EmitBefore = Emit.emitSeconds();
       std::string SemErr;
       TreeOk = Sem.replay(Target.grammar(), Input, MR.Steps, SemErr);
@@ -191,6 +197,7 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
     {
       TimerScope TS(GenT);
       TraceSpan FallbackSpan("cg.fallback");
+      ProfilePhaseScope PS(ProfPhase::Fallback);
       if (!pccGenStatement(Prog, F, Tree, Emit, FallbackDiags, &LocalArena)) {
         // Bottom of the ladder: a module-level diagnostic, never
         // process death — the caller decides what to do with it.
@@ -297,6 +304,10 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   Diags = DiagnosticSink();
   touchSchemaKeys();
   coverage().noteCompile();
+  profile().noteCompile();
+  // cg.total is wall time across the parallel region; wall-only scopes
+  // no-op under the deterministic steps timebase (support/Profile.h).
+  ProfilePhaseScope TotalScope(ProfPhase::Total, /*WallOnly=*/true);
   TraceSpan CompileSpan("cg.compile");
   AsmEmitter Emit(Prog.Syms);
   Emit.setExplain(Opts.Explain);
@@ -310,6 +321,7 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   // touches those, so everything after this point is safe to parallelize.
   {
     TimerScope TS(TransformT);
+    ProfilePhaseScope PS(ProfPhase::Transform);
     for (Function &F : Prog.Functions) {
       TransformStats TF = runPhase1(Prog, F, Opts.Transform);
       Stats.Transform.CondBranchRewrites += TF.CondBranchRewrites;
@@ -352,6 +364,9 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
 
   // Stitch in source order; on failure report the first failing function,
   // with diagnostics merged up to and including it (serial semantics).
+  // The stitch scope runs to function exit: append + peephole + final
+  // render are all serial post-join work.
+  ProfilePhaseScope StitchScope(ProfPhase::Stitch);
   double WorkerEmitSeconds = 0;
   StatsRegistry &Reg = gg::stats();
   for (size_t I = 0; I < NumFns; ++I) {

@@ -2,6 +2,7 @@
 
 #include "match/Matcher.h"
 #include "support/Coverage.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
@@ -19,9 +20,10 @@ Matcher::Matcher(const Grammar &G, const PackedTables &T, MatcherOptions Opts)
   TermIndex.reserve(G.terminals().size());
   for (SymId S : G.terminals())
     TermIndex.emplace(G.symbolName(S), G.termIndex(S));
-  // Size the coverage counter arrays while construction is still serial
-  // (workers never resize; see support/Coverage.h).
+  // Size the coverage and cost-profile counter arrays while construction
+  // is still serial (workers never resize; see support/Coverage.h).
   coverage().sizeGrammar(G.numProductions(), T.numStates(), T.numDynPoints());
+  profile().sizeGrammar(G.numProductions(), T.numStates());
 }
 
 std::string BlockReport::render() const {
@@ -95,6 +97,18 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
   // per-step recorders below are all behind this flag.
   CoverageRegistry &Cov = coverage();
   const bool Covering = Cov.enabled();
+
+  // Cost attribution costs one relaxed load per tree when off. When on,
+  // each step's timestamp delta (since the previous step's end) charges
+  // the acting state — a complete projection: the sum over states is the
+  // whole matcher loop. Reduce steps additionally charge the production,
+  // and a deferred reduce/reduce tie charges the chooser's share to the
+  // (state, terminal) dyn point. See support/Profile.h for the timebases.
+  ProfileRegistry &Prof = profile();
+  const bool Profiling = Prof.instrEnabled();
+  const ProfileTimebase ProfTB =
+      Profiling ? Prof.timebase() : ProfileTimebase::Cycles;
+  uint64_t LastTs = Profiling ? ProfileRegistry::now(ProfTB) : 0;
 
   TraceSpan Span("match.tree");
   ++NumTrees;
@@ -176,12 +190,18 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       SymStack.push_back(G.terminals()[TermIdx]);
       MaxDepth = std::max(MaxDepth, StateStack.size());
       ++Pos;
+      if (Profiling) {
+        uint64_t Now = ProfileRegistry::now(ProfTB);
+        Prof.chargeState(State, Now - LastTs);
+        LastTs = Now;
+      }
       break;
 
     case ActionType::Reduce: {
       ++NumReduces;
       int Prod = A.Target;
       bool DynTie = false;
+      uint64_t TieTs = LastTs;
       if (const std::vector<int> *Ties = T.dynChoicesAt(State, TermIdx)) {
         // A longest-rule tie the table constructor deferred to match time
         // (§3.2 "choose among them dynamically using semantic attributes").
@@ -194,6 +214,12 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
           Cands.push_back(Prod);
           Cands.insert(Cands.end(), Ties->begin(), Ties->end());
           Prod = Chooser(State, Cands);
+        }
+        if (Profiling) {
+          // The chooser's share lands on the dyn point; the rest of the
+          // reduce stays with the production/state below.
+          TieTs = ProfileRegistry::now(ProfTB);
+          Prof.chargeDyn(State, TermIdx, TieTs - LastTs);
         }
       }
       if (Covering) {
@@ -218,6 +244,12 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       StateStack.push_back(GotoState);
       SymStack.push_back(P.Lhs);
       MaxDepth = std::max(MaxDepth, StateStack.size());
+      if (Profiling) {
+        uint64_t Now = ProfileRegistry::now(ProfTB);
+        Prof.chargeProd(Prod, Now - TieTs);
+        Prof.chargeState(State, Now - LastTs);
+        LastTs = Now;
+      }
       break;
     }
 

@@ -4,6 +4,7 @@
 #include "cg/CodeGenerator.h" // emitDataSection
 #include "cg/Transform.h"
 #include "support/Error.h"
+#include "support/Profile.h"
 #include "support/Strings.h"
 #include "support/Timer.h"
 #include "vax/Emitter.h"
@@ -565,6 +566,10 @@ private:
 bool PccCodeGenerator::compile(Program &Prog, std::string &Asm,
                                std::string &Err) {
   Stats = PccStats();
+  // The whole baseline compile is one profile phase: the --diff-pcc leg
+  // compares it against the GG side's per-phase breakdown.
+  ProfilePhaseScope PS(ProfPhase::PccCompile);
+  profile().noteCompile();
   Timer T;
   T.start();
   AsmEmitter Emit(Prog.Syms);

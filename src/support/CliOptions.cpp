@@ -3,6 +3,7 @@
 #include "support/CliOptions.h"
 #include "support/Coverage.h"
 #include "support/FaultInject.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -36,6 +37,19 @@ CliParse gg::parseCommonDriverOption(const std::string &Arg,
     Opts.CoverageJsonPath = Arg.substr(16);
     return CliParse::Ok;
   }
+  if (Arg.rfind("--profile=", 0) == 0) {
+    std::string Err;
+    if (!parseProfileSpec(Arg.substr(10), Opts.Profile, Opts.ProfileTb, Err)) {
+      fprintf(stderr, "bad --profile spec: %s\n", Err.c_str());
+      return CliParse::Bad;
+    }
+    Opts.ProfileGiven = true;
+    return CliParse::Ok;
+  }
+  if (Arg.rfind("--profile-json=", 0) == 0) {
+    Opts.ProfileJsonPath = Arg.substr(15);
+    return CliParse::Ok;
+  }
   if (Arg.rfind("--fault=", 0) == 0) {
     std::string Err;
     if (!faultInject().configure(Arg.substr(8), Err)) {
@@ -49,7 +63,8 @@ CliParse gg::parseCommonDriverOption(const std::string &Arg,
 
 const char *gg::commonDriverUsage() {
   return "[--threads=N] [--fault=SPEC] [--stats-json=FILE] "
-         "[--trace-json=FILE] [--coverage-json=FILE]";
+         "[--trace-json=FILE] [--coverage-json=FILE] "
+         "[--profile=off|instr|perf[,cycles|,steps]] [--profile-json=FILE]";
 }
 
 bool gg::writeTextOrStdout(const std::string &Path, const std::string &Text) {
@@ -71,6 +86,12 @@ TelemetryDump::TelemetryDump(const CommonDriverOptions &O) : Opts(O) {
     TraceRecorder::global().enable();
   if (!Opts.CoverageJsonPath.empty())
     coverage().enable();
+  // Asking for the artifact without picking a mode means instr; an
+  // explicit --profile= wins (including --profile=off to disarm).
+  if (!Opts.ProfileGiven && !Opts.ProfileJsonPath.empty())
+    Opts.Profile = ProfileMode::Instr;
+  if (Opts.Profile != ProfileMode::Off || Opts.ProfileGiven)
+    profile().configure(Opts.Profile, Opts.ProfileTb);
 }
 
 TelemetryDump::~TelemetryDump() {
@@ -81,4 +102,6 @@ TelemetryDump::~TelemetryDump() {
                       TraceRecorder::global().toChromeJson());
   if (!Opts.CoverageJsonPath.empty())
     writeTextOrStdout(Opts.CoverageJsonPath, coverage().toJson() + "\n");
+  if (!Opts.ProfileJsonPath.empty())
+    writeTextOrStdout(Opts.ProfileJsonPath, profile().toJson() + "\n");
 }

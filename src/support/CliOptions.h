@@ -7,7 +7,8 @@
 /// \file
 /// The telemetry/robustness option surface shared by the example drivers
 /// (`run_vax`, `compile_minic`): `--threads=`, `--fault=`,
-/// `--stats-json=`, `--trace-json=`, `--coverage-json=`. Both drivers
+/// `--stats-json=`, `--trace-json=`, `--coverage-json=`, `--profile=`,
+/// `--profile-json=`. Both drivers
 /// parse these through one function so the flags cannot drift apart, and
 /// `-` as a destination means stdout in both (it used to mean stderr in
 /// compile_minic; telemetry consumers now get one contract).
@@ -21,6 +22,8 @@
 #ifndef GG_SUPPORT_CLIOPTIONS_H
 #define GG_SUPPORT_CLIOPTIONS_H
 
+#include "support/Profile.h"
+
 #include <string>
 
 namespace gg {
@@ -31,6 +34,12 @@ struct CommonDriverOptions {
   std::string StatsJsonPath;    ///< --stats-json=FILE ("-" = stdout)
   std::string TraceJsonPath;    ///< --trace-json=FILE ("-" = stdout)
   std::string CoverageJsonPath; ///< --coverage-json=FILE ("-" = stdout)
+  std::string ProfileJsonPath;  ///< --profile-json=FILE ("-" = stdout)
+  /// --profile=off|instr|perf[,cycles|,steps]. A --profile-json=
+  /// destination with no explicit --profile= implies instr.
+  ProfileMode Profile = ProfileMode::Off;
+  ProfileTimebase ProfileTb = ProfileTimebase::Cycles;
+  bool ProfileGiven = false; ///< an explicit --profile= was seen
 };
 
 /// Outcome of offering one argv token to the shared parser.
@@ -53,8 +62,9 @@ const char *commonDriverUsage();
 bool writeTextOrStdout(const std::string &Path, const std::string &Text);
 
 /// Enables the requested recorders at construction and dumps all
-/// requested artifacts (stats JSON, Chrome trace JSON, coverage JSON) at
-/// destruction — i.e. on every exit path of the enclosing scope.
+/// requested artifacts (stats JSON, Chrome trace JSON, coverage JSON,
+/// profile JSON) at destruction — i.e. on every exit path of the
+/// enclosing scope.
 struct TelemetryDump {
   explicit TelemetryDump(const CommonDriverOptions &Opts);
   ~TelemetryDump();

@@ -18,52 +18,11 @@ CoverageRegistry &CoverageRegistry::global() {
   return R;
 }
 
-int CoverageRegistry::shardIndex() {
-  // Threads are dealt shards round-robin; the pool tops out well under
-  // NumShards on the hosts this targets, so shards are usually
-  // thread-private and contention only appears past 16 recorders.
-  static std::atomic<unsigned> NextShard{0};
-  static thread_local int Mine =
-      static_cast<int>(NextShard.fetch_add(1, std::memory_order_relaxed) &
-                       (NumShards - 1));
-  return Mine;
-}
-
-void CoverageRegistry::growLocked(Family &F, size_t N) {
-  Store *Old = F.Cur.load(std::memory_order_relaxed);
-  if (Old && Old->N >= N)
-    return;
-  auto S = std::make_unique<Store>();
-  S->N = N;
-  S->Shards.reserve(NumShards);
-  for (int I = 0; I < NumShards; ++I) {
-    auto Arr = std::make_unique<std::atomic<uint64_t>[]>(N);
-    for (size_t J = 0; J < N; ++J)
-      Arr[J].store(Old && J < Old->N
-                       ? Old->Shards[I][J].load(std::memory_order_relaxed)
-                       : 0,
-                   std::memory_order_relaxed);
-    S->Shards.push_back(std::move(Arr));
-  }
-  F.Cur.store(S.get(), std::memory_order_release);
-  F.Stores.push_back(std::move(S)); // the old store stays retired, not freed
-}
-
-uint64_t CoverageRegistry::sum(const Family &F, size_t Index) {
-  const Store *S = F.Cur.load(std::memory_order_acquire);
-  if (!S || Index >= S->N)
-    return 0;
-  uint64_t Total = 0;
-  for (int I = 0; I < NumShards; ++I)
-    Total += S->Shards[I][Index].load(std::memory_order_relaxed);
-  return Total;
-}
-
 void CoverageRegistry::sizeGrammar(size_t NumProds, size_t NumStates,
                                    size_t DynPoints) {
   std::lock_guard<std::mutex> Lock(M);
-  growLocked(ProdCounters, NumProds);
-  growLocked(StateCounters, NumStates);
+  ProdCounters.growLocked(NumProds);
+  StateCounters.growLocked(NumStates);
   NumDynPoints = std::max(NumDynPoints, DynPoints);
 }
 
@@ -71,7 +30,7 @@ void CoverageRegistry::sizeInstrRows(const std::vector<std::string> &Names) {
   std::lock_guard<std::mutex> Lock(M);
   if (Names.size() > RowNames.size())
     RowNames = Names;
-  growLocked(RowCounters, RowNames.size());
+  RowCounters.growLocked(RowNames.size());
 }
 
 void CoverageRegistry::setFingerprint(const std::string &HexFP) {
@@ -93,11 +52,8 @@ void CoverageRegistry::noteDynChoice(int State, int TermIdx, int ChosenProd) {
 
 void CoverageRegistry::reset() {
   std::lock_guard<std::mutex> Lock(M);
-  for (Family *F : {&ProdCounters, &StateCounters, &RowCounters})
-    if (Store *S = F->Cur.load(std::memory_order_relaxed))
-      for (int I = 0; I < NumShards; ++I)
-        for (size_t J = 0; J < S->N; ++J)
-          S->Shards[I][J].store(0, std::memory_order_relaxed);
+  for (ShardedCounters *F : {&ProdCounters, &StateCounters, &RowCounters})
+    F->resetLocked();
   Dyn.clear();
   Compiles.store(0, std::memory_order_relaxed);
 }
@@ -107,21 +63,18 @@ CoverageSnapshot CoverageRegistry::snapshot() const {
   CoverageSnapshot Out;
   Out.Fingerprint = Fingerprint;
   Out.Compiles = Compiles.load(std::memory_order_relaxed);
-  const Store *PS = ProdCounters.Cur.load(std::memory_order_acquire);
-  const Store *SS = StateCounters.Cur.load(std::memory_order_acquire);
-  const Store *RS = RowCounters.Cur.load(std::memory_order_acquire);
-  Out.NumProds = PS ? PS->N : 0;
-  Out.NumStates = SS ? SS->N : 0;
+  Out.NumProds = ProdCounters.size();
+  Out.NumStates = StateCounters.size();
   Out.NumDynPoints = NumDynPoints;
-  Out.NumRows = RS ? RS->N : 0;
+  Out.NumRows = RowCounters.size();
   for (size_t I = 0; I < Out.NumProds; ++I)
-    if (uint64_t H = sum(ProdCounters, I))
+    if (uint64_t H = ProdCounters.sum(I))
       Out.ProdHits[static_cast<int>(I)] = H;
   for (size_t I = 0; I < Out.NumStates; ++I)
-    if (uint64_t H = sum(StateCounters, I))
+    if (uint64_t H = StateCounters.sum(I))
       Out.StateHits[static_cast<int>(I)] = H;
   for (size_t I = 0; I < Out.NumRows; ++I)
-    if (uint64_t H = sum(RowCounters, I))
+    if (uint64_t H = RowCounters.sum(I))
       Out.RowHits[RowNames[I]] = H;
   Out.Dyn = Dyn;
   return Out;

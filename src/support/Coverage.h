@@ -38,10 +38,11 @@
 #ifndef GG_SUPPORT_COVERAGE_H
 #define GG_SUPPORT_COVERAGE_H
 
+#include "support/Sharded.h"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -128,41 +129,18 @@ public:
   std::string toJson() const { return snapshot().toJson(); }
 
 private:
-  static constexpr int NumShards = 16; ///< power of two; see shardIndex()
-
-  /// One id-indexed counter family (productions, states or rows), stored
-  /// as NumShards independent atomic arrays. Recorders snapshot a
-  /// consistent (pointer, size) pair with a single acquire load of Cur;
-  /// growth publishes a new store and retires — never frees — the old.
-  struct Store {
-    size_t N = 0;
-    /// NumShards arrays of N counters each. Per-shard arrays are separate
-    /// allocations, so workers on different shards do not share lines.
-    std::vector<std::unique_ptr<std::atomic<uint64_t>[]>> Shards;
-  };
-  struct Family {
-    std::atomic<Store *> Cur{nullptr};
-    std::vector<std::unique_ptr<Store>> Stores; ///< current + retired
-  };
-
-  void bump(Family &F, int Index) {
-    if (!enabled() || Index < 0)
+  /// Hit counters live in the sharded grow-only store shared with the
+  /// cost profiler (support/Sharded.h); only the enabled gate and the
+  /// dump-time aggregation are coverage-specific.
+  void bump(ShardedCounters &F, int Index) {
+    if (!enabled())
       return;
-    Store *S = F.Cur.load(std::memory_order_acquire);
-    if (!S || static_cast<size_t>(Index) >= S->N)
-      return;
-    S->Shards[shardIndex()][Index].fetch_add(1, std::memory_order_relaxed);
+    F.add(Index, 1);
   }
-  static int shardIndex();
-  /// Publishes a store of at least \p N counters, carrying existing
-  /// per-shard counts over. Caller holds M; see the serial-sizing rule.
-  static void growLocked(Family &F, size_t N);
-  /// Shard-summed count for one id, 0 when unsized.
-  static uint64_t sum(const Family &F, size_t Index);
 
   std::atomic<bool> On{false};
   std::atomic<uint64_t> Compiles{0};
-  Family ProdCounters, StateCounters, RowCounters;
+  ShardedCounters ProdCounters, StateCounters, RowCounters;
 
   mutable std::mutex M; ///< sizing, names, fingerprint, dyn map
   std::vector<std::string> RowNames;

@@ -6,12 +6,17 @@
 ///
 /// \file
 /// Wall-clock timing helpers used by the code generator's per-phase
-/// accounting (experiment E5) and the benchmark harnesses.
+/// accounting (experiment E5) and the benchmark harnesses. Measures
+/// against the shared MonoClock (support/Clock.h), the same source the
+/// tracer and the cost profiler convert into, so seconds reported here
+/// line up with every other artifact.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GG_SUPPORT_TIMER_H
 #define GG_SUPPORT_TIMER_H
+
+#include "support/Clock.h"
 
 #include <chrono>
 #include <map>
@@ -42,7 +47,7 @@ public:
   }
 
 private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonoClock;
   Clock::time_point Begin;
   double Accumulated = 0;
   bool Running = false;

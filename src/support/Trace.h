@@ -15,7 +15,8 @@
 ///
 /// The recorder is disabled by default; a disabled TraceSpan costs one
 /// branch. Timestamps are microseconds relative to the recorder's epoch
-/// (reset on enable()), taken from steady_clock.
+/// (reset on enable()), taken from the shared MonoClock
+/// (support/Clock.h).
 ///
 /// Thread safety: span entry/exit lock a mutex when the recorder is
 /// enabled (the parallel code generator's workers open per-function and
@@ -27,6 +28,8 @@
 
 #ifndef GG_SUPPORT_TRACE_H
 #define GG_SUPPORT_TRACE_H
+
+#include "support/Clock.h"
 
 #include <atomic>
 #include <chrono>
@@ -101,7 +104,7 @@ public:
   }
 
 private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonoClock;
   mutable std::mutex M; ///< guards Events/CurDepth/Epoch when enabled
   std::atomic<bool> Enabled{false};
   int CurDepth = 0;

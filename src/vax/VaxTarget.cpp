@@ -2,6 +2,7 @@
 
 #include "vax/VaxTarget.h"
 #include "support/Coverage.h"
+#include "support/Profile.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
 #include "vax/InstrTable.h"
@@ -56,12 +57,13 @@ VaxTarget::create(std::string &Err, const VaxGrammarOptions &GrammarOpts,
   T->M = std::make_unique<Matcher>(T->G, T->Packed, MatchOpts);
   // Register the coverage dimensions while target construction is still
   // serial: instruction-table rows by name, and the grammar/tables
-  // identity embedded in every gg-coverage-v1 artifact.
+  // identity embedded in every gg-coverage-v1 / gg-profile-v1 artifact.
   std::vector<std::string> Rows;
   Rows.reserve(numClusters());
   for (size_t I = 0; I < numClusters(); ++I)
     Rows.push_back(clusterAt(I).Tag);
   coverage().sizeInstrRows(Rows);
   coverage().setFingerprint(fingerprint(T->G, T->Packed));
+  profile().setFingerprint(fingerprint(T->G, T->Packed));
   return T;
 }

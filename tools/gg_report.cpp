@@ -6,6 +6,8 @@
 //
 //   gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE]
 //             [--fail-on-dead-bridge] [--fail-on-zero-dyn]
+//             [--profile] [--profile-json=FILE] [--diff-pcc=FILE]
+//             [--fail-attribution-below=PCT]
 //             [--check-bench=FRESH:BASELINE] [--threshold=PCT]
 //             [--time-threshold=PCT]
 //
@@ -17,15 +19,32 @@
 //                   and instruction-table row usage. When the artifact
 //                   fingerprint matches a freshly built VAX target, ids
 //                   are rendered with grammar names.
+//   gg-profile-v1   merged (fingerprint/shape/timebase-checked); the
+//                   profile report ranks hot states, productions, dyn
+//                   points and table regions by attributed cost, joins
+//                   against merged coverage to flag buckets that are
+//                   expensive per visit ("hot but rarely hit"), and
+//                   prints the per-phase breakdown with the share of
+//                   cg.total wall time the instrumentation attributed.
 //   gg-stats-v1     per-phase *_seconds values are summed into a time
 //                   breakdown across all stats artifacts.
 //   gg-bench-v1     via --check-bench only (see below).
 //
 // --json=FILE writes the merged coverage artifact (itself gg-coverage-v1,
-// so reports can be merged hierarchically). --fail-on-dead-bridge exits
+// so reports can be merged hierarchically); --profile-json=FILE does the
+// same for the merged profile. --fail-on-dead-bridge exits
 // nonzero when a bridge-production family (section 6.2.2; width replicas
 // grouped) has zero reductions; --fail-on-zero-dyn when no dynamic-tie
 // event was recorded. Both back the check.sh coverage gate.
+//
+// --profile requires at least one gg-profile-v1 artifact (diagnostic exit
+// otherwise). --diff-pcc=FILE ingests a PCC-leg profile (the one
+// bench_compile_speed --pcc-profile-json= writes) and prints side-by-side
+// phase attribution of the GG-vs-PCC compile-speed ratio plus a ranked
+// work-list of what closing each phase would buy.
+// --fail-attribution-below=PCT exits nonzero when the instrumented phases
+// cover less than PCT percent of cg.total wall time (the check.sh
+// profile-smoke gate).
 //
 // --check-bench=FRESH:BASELINE compares two gg-bench-v1 metric files: any
 // count metric deviating from the baseline by more than --threshold
@@ -40,6 +59,7 @@
 #include "mdl/Grammar.h"
 #include "support/Coverage.h"
 #include "support/Json.h"
+#include "support/Profile.h"
 #include "support/Strings.h"
 #include "vax/VaxTarget.h"
 
@@ -85,10 +105,10 @@ std::string familyOf(const std::string &SemTag) {
   return SemTag;
 }
 
-/// The coverage half of the report. Names come from \p Target when its
-/// fingerprint matches the artifact; otherwise ids are printed raw.
-struct CoverageReport {
-  CoverageSnapshot Cov;
+/// Renders grammar ids as names when a freshly built target's
+/// fingerprint matches the artifact; raw ids otherwise. Shared by the
+/// coverage and profile halves of the report.
+struct Namer {
   const VaxTarget *Target = nullptr; ///< null = names unavailable
 
   std::string prodName(int Id) const {
@@ -117,6 +137,11 @@ struct CoverageReport {
     }
     return strf("t%d", TermIdx);
   }
+};
+
+/// The coverage half of the report.
+struct CoverageReport : Namer {
+  CoverageSnapshot Cov;
 
   uint64_t hits(const std::map<int, uint64_t> &M, int Id) const {
     auto It = M.find(Id);
@@ -245,6 +270,245 @@ bool CoverageReport::print(int Top, bool FailDeadBridge,
   return Ok;
 }
 
+/// The profile half of the report: hot-path cost attribution from merged
+/// gg-profile-v1 artifacts, optionally joined against merged coverage.
+struct ProfileReport : Namer {
+  ProfileSnapshot Prof;
+  const CoverageSnapshot *Cov = nullptr; ///< null = no coverage join
+
+  /// Renders a tick total: seconds under the cycles timebase, raw steps
+  /// otherwise.
+  std::string ticksStr(uint64_t Ticks) const {
+    if (Prof.TicksPerSecond > 0)
+      return strf("%10.4fs", Prof.seconds(Ticks));
+    return strf("%10llu steps", static_cast<unsigned long long>(Ticks));
+  }
+
+  uint64_t phaseTicks(const char *Name) const {
+    auto It = Prof.Phases.find(Name);
+    return It == Prof.Phases.end() ? 0 : It->second.Cell.Ticks;
+  }
+
+  /// Sum of the instrumented (non-wall) GG phases — everything charged
+  /// under cg.* except the cg.total wall scope.
+  uint64_t attributedTicks() const {
+    uint64_t T = 0;
+    for (const auto &[Name, P] : Prof.Phases)
+      if (Name.rfind("cg.", 0) == 0 && Name != "cg.total")
+        T += P.Cell.Ticks;
+    return T;
+  }
+
+  /// Percent of cg.total wall time the instrumented phases cover; -1
+  /// when no cg.total was recorded (steps timebase, or no GG compile).
+  /// Summed per-worker phase time can exceed wall with --threads > 1.
+  double attributedPct() const {
+    uint64_t Total = phaseTicks("cg.total");
+    return Total ? 100.0 * double(attributedTicks()) / double(Total) : -1;
+  }
+
+  void print(int Top) const;
+  void diffPcc(const ProfileSnapshot &Pcc) const;
+
+private:
+  void printHotCells(const char *What, const std::map<int, ProfCell> &Cells,
+                     int Top, bool IsState) const;
+};
+
+void ProfileReport::printHotCells(const char *What,
+                                  const std::map<int, ProfCell> &Cells,
+                                  int Top, bool IsState) const {
+  uint64_t TotalTicks = 0, CovTotal = 0;
+  for (const auto &[Id, C] : Cells)
+    TotalTicks += C.Ticks;
+  const std::map<int, uint64_t> *Hits = nullptr;
+  if (Cov) {
+    Hits = IsState ? &Cov->StateHits : &Cov->ProdHits;
+    for (const auto &[Id, H] : *Hits)
+      CovTotal += H;
+  }
+
+  std::vector<std::pair<uint64_t, int>> Hot;
+  for (const auto &[Id, C] : Cells)
+    Hot.push_back({C.Ticks, Id});
+  std::sort(Hot.begin(), Hot.end(), [](const auto &A, const auto &B) {
+    return A.first != B.first ? A.first > B.first : A.second < B.second;
+  });
+
+  printf("\n  hot %s (top %d of %zu, by attributed ticks):\n", What, Top,
+         Hot.size());
+  for (size_t I = 0; I < Hot.size() && I < static_cast<size_t>(Top); ++I) {
+    int Id = Hot[I].second;
+    const ProfCell &C = Cells.at(Id);
+    double TickShare = TotalTicks ? 100.0 * double(C.Ticks) / TotalTicks : 0;
+    std::string Line = strf(
+        "    %s %6.2f%%  %8llu events  %6.1f ticks/event  %s",
+        ticksStr(C.Ticks).c_str(), TickShare,
+        static_cast<unsigned long long>(C.Events),
+        C.Events ? double(C.Ticks) / double(C.Events) : 0.0,
+        IsState ? stateName(Id).c_str() : prodName(Id).c_str());
+    if (Hits) {
+      auto It = Hits->find(Id);
+      uint64_t H = It == Hits->end() ? 0 : It->second;
+      double HitShare = CovTotal ? 100.0 * double(H) / CovTotal : 0;
+      Line += strf("  [cov %llu hits]", static_cast<unsigned long long>(H));
+      // Expensive per visit: its share of the cost is far above its
+      // share of the traffic — a packing/direct-coding candidate.
+      if (TickShare >= 1.0 && TickShare > 5.0 * HitShare)
+        Line += "  HOT-BUT-RARELY-HIT";
+    }
+    printf("%s\n", Line.c_str());
+  }
+}
+
+void ProfileReport::print(int Top) const {
+  const char *TbName =
+      Prof.Timebase == ProfileTimebase::Steps ? "steps" : "cycles";
+  printf("\n== profile (%llu compiles, timebase %s, fingerprint %s%s%s)\n",
+         static_cast<unsigned long long>(Prof.Compiles), TbName,
+         Prof.Fingerprint.c_str(),
+         Prof.PerfAvailable ? ", hw counters" : ", no hw counters",
+         Target ? "" : ", no matching target: raw ids");
+
+  // Per-phase breakdown, largest first.
+  std::vector<std::pair<uint64_t, std::string>> Phases;
+  for (const auto &[Name, P] : Prof.Phases)
+    Phases.push_back({P.Cell.Ticks, Name});
+  std::sort(Phases.begin(), Phases.end(), [](const auto &A, const auto &B) {
+    return A.first != B.first ? A.first > B.first : A.second < B.second;
+  });
+  uint64_t Total = phaseTicks("cg.total");
+  printf("  phases:\n");
+  for (const auto &[Ticks, Name] : Phases) {
+    const PhaseProfile &P = Prof.Phases.at(Name);
+    std::string Line =
+        strf("    %-14s %s  %8llu events", Name.c_str(),
+             ticksStr(Ticks).c_str(),
+             static_cast<unsigned long long>(P.Cell.Events));
+    if (Total && Name != "cg.total" && Name.rfind("cg.", 0) == 0)
+      Line += strf("  %5.1f%% of cg.total", 100.0 * double(Ticks) / Total);
+    if (P.Hw.any()) {
+      Line += strf("  [hw: %llu cyc, %llu ins",
+                   static_cast<unsigned long long>(P.Hw.Cycles),
+                   static_cast<unsigned long long>(P.Hw.Instructions));
+      if (P.Hw.Cycles)
+        Line += strf(", ipc %.2f",
+                     double(P.Hw.Instructions) / double(P.Hw.Cycles));
+      Line += strf(", %llu l1d-miss, %llu llc-miss, %llu br-miss]",
+                   static_cast<unsigned long long>(P.Hw.L1dMisses),
+                   static_cast<unsigned long long>(P.Hw.LlcMisses),
+                   static_cast<unsigned long long>(P.Hw.BranchMisses));
+    }
+    printf("%s\n", Line.c_str());
+  }
+  double Attr = attributedPct();
+  if (Attr >= 0)
+    printf("  attributed: %.1f%% of cg.total wall time is charged to named "
+           "phases\n",
+           Attr);
+
+  printHotCells("states", Prof.States, Top, /*IsState=*/true);
+  printHotCells("productions", Prof.Prods, Top, /*IsState=*/false);
+
+  // Dyn-tie points by chooser cost.
+  std::vector<std::pair<uint64_t, std::pair<int, int>>> DynHot;
+  for (const auto &[Key, C] : Prof.Dyn)
+    DynHot.push_back({C.Ticks, Key});
+  std::sort(DynHot.begin(), DynHot.end(),
+            [](const auto &A, const auto &B) { return A.first > B.first; });
+  printf("\n  hot dyn-tie points (top %d of %zu, by chooser cost):\n", Top,
+         DynHot.size());
+  for (size_t I = 0; I < DynHot.size() && I < static_cast<size_t>(Top); ++I) {
+    const auto &[State, Term] = DynHot[I].second;
+    const ProfCell &C = Prof.Dyn.at(DynHot[I].second);
+    printf("    %s  %8llu events  %s on %s\n",
+           ticksStr(C.Ticks).c_str(),
+           static_cast<unsigned long long>(C.Events),
+           stateName(State).c_str(), termName(Term).c_str());
+  }
+
+  // Table regions: which RegionSize-state pages of the packed tables are
+  // hot — the input the open-item-1 table packing work needs.
+  std::map<int, ProfCell> Regions = Prof.regions();
+  uint64_t RegionTotal = 0;
+  for (const auto &[Id, C] : Regions)
+    RegionTotal += C.Ticks;
+  std::vector<std::pair<uint64_t, int>> HotRegions;
+  for (const auto &[Id, C] : Regions)
+    HotRegions.push_back({C.Ticks, Id});
+  std::sort(HotRegions.begin(), HotRegions.end(),
+            [](const auto &A, const auto &B) {
+              return A.first != B.first ? A.first > B.first
+                                        : A.second < B.second;
+            });
+  printf("\n  hot table regions (%llu states each, top %d of %zu):\n",
+         static_cast<unsigned long long>(ProfileSnapshot::RegionSize), Top,
+         HotRegions.size());
+  for (size_t I = 0; I < HotRegions.size() && I < static_cast<size_t>(Top);
+       ++I) {
+    int Id = HotRegions[I].second;
+    const ProfCell &C = Regions.at(Id);
+    printf("    states %4llu-%-4llu %s  %6.2f%%  %8llu events\n",
+           static_cast<unsigned long long>(Id * ProfileSnapshot::RegionSize),
+           static_cast<unsigned long long>((Id + 1) *
+                                               ProfileSnapshot::RegionSize -
+                                           1),
+           ticksStr(C.Ticks).c_str(),
+           RegionTotal ? 100.0 * double(C.Ticks) / RegionTotal : 0.0,
+           static_cast<unsigned long long>(C.Events));
+  }
+}
+
+void ProfileReport::diffPcc(const ProfileSnapshot &Pcc) const {
+  uint64_t GgTotal = phaseTicks("cg.total");
+  auto It = Pcc.Phases.find("pcc.compile");
+  uint64_t PccTotal = It == Pcc.Phases.end() ? 0 : It->second.Cell.Ticks;
+  printf("\n== GG vs PCC differential\n");
+  if (!GgTotal || !PccTotal) {
+    printf("  (incomplete: need cg.total in the GG profile and pcc.compile "
+           "in the PCC profile, both on the cycles timebase)\n");
+    return;
+  }
+  double GgSec = Prof.seconds(GgTotal);
+  double PccSec = Pcc.seconds(PccTotal);
+  // Under the steps timebase seconds() is 0; fall back to raw tick ratio
+  // so the table still renders (with the caveat printed above it).
+  double Ratio = PccSec > 0   ? GgSec / PccSec
+                 : PccTotal   ? double(GgTotal) / double(PccTotal)
+                              : 0;
+  printf("  gg  cg.total     %s  (%llu compiles)\n", ticksStr(GgTotal).c_str(),
+         static_cast<unsigned long long>(Prof.Compiles));
+  printf("  pcc pcc.compile  %s  (%llu compiles)\n",
+         Pcc.TicksPerSecond > 0
+             ? strf("%10.4fs", PccSec).c_str()
+             : strf("%10llu steps", static_cast<unsigned long long>(PccTotal))
+                   .c_str(),
+         static_cast<unsigned long long>(Pcc.Compiles));
+  printf("  ratio: GG is %.2fx the PCC baseline\n\n", Ratio);
+
+  // Side-by-side: each GG phase against both totals, then the ranked
+  // work-list — what the ratio becomes if a phase's cost went to zero.
+  // That bound is what table packing / direct coding (ROADMAP items 1-2)
+  // can buy per phase.
+  std::vector<std::pair<uint64_t, std::string>> Phases;
+  for (const auto &[Name, P] : Prof.Phases)
+    if (Name.rfind("cg.", 0) == 0 && Name != "cg.total")
+      Phases.push_back({P.Cell.Ticks, Name});
+  std::sort(Phases.begin(), Phases.end(), [](const auto &A, const auto &B) {
+    return A.first != B.first ? A.first > B.first : A.second < B.second;
+  });
+  printf("  %-14s %12s %16s %16s\n", "phase", "cost", "share of GG",
+         "vs whole PCC");
+  for (const auto &[Ticks, Name] : Phases)
+    printf("  %-14s %s %15.1f%% %15.1f%%\n", Name.c_str(),
+           ticksStr(Ticks).c_str(), 100.0 * double(Ticks) / double(GgTotal),
+           100.0 * double(Ticks) / double(PccTotal));
+  printf("\n  work-list (ratio if the phase cost zero):\n");
+  for (const auto &[Ticks, Name] : Phases)
+    printf("    %-14s -> %.2fx\n", Name.c_str(),
+           double(GgTotal - std::min(Ticks, GgTotal)) / double(PccTotal));
+}
+
 /// One gg-bench-v1 file: {"schema":...,"bench":NAME,"metrics":{k:v}}.
 struct BenchMetrics {
   std::string Bench;
@@ -318,15 +582,36 @@ bool checkBench(const BenchMetrics &Fresh, const BenchMetrics &Baseline,
   return Ok;
 }
 
+void printUsage(FILE *To) {
+  fprintf(To,
+          "usage: gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE]\n"
+          "                 [--fail-on-dead-bridge] [--fail-on-zero-dyn]\n"
+          "                 [--profile] [--profile-json=FILE] "
+          "[--diff-pcc=FILE]\n"
+          "                 [--fail-attribution-below=PCT]\n"
+          "                 [--check-bench=FRESH:BASELINE] [--threshold=PCT]\n"
+          "                 [--time-threshold=PCT]\n"
+          "\n"
+          "Merges gg-coverage-v1 / gg-profile-v1 / gg-stats-v1 artifacts\n"
+          "into one report, and compares gg-bench-v1 baselines.\n");
+}
+
+/// Diagnostic + usage + the conventional usage-error exit code.
+int usageError(const char *Diag) {
+  fprintf(stderr, "gg-report: %s\n", Diag);
+  printUsage(stderr);
+  return 2;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::vector<std::string> Artifacts;
   std::vector<std::pair<std::string, std::string>> BenchChecks;
-  std::string MergedJsonPath;
+  std::string MergedJsonPath, ProfileJsonPath, DiffPccPath;
   int Top = 10;
-  bool FailDeadBridge = false, FailZeroDyn = false;
-  double ThresholdPct = 0.5, TimeThresholdPct = -1;
+  bool FailDeadBridge = false, FailZeroDyn = false, WantProfile = false;
+  double ThresholdPct = 0.5, TimeThresholdPct = -1, FailAttrBelow = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -338,34 +623,45 @@ int main(int argc, char **argv) {
       FailDeadBridge = true;
     else if (A == "--fail-on-zero-dyn")
       FailZeroDyn = true;
+    else if (A == "--profile")
+      WantProfile = true;
+    else if (A.rfind("--profile-json=", 0) == 0)
+      ProfileJsonPath = A.substr(15);
+    else if (A.rfind("--diff-pcc=", 0) == 0)
+      DiffPccPath = A.substr(11);
+    else if (A.rfind("--fail-attribution-below=", 0) == 0)
+      FailAttrBelow = atof(A.c_str() + 25);
     else if (A.rfind("--threshold=", 0) == 0)
       ThresholdPct = atof(A.c_str() + 12);
     else if (A.rfind("--time-threshold=", 0) == 0)
       TimeThresholdPct = atof(A.c_str() + 17);
-    else if (A.rfind("--check-bench=", 0) == 0) {
+    else if (A == "--help" || A == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (A.rfind("--check-bench=", 0) == 0) {
       std::string Pair = A.substr(14);
       size_t Colon = Pair.find(':');
-      if (Colon == std::string::npos) {
-        fprintf(stderr, "gg-report: --check-bench wants FRESH:BASELINE\n");
-        return 2;
-      }
+      if (Colon == std::string::npos)
+        return usageError("--check-bench wants FRESH:BASELINE");
       BenchChecks.push_back({Pair.substr(0, Colon), Pair.substr(Colon + 1)});
-    } else if (A[0] == '-') {
-      fprintf(stderr,
-              "usage: gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE] "
-              "[--fail-on-dead-bridge] [--fail-on-zero-dyn] "
-              "[--check-bench=FRESH:BASELINE] [--threshold=PCT] "
-              "[--time-threshold=PCT]\n");
-      return 2;
-    } else
+    } else if (A[0] == '-')
+      return usageError(strf("unknown option \"%s\"", A.c_str()).c_str());
+    else
       Artifacts.push_back(A);
   }
 
+  // An empty invocation has nothing to do: say so instead of silently
+  // exiting 0 (which read as "everything passed" in scripts).
+  if (Artifacts.empty() && BenchChecks.empty() && DiffPccPath.empty())
+    return usageError("no artifacts or actions given");
+
   bool Ok = true;
 
-  // Merge the coverage artifacts and sum phase times from stats artifacts.
+  // Merge the coverage and profile artifacts and sum phase times from
+  // stats artifacts.
   CoverageSnapshot Merged;
-  bool HaveCov = false;
+  ProfileSnapshot MergedProf;
+  bool HaveCov = false, HaveProf = false;
   std::map<std::string, double> PhaseSeconds;
   int StatsFiles = 0;
   for (const std::string &Path : Artifacts) {
@@ -387,6 +683,15 @@ int main(int argc, char **argv) {
       if (!HaveCov)
         Merged = std::move(S);
       HaveCov = true;
+    } else if (Kind == "gg-profile-v1") {
+      ProfileSnapshot S;
+      if (!S.parse(V, Err) || (HaveProf && !MergedProf.merge(S, Err))) {
+        fprintf(stderr, "gg-report: %s: %s\n", Path.c_str(), Err.c_str());
+        return 1;
+      }
+      if (!HaveProf)
+        MergedProf = std::move(S);
+      HaveProf = true;
     } else if (Kind == "gg-stats-v1") {
       ++StatsFiles;
       if (const JsonValue *Vals = V.find("values"))
@@ -400,16 +705,22 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Rebuild the target once to name ids in both report halves — only
+  // trusted when an artifact was produced by a grammar/tables identical
+  // to what we just built.
+  std::unique_ptr<VaxTarget> Target;
+  std::string TargetFp;
+  if (HaveCov || HaveProf) {
+    std::string Err;
+    Target = VaxTarget::create(Err);
+    if (Target)
+      TargetFp = VaxTarget::fingerprint(Target->grammar(), Target->packed());
+  }
+
   if (HaveCov) {
     CoverageReport Report;
     Report.Cov = std::move(Merged);
-    // Rebuild the target to name ids — only trusted when the artifact was
-    // produced by a grammar/tables identical to what we just built.
-    std::string Err;
-    std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
-    if (Target &&
-        VaxTarget::fingerprint(Target->grammar(), Target->packed()) ==
-            Report.Cov.Fingerprint)
+    if (Target && TargetFp == Report.Cov.Fingerprint)
       Report.Target = Target.get();
     if (!Report.print(Top, FailDeadBridge, FailZeroDyn))
       Ok = false;
@@ -422,8 +733,64 @@ int main(int argc, char **argv) {
       }
       Out << Report.Cov.toJson() << "\n";
     }
+    Merged = std::move(Report.Cov); // keep for the profile coverage join
   } else if (FailDeadBridge || FailZeroDyn || !MergedJsonPath.empty()) {
-    fprintf(stderr, "gg-report: no gg-coverage-v1 artifacts given\n");
+    fprintf(stderr, "gg-report: --fail-on-dead-bridge, --fail-on-zero-dyn "
+                    "and --json need at least one gg-coverage-v1 artifact "
+                    "(none of the given files had that schema)\n");
+    return 1;
+  }
+
+  if (WantProfile && !HaveProf) {
+    fprintf(stderr, "gg-report: --profile needs at least one gg-profile-v1 "
+                    "artifact (none of the given files had that schema)\n");
+    return 1;
+  }
+  if (HaveProf) {
+    ProfileReport Report;
+    Report.Prof = std::move(MergedProf);
+    if (Target && TargetFp == Report.Prof.Fingerprint)
+      Report.Target = Target.get();
+    if (HaveCov)
+      Report.Cov = &Merged;
+    Report.print(Top);
+    if (FailAttrBelow >= 0) {
+      double Attr = Report.attributedPct();
+      if (Attr < FailAttrBelow) {
+        fprintf(stderr,
+                "gg-report: attributed phase time %.1f%% of cg.total is "
+                "below the --fail-attribution-below=%.1f%% gate\n",
+                Attr, FailAttrBelow);
+        Ok = false;
+      }
+    }
+    if (!ProfileJsonPath.empty()) {
+      std::ofstream Out(ProfileJsonPath);
+      if (!Out) {
+        fprintf(stderr, "gg-report: cannot write %s\n",
+                ProfileJsonPath.c_str());
+        return 1;
+      }
+      Out << Report.Prof.toJson() << "\n";
+    }
+    if (!DiffPccPath.empty()) {
+      std::string Text, Err;
+      JsonValue V;
+      ProfileSnapshot Pcc;
+      if (!readFile(DiffPccPath, Text) || !parseJson(Text, V, Err) ||
+          !Pcc.parse(V, Err)) {
+        if (!Err.empty())
+          fprintf(stderr, "gg-report: %s: %s\n", DiffPccPath.c_str(),
+                  Err.c_str());
+        return 1;
+      }
+      Report.diffPcc(Pcc);
+    }
+  } else if (FailAttrBelow >= 0 || !ProfileJsonPath.empty() ||
+             !DiffPccPath.empty()) {
+    fprintf(stderr, "gg-report: --diff-pcc, --profile-json and "
+                    "--fail-attribution-below need at least one "
+                    "gg-profile-v1 artifact\n");
     return 1;
   }
 
