@@ -9,6 +9,10 @@
 //                 [--profile=off|instr|perf[,cycles|,steps]]
 //                 [--profile-json=FILE]
 //   compile_minic --gen-corpus=N [--threads=N] [--coverage-json=FILE] ...
+//   compile_minic --serve[=SOCKET] [--serve-workers=N]
+//                 [--serve-deadline-ms=N] [--serve-max-steps=N]
+//                 [--serve-max-arena=BYTES] [--serve-grace-ms=N]
+//                 [--serve-allow-crash] [--serve-generation=N]
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
 // concurrency); the output is byte-identical at any thread count.
@@ -33,13 +37,28 @@
 // --no-recover disables the degradation ladder so the first syntactic
 // block fails the module (the pre-ladder behavior).
 //
+// --serve runs the fault-isolated compile daemon (docs/server.md): load
+// the tables once (self-verified through the v2 serializer), then serve
+// framed compile requests over stdin/stdout — or over a Unix socket with
+// --serve=PATH — dispatching onto the work-stealing pool with
+// per-request deadlines, step/memory budgets and a watchdog. The
+// supervisor loop lives in scripts/serve.sh.
+//
+// Exit codes (support/ExitCodes.h): 0 success, 1 recoverable compile
+// failure, 2 usage error, 3 fatal fault (broken description/tables —
+// restarting will not help).
+//
 //===----------------------------------------------------------------------===//
 
 #include "cg/CodeGenerator.h"
+#include "cg/CompileService.h"
 #include "frontend/Parser.h"
 #include "pcc/PccCodeGen.h"
 #include "support/CliOptions.h"
+#include "support/ExitCodes.h"
+#include "support/Server.h"
 #include "support/Stats.h"
+#include "support/Strings.h"
 #include "workload/ProgramGen.h"
 
 #include <cstdio>
@@ -88,7 +107,7 @@ static int runCorpus(int Cases, const VaxTarget &Target, CodeGenOptions Opts,
       fprintf(stderr, "gen-corpus case %d: frontend rejected its own "
                       "program:\n%s",
               Case, Diags.renderAll().c_str());
-      return 1;
+      return ExitCompileFailure;
     }
     Opts.Parallel.Threads =
         PinnedThreads >= 0 ? PinnedThreads : ThreadCycle[Case % 4];
@@ -96,16 +115,33 @@ static int runCorpus(int Cases, const VaxTarget &Target, CodeGenOptions Opts,
     std::string Asm, Err;
     if (!CG.compile(Prog, Asm, Err)) {
       fprintf(stderr, "gen-corpus case %d: %s\n", Case, Err.c_str());
-      return 1;
+      return ExitCompileFailure;
     }
   }
   fprintf(stderr, "gen-corpus: compiled %d programs\n", Cases);
-  return 0;
+  return ExitOk;
+}
+
+/// Parses the integer value of `--NAME=N` into \p Out; reports and
+/// returns false on garbage. \p Arg must already match the prefix.
+static bool serveIntValue(const std::string &Arg, size_t PrefixLen,
+                          int64_t Min, int64_t Max, uint64_t &Out) {
+  std::optional<int64_t> N = parseInt(
+      std::string_view(Arg).substr(PrefixLen));
+  if (!N || *N < Min || *N > Max) {
+    fprintf(stderr, "bad value in %s\n", Arg.c_str());
+    return false;
+  }
+  Out = static_cast<uint64_t>(*N);
+  return true;
 }
 
 int main(int argc, char **argv) {
   const char *File = nullptr;
   bool UsePcc = false, Trace = false, Stats = false;
+  bool ServeMode = false;
+  std::string ServeSocket;
+  ServerOptions SOpts;
   int CorpusCases = -1;
   CodeGenOptions Opts;
   CommonDriverOptions Common;
@@ -115,7 +151,7 @@ int main(int argc, char **argv) {
     case CliParse::Ok:
       continue;
     case CliParse::Bad:
-      return 2;
+      return ExitUsage;
     case CliParse::NotMine:
       break;
     }
@@ -142,35 +178,86 @@ int main(int argc, char **argv) {
       long N = strtol(A.c_str() + 13, &End, 10);
       if (!End || *End || N < 1 || N > 100000) {
         fprintf(stderr, "bad --gen-corpus value: %s\n", A.c_str());
-        return 2;
+        return ExitUsage;
       }
       CorpusCases = static_cast<int>(N);
+    } else if (A == "--serve") {
+      ServeMode = true;
+    } else if (A.rfind("--serve=", 0) == 0) {
+      ServeMode = true;
+      ServeSocket = A.substr(8);
+      if (ServeSocket.empty()) {
+        fprintf(stderr, "--serve= requires a socket path\n");
+        return ExitUsage;
+      }
+    } else if (A.rfind("--serve-workers=", 0) == 0) {
+      uint64_t V;
+      if (!serveIntValue(A, 16, 0, 1024, V))
+        return ExitUsage;
+      SOpts.Workers = static_cast<int>(V);
+    } else if (A.rfind("--serve-deadline-ms=", 0) == 0) {
+      if (!serveIntValue(A, 20, 0, 86400000, SOpts.DefaultDeadlineMs))
+        return ExitUsage;
+    } else if (A.rfind("--serve-max-steps=", 0) == 0) {
+      if (!serveIntValue(A, 18, 0, INT64_MAX, SOpts.DefaultMaxSteps))
+        return ExitUsage;
+    } else if (A.rfind("--serve-max-arena=", 0) == 0) {
+      if (!serveIntValue(A, 18, 0, INT64_MAX, SOpts.DefaultMaxArenaBytes))
+        return ExitUsage;
+    } else if (A.rfind("--serve-grace-ms=", 0) == 0) {
+      if (!serveIntValue(A, 17, 1, 600000, SOpts.WatchdogGraceMs))
+        return ExitUsage;
+    } else if (A == "--serve-allow-crash") {
+      SOpts.AllowCrash = true;
+    } else if (A.rfind("--serve-generation=", 0) == 0) {
+      if (!serveIntValue(A, 19, 0, INT64_MAX, SOpts.Generation))
+        return ExitUsage;
     } else if (A[0] == '-') {
       fprintf(stderr, "unknown option %s\n", A.c_str());
-      return 2;
+      return ExitUsage;
     } else
       File = argv[I];
   }
-  if (!File && CorpusCases < 0) {
+  if (!File && CorpusCases < 0 && !ServeMode) {
     fprintf(stderr,
             "usage: compile_minic FILE [--backend=gg|pcc] [--trace] "
             "[--no-idioms] [--no-reverse-ops] [--no-recover] [--stats] "
             "[--explain] %s\n"
-            "       compile_minic --gen-corpus=N [common options]\n",
+            "       compile_minic --gen-corpus=N [common options]\n"
+            "       compile_minic --serve[=SOCKET] [--serve-workers=N] "
+            "[--serve-deadline-ms=N] [--serve-max-steps=N] "
+            "[--serve-max-arena=BYTES] [--serve-grace-ms=N] "
+            "[--serve-allow-crash] [--serve-generation=N]\n",
             commonDriverUsage());
-    return 2;
+    return ExitUsage;
   }
   TelemetryDump Dump(Common);
   Opts.Trace = Trace;
   if (Common.Threads >= 0)
     Opts.Parallel.Threads = Common.Threads;
 
+  if (ServeMode) {
+    // Daemon mode: build + self-verify the shared tables once, then serve
+    // until Shutdown/EOF. A startup failure (broken description, the
+    // corrupt-table fault) is fatal: restarting cannot fix it, and
+    // scripts/serve.sh gives up instead of respawning.
+    std::string Err;
+    std::unique_ptr<CompileService> Svc = CompileService::create(Err, Opts);
+    if (!Svc) {
+      fprintf(stderr, "serve: %s\n", Err.c_str());
+      return ExitFatalFault;
+    }
+    Server S(Svc->handler(), SOpts);
+    return ServeSocket.empty() ? S.serveFds(0, 1)
+                               : S.serveUnixSocket(ServeSocket);
+  }
+
   if (CorpusCases >= 0) {
     std::string Err;
     std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
     if (!Target) {
       fprintf(stderr, "%s\n", Err.c_str());
-      return 1;
+      return ExitFatalFault;
     }
     return runCorpus(CorpusCases, *Target, Opts, Common.Threads);
   }
@@ -178,7 +265,7 @@ int main(int argc, char **argv) {
   std::ifstream In(File);
   if (!In) {
     fprintf(stderr, "cannot open %s\n", File);
-    return 1;
+    return ExitCompileFailure;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
@@ -187,7 +274,7 @@ int main(int argc, char **argv) {
   DiagnosticSink Diags;
   if (!compileMiniC(Buffer.str(), Prog, Diags)) {
     fprintf(stderr, "%s", Diags.renderAll().c_str());
-    return 1;
+    return ExitCompileFailure;
   }
 
   std::string Asm, Err;
@@ -195,7 +282,7 @@ int main(int argc, char **argv) {
     PccCodeGenerator CG;
     if (!CG.compile(Prog, Asm, Err)) {
       fprintf(stderr, "%s\n", Err.c_str());
-      return 1;
+      return ExitCompileFailure;
     }
     if (Stats)
       fprintf(stderr, "# pcc: %zu instructions, %zu lines, %.3fs\n",
@@ -205,7 +292,7 @@ int main(int argc, char **argv) {
     std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
     if (!Target) {
       fprintf(stderr, "%s\n", Err.c_str());
-      return 1;
+      return ExitFatalFault;
     }
     GGCodeGenerator CG(*Target, Opts);
     bool Ok = CG.compile(Prog, Asm, Err);
@@ -213,7 +300,7 @@ int main(int argc, char **argv) {
       fputs(CG.diagnostics().renderAll().c_str(), stderr);
     if (!Ok) {
       fprintf(stderr, "%s\n", Err.c_str());
-      return 1;
+      return ExitCompileFailure;
     }
     if (Trace)
       fprintf(stderr, "%s", CG.trace().c_str());
@@ -221,5 +308,5 @@ int main(int argc, char **argv) {
       printGGStats(CG.stats());
   }
   fputs(Asm.c_str(), stdout);
-  return 0;
+  return ExitOk;
 }

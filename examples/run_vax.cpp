@@ -39,6 +39,7 @@
 #include "ir/Interp.h"
 #include "pcc/PccCodeGen.h"
 #include "support/CliOptions.h"
+#include "support/ExitCodes.h"
 #include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -72,7 +73,7 @@ int main(int argc, char **argv) {
     case CliParse::Ok:
       continue;
     case CliParse::Bad:
-      return 2;
+      return ExitUsage;
     case CliParse::NotMine:
       break;
     }
@@ -88,7 +89,7 @@ int main(int argc, char **argv) {
   if (!File) {
     fprintf(stderr, "usage: run_vax FILE [--backend=gg|pcc] [--compare] %s\n",
             commonDriverUsage());
-    return 2;
+    return ExitUsage;
   }
   if (Common.Threads >= 0)
     GGOpts.Parallel.Threads = Common.Threads;
@@ -96,7 +97,7 @@ int main(int argc, char **argv) {
   std::ifstream In(File);
   if (!In) {
     fprintf(stderr, "cannot open %s\n", File);
-    return 1;
+    return ExitCompileFailure;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
@@ -105,8 +106,10 @@ int main(int argc, char **argv) {
   std::string Err;
   std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
   if (!Target) {
+    // A description that fails to build is a fatal fault: no retry or
+    // restart can help (support/ExitCodes.h).
     fprintf(stderr, "%s\n", Err.c_str());
-    return 1;
+    return ExitFatalFault;
   }
 
   // corrupt-table fault: round-trip the freshly built tables through the
@@ -163,11 +166,11 @@ int main(int argc, char **argv) {
   if (Compare) {
     Program P;
     if (!loadProgram(Source, P))
-      return 1;
+      return ExitCompileFailure;
     InterpResult Oracle = interpret(P);
     SimResult G, B;
     if (!RunGG(G) || !RunPcc(B))
-      return 1;
+      return ExitCompileFailure;
     printf("== interpreter: ret=%lld steps=%llu\n%s",
            (long long)Oracle.ReturnValue,
            (unsigned long long)Oracle.Steps, Oracle.Output.c_str());
@@ -184,19 +187,19 @@ int main(int argc, char **argv) {
                  Oracle.ReturnValue == G.ReturnValue &&
                  Oracle.ReturnValue == B.ReturnValue;
     printf("== %s\n", Agree ? "ALL ENGINES AGREE" : "MISMATCH");
-    return Agree ? 0 : 1;
+    return Agree ? ExitOk : ExitCompileFailure;
   }
 
   SimResult R;
   if (!(UsePcc ? RunPcc(R) : RunGG(R)))
-    return 1;
+    return ExitCompileFailure;
   if (!R.Ok) {
     fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
-    return 1;
+    return ExitCompileFailure;
   }
   fputs(R.Output.c_str(), stdout);
   fprintf(stderr, "exit=%lld instructions=%llu cycles=%llu\n",
           (long long)R.ReturnValue, (unsigned long long)R.Instructions,
           (unsigned long long)R.Cycles);
-  return 0;
+  return ExitOk;
 }

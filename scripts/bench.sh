@@ -4,7 +4,9 @@
 #   scripts/bench.sh [--build-dir DIR] [--check] [--update]
 #
 # Runs the deterministic bench suites (E3 compile speed, E5 phase
-# breakdown, E7 code quality) with --baseline-json and either:
+# breakdown, E7 code quality) with --baseline-json, plus the compile
+# server throughput run (gg-load against a live --serve daemon), and
+# either:
 #
 #   --update (default)  writes BENCH_compile_speed.json,
 #                       BENCH_phase_breakdown.json and
@@ -32,7 +34,8 @@ while [ $# -gt 0 ]; do
 done
 
 for bin in bench/bench_compile_speed bench/bench_phase_breakdown \
-           bench/bench_code_quality tools/gg-report; do
+           bench/bench_code_quality tools/gg-report tools/gg-load \
+           examples/compile_minic; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "bench.sh: $BUILD_DIR/$bin missing (build the tree first)" >&2
     exit 1
@@ -47,8 +50,13 @@ if [ "$MODE" = update ]; then
       --baseline-json="$ROOT/BENCH_phase_breakdown.json" > /dev/null
   "$BUILD_DIR/bench/bench_code_quality" \
       --baseline-json="$ROOT/BENCH_code_quality.json" > /dev/null
+  rm -f "$BUILD_DIR/bench-serve.sock"
+  "$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \
+      --spawn="$BUILD_DIR/examples/compile_minic" \
+      --requests=200 --clients=4 --corpus=16 --verify \
+      --bench-json="$ROOT/BENCH_server_throughput.json" > /dev/null
   echo "   BENCH_compile_speed.json BENCH_phase_breakdown.json" \
-       "BENCH_code_quality.json"
+       "BENCH_code_quality.json BENCH_server_throughput.json"
   exit 0
 fi
 
@@ -61,7 +69,13 @@ mkdir -p "$FRESH"
     --baseline-json="$FRESH/phase_breakdown.json" > /dev/null
 "$BUILD_DIR/bench/bench_code_quality" \
     --baseline-json="$FRESH/code_quality.json" > /dev/null
+rm -f "$BUILD_DIR/bench-serve.sock"
+"$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \
+    --spawn="$BUILD_DIR/examples/compile_minic" \
+    --requests=200 --clients=4 --corpus=16 --verify \
+    --bench-json="$FRESH/server_throughput.json" > /dev/null
 "$BUILD_DIR/tools/gg-report" \
     --check-bench="$FRESH/compile_speed.json:$ROOT/BENCH_compile_speed.json" \
     --check-bench="$FRESH/phase_breakdown.json:$ROOT/BENCH_phase_breakdown.json" \
-    --check-bench="$FRESH/code_quality.json:$ROOT/BENCH_code_quality.json"
+    --check-bench="$FRESH/code_quality.json:$ROOT/BENCH_code_quality.json" \
+    --check-bench="$FRESH/server_throughput.json:$ROOT/BENCH_server_throughput.json"

@@ -22,9 +22,14 @@
 #    gg-report --profile, gates on >= 90% of the GG wall time being
 #    attributed to instrumented phases, and asserts the steps-timebase
 #    artifact is byte-identical across worker counts,
-# 7. runs the benchmark regression sentinel: fresh deterministic bench
+# 7. runs the compile-server smoke: a live `compile_minic --serve`
+#    daemon (docs/server.md) under the sanitizers takes >= 1000 gg-load
+#    corpus requests across the whole fault matrix plus a supervisor
+#    crash drill — zero process deaths, non-faulted responses
+#    byte-identical to single-shot,
+# 8. runs the benchmark regression sentinel: fresh deterministic bench
 #    metrics vs the committed BENCH_*.json baselines (scripts/bench.sh),
-# 8. builds the parallel-determinism test under -fsanitize=thread and runs
+# 9. builds the parallel-determinism test under -fsanitize=thread and runs
 #    it: the work-stealing compile pipeline must be race-free, not just
 #    deterministic.
 #
@@ -136,6 +141,29 @@ grep -q "checksum" "$TMP/corrupt.err" ||
     exit 1; }
 echo "   corrupt-table: loader rejected the file via its checksum"
 
+# oom-arena exhausts the node arenas mid-pipeline. Memory exhaustion is
+# NOT recoverable via the ladder (a fallback would just exhaust again),
+# so the contract is a *clean* failure: ExitCompileFailure (1) — never a
+# crash or sanitizer abort — an arena diagnostic, and the exhaustion
+# visible in fault telemetry. A generous cap must never bite.
+set +e
+"$BUILD_DIR"/examples/run_vax examples/programs/sieve.c \
+  --fault=oom-arena --stats-json="$TMP/oom.stats.json" \
+  >/dev/null 2>"$TMP/oom.err"
+oom_code=$?
+set -e
+[[ "$oom_code" -eq 1 ]] ||
+  { echo "oom-arena: expected clean exit 1, got $oom_code" >&2; exit 1; }
+grep -qi "arena" "$TMP/oom.err" ||
+  { echo "oom-arena run produced no arena diagnostic" >&2; exit 1; }
+grep -q '"fault.arena_exhaustions":[1-9]' "$TMP/oom.stats.json" ||
+  { echo "oom-arena exhaustion missing from stats artifact" >&2; exit 1; }
+"$BUILD_DIR"/examples/run_vax examples/programs/sieve.c \
+  --fault=oom-arena=268435456 >"$TMP/oom.roomy.out" 2>/dev/null
+cmp -s "$TMP/sieve.base.out" "$TMP/oom.roomy.out" ||
+  { echo "output diverged under a generous oom-arena cap" >&2; exit 1; }
+echo "   oom-arena: clean failure at 4KiB cap, identical output at 256MiB"
+
 echo "== coverage smoke (gg-coverage-v1 artifacts through gg-report)"
 # The generated corpus plus every example program covers the common table
 # paths; the bridge program is hand-written to reach all three section
@@ -233,6 +261,70 @@ fi
 grep -q "usage:" "$TMP/noargs.err" ||
   { echo "gg-report no-args path printed no usage" >&2; exit 1; }
 echo "   gg-report no-args path: usage diagnostic, nonzero exit"
+
+echo "== compile-server smoke (daemon, quarantine, crash-only recovery)"
+# 50 clean corpus programs through a live `compile_minic --serve` daemon
+# (under the sanitizers): gg-load exits nonzero on any verify mismatch,
+# client give-up, or unclean server death, so success here means zero
+# process deaths and every response byte-identical to single-shot.
+rm -f "$TMP/serve.sock"
+"$BUILD_DIR"/tools/gg-load --socket="$TMP/serve.sock" \
+  --spawn="$BUILD_DIR"/examples/compile_minic \
+  --requests=50 --clients=4 --corpus=50 --verify \
+  >"$TMP/serve.smoke.out" 2>&1 ||
+  { echo "server smoke failed" >&2; cat "$TMP/serve.smoke.out" >&2; exit 1; }
+sed -n 's/^gg-load: /   /p' "$TMP/serve.smoke.out" | head -2
+
+# Fault-matrix soak: >= 1000 requests spread across every injectable
+# fault (including stall-worker and oom-arena) against live servers.
+# Faults are process-deterministic, so gg-load --verify checks that
+# non-faulted responses are byte-identical to single-shot and requests a
+# fault actually hit are quarantined or recovered, never fatal: the soak
+# fails on any server death, give-up, or byte mismatch.
+for fault in none drop-prod=push_l truncate-input=3 cap-regs=1 \
+             stall-worker oom-arena=1000000; do
+  rm -f "$TMP/serve.sock"
+  if [[ "$fault" == none ]]; then unset GG_FAULT; else export GG_FAULT="$fault"; fi
+  "$BUILD_DIR"/tools/gg-load --socket="$TMP/serve.sock" \
+    --spawn="$BUILD_DIR"/examples/compile_minic \
+    --requests=175 --clients=4 --corpus=12 --verify \
+    >"$TMP/serve.soak.out" 2>&1 ||
+    { echo "server soak failed under fault=$fault" >&2
+      cat "$TMP/serve.soak.out" >&2; exit 1; }
+  unset GG_FAULT
+  echo "   fault=$fault: $(sed -n 's/^gg-load: \([0-9]* requests.*\)/\1/p' \
+    "$TMP/serve.soak.out")"
+done
+
+# corrupt-table is the one fault a server must NOT serve through: startup
+# self-verification fails, the process exits 3 (fatal fault), and the
+# supervisor propagates that instead of restart-looping a doomed binary.
+set +e
+GG_FAULT=corrupt-table scripts/serve.sh "$BUILD_DIR"/examples/compile_minic \
+  --serve="$TMP/serve.sock" >/dev/null 2>&1
+fatal_code=$?
+set -e
+[[ "$fatal_code" -eq 3 ]] ||
+  { echo "supervisor under corrupt-table: expected exit 3, got $fatal_code" >&2
+    exit 1; }
+echo "   corrupt-table: server refused startup, supervisor gave up (exit 3)"
+
+# Crash drill: Crash frames kill the server mid-soak; scripts/serve.sh
+# restarts it with backoff and clients replay their in-flight requests.
+# Every response must still be byte-identical despite the restarts.
+rm -f "$TMP/serve.sock"
+"$BUILD_DIR"/tools/gg-load --socket="$TMP/serve.sock" \
+  --spawn=scripts/serve.sh \
+  --serve-arg="$BUILD_DIR"/examples/compile_minic \
+  --serve-arg=--serve-allow-crash \
+  --requests=60 --clients=4 --corpus=8 --crash-every=20 --verify \
+  >"$TMP/serve.crash.out" 2>&1 ||
+  { echo "crash drill failed" >&2; cat "$TMP/serve.crash.out" >&2; exit 1; }
+restarts=$(grep -c "restart #" "$TMP/serve.crash.out" || true)
+[[ "$restarts" -ge 1 ]] ||
+  { echo "crash drill never exercised a supervisor restart" >&2; exit 1; }
+sed -n 's/^gg-load: /   /p' "$TMP/serve.crash.out" | head -2
+echo "   crash drill: $restarts supervisor restarts, zero lost requests"
 
 echo "== benchmark regression sentinel (vs committed BENCH_*.json)"
 scripts/bench.sh --check --build-dir "$BUILD_DIR"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+# serve.sh - crash-only supervisor for the compile server (docs/server.md).
+#
+#   scripts/serve.sh BIN --serve=SOCKET [extra compile_minic args...]
+#
+# Argument order is free-form: the first non-flag argument is the server
+# binary, --serve=PATH names the socket, everything else is forwarded
+# verbatim. (gg-load --spawn=scripts/serve.sh relies on this: it execs
+# `serve.sh --serve=SOCK BIN extras...`.)
+#
+# Runs `BIN --serve=SOCKET ...` in a restart loop. The supervisor contract
+# is deliberately minimal ("crash-only software": recovery IS the normal
+# startup path, there is no special crashed state to repair):
+#
+#   exit 0 (ExitOk)          clean shutdown (Shutdown frame) -> stop.
+#   exit 2 (ExitUsage)       our own invocation is wrong      -> stop.
+#   exit 3 (ExitFatalFault)  restart won't help (broken machine
+#                            description, corrupt table image) -> stop,
+#                            propagating exit 3.
+#   anything else / signals  crash -> restart with capped exponential
+#                            backoff (100ms doubling to 5s), stale socket
+#                            unlinked first.
+#
+# A restart that survives PROVE_MS (5s) resets the backoff, so a server
+# that crashes once a day never pays more than the initial 100ms.
+# In-flight requests lost to a crash are NOT our problem: clients
+# (tools/gg_load.cpp) reconnect and replay at most once, which is safe
+# because a response is a pure function of the request. Each restart
+# passes --serve-generation=N so the server's server.restarts stats
+# counter reflects supervisor history in gg-stats-v1 dumps.
+#===------------------------------------------------------------------------===#
+set -u
+
+BIN=
+SOCKET=
+EXTRA=()
+for ARG in "$@"; do
+  case "$ARG" in
+    --serve=*) SOCKET=${ARG#--serve=} ;;
+    --*)       EXTRA+=("$ARG") ;;
+    *)
+      if [ -z "$BIN" ]; then BIN=$ARG; else EXTRA+=("$ARG"); fi ;;
+  esac
+done
+
+if [ -z "$BIN" ] || [ -z "$SOCKET" ]; then
+  echo "usage: serve.sh BIN --serve=SOCKET [extra args...]" >&2
+  exit 2
+fi
+
+if [ ! -x "$BIN" ]; then
+  echo "serve.sh: $BIN is not executable" >&2
+  exit 2
+fi
+
+BACKOFF_MS=100
+MAX_BACKOFF_MS=5000
+PROVE_MS=5000
+GENERATION=0
+CHILD=0
+
+# Forward termination to the child and stop supervising: the supervisor
+# itself must die cleanly when its operator kills it.
+trap 'if [ "$CHILD" -ne 0 ]; then kill -TERM "$CHILD" 2>/dev/null; wait "$CHILD" 2>/dev/null; fi; rm -f "$SOCKET"; exit 0' TERM INT
+
+while :; do
+  rm -f "$SOCKET"
+  START_MS=$(( $(date +%s%N) / 1000000 ))
+  "$BIN" --serve="$SOCKET" --serve-generation="$GENERATION" "${EXTRA[@]+"${EXTRA[@]}"}" &
+  CHILD=$!
+  wait "$CHILD"
+  CODE=$?
+  CHILD=0
+  END_MS=$(( $(date +%s%N) / 1000000 ))
+
+  case "$CODE" in
+    0)
+      rm -f "$SOCKET"
+      exit 0 ;;
+    2)
+      echo "serve.sh: server rejected our invocation (exit 2), not retrying" >&2
+      rm -f "$SOCKET"
+      exit 2 ;;
+    3)
+      echo "serve.sh: fatal fault (exit 3): restart cannot help, giving up" >&2
+      rm -f "$SOCKET"
+      exit 3 ;;
+  esac
+
+  GENERATION=$(( GENERATION + 1 ))
+  if [ $(( END_MS - START_MS )) -ge "$PROVE_MS" ]; then
+    BACKOFF_MS=100
+  fi
+  echo "serve.sh: server died (exit $CODE), restart #$GENERATION in ${BACKOFF_MS}ms" >&2
+  sleep "$(awk "BEGIN { print $BACKOFF_MS / 1000 }")"
+  BACKOFF_MS=$(( BACKOFF_MS * 2 ))
+  if [ "$BACKOFF_MS" -gt "$MAX_BACKOFF_MS" ]; then
+    BACKOFF_MS=$MAX_BACKOFF_MS
+  fi
+done

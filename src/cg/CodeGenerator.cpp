@@ -30,9 +30,10 @@ void touchSchemaKeys() {
           "cg.parallel.steals", "match.trees",
           "match.shifts", "match.reduces", "match.dynamic_ties",
           "match.chooser_invocations", "match.syntactic_blocks",
-          "match.depth_cap_hits", "fault.productions_dropped",
+          "match.depth_cap_hits", "match.budget_stops",
+          "fault.productions_dropped",
           "fault.trees_truncated", "fault.table_bytes_corrupted",
-          "fault.worker_stalls",
+          "fault.worker_stalls", "fault.arena_exhaustions",
           "phase1.cond_branch_rewrites", "phase1.bool_value_rewrites",
           "phase1.calls_factored", "phase1.constants_folded",
           "phase1.canonicalizations", "phase1.subtrees_swapped",
@@ -115,8 +116,11 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
   Timer MatchT, GenT;
   // Worker-private arena: Ret/CallStmt copy trees and the fallback
   // generator's splitter temporaries must not contend on the program's
-  // shared arena while other workers compile.
+  // shared arena while other workers compile. The request budget's byte
+  // cap applies to each arena individually.
   NodeArena LocalArena;
+  if (Opts.Budget && Opts.Budget->MaxArenaBytes)
+    LocalArena.setLimitBytes(Opts.Budget->MaxArenaBytes);
 
   Emit.blank();
   Emit.directive(strf(".globl %s", Prog.Syms.text(F.Name).c_str()));
@@ -130,6 +134,33 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
   VaxSemantics Sem(Emit, F, Opts.Idioms);
 
   auto CompileTree = [&](Node *Tree) -> bool {
+    // Quarantine checks at tree granularity: a stopped budget or an
+    // exhausted arena fails the function outright. Neither runs the PCC
+    // fallback — an exhausted request must fail fast, not spend more of
+    // its worker on the slower path.
+    if (Opts.Budget && Opts.Budget->shouldStop(0)) {
+      ++R.BlockedTrees;
+      ++gg::stats().counter("cg.blocked_trees");
+      R.Err = strf("request budget exhausted (%s) before tree: %s",
+                   budgetStopName(Opts.Budget->Stopped.load(
+                       std::memory_order_relaxed)),
+                   printLinear(Tree, Prog.Syms).c_str());
+      R.Diags.error(R.Err);
+      return false;
+    }
+    if (LocalArena.exhausted()) {
+      if (Opts.Budget)
+        Opts.Budget->stop(BudgetStop::Memory);
+      ++R.BlockedTrees;
+      ++gg::stats().counter("cg.blocked_trees");
+      R.Err = strf("node arena byte budget exhausted (%zu bytes) before "
+                   "tree: %s",
+                   LocalArena.bytes(),
+                   printLinear(Tree, Prog.Syms).c_str());
+      R.Diags.error(R.Err);
+      return false;
+    }
+
     std::vector<LinToken> Input;
     MatchResult MR;
     // Everything this tree emits sits after the mark; a failed tree is
@@ -150,7 +181,7 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
           faultInject().truncatedInputSize(Input.size(), TreeOrdinal++));
       R.MatcherTokens += Input.size();
       ProfilePhaseScope PS(ProfPhase::Match);
-      MR = Target.matcher().match(Input);
+      MR = Target.matcher().match(Input, nullptr, Opts.Budget);
     }
     std::string TreeErr;
     bool TreeOk = MR.Ok;
@@ -185,6 +216,12 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
     // per-statement state, then regenerate it through the PCC baseline.
     ++R.BlockedTrees;
     ++gg::stats().counter("cg.blocked_trees");
+    if (MR.Block && MR.Block->Why == BlockReport::Cause::Budget) {
+      // Budget stops bypass the ladder by design (docs/server.md).
+      R.Err = TreeErr;
+      R.Diags.error(R.Err);
+      return false;
+    }
     if (!Opts.Recover) {
       R.Err = TreeErr;
       return false;
@@ -333,6 +370,19 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
       Stats.Transform.ReverseOpsUsed += TF.ReverseOpsUsed;
       Stats.Transform.SpillSplits += TF.SpillSplits;
     }
+  }
+
+  // Phase 1 allocates from the program's shared arena; an exhausted arena
+  // here (oom-arena fault or a request memory budget applied by the
+  // caller before parsing) is a memory-budget failure for the module.
+  if (Prog.Arena && Prog.Arena->exhausted()) {
+    if (Opts.Budget)
+      Opts.Budget->stop(BudgetStop::Memory);
+    Err = strf("node arena byte budget exhausted (%zu bytes) during tree "
+               "transformation",
+               Prog.Arena->bytes());
+    Diags.error(Err);
+    return false;
   }
 
   // Reserve the whole compile's tree-ordinal block and assign each

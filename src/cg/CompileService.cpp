@@ -1,0 +1,108 @@
+//===- CompileService.cpp - the compile server's handler ----------------------===//
+
+#include "cg/CompileService.h"
+#include "frontend/Parser.h"
+#include "support/FaultInject.h"
+#include "support/Strings.h"
+#include "tablegen/Serialize.h"
+
+using namespace gg;
+
+std::unique_ptr<CompileService> CompileService::create(std::string &Err,
+                                                       CodeGenOptions Base) {
+  auto Svc = std::unique_ptr<CompileService>(new CompileService());
+  Svc->BaseOpts = Base;
+  Svc->Target = VaxTarget::create(Err);
+  if (!Svc->Target)
+    return nullptr;
+
+  // Self-verify the shared table image through the v2 serializer: the
+  // round trip exercises the fingerprint, checksum and bounds checks the
+  // loader applies to on-disk tables, so a server never comes up on a
+  // table image that would not survive a save/load cycle. The
+  // corrupt-table fault lands here (as it does on run_vax's round-trip
+  // path) and turns startup into a fatal fault for the supervisor.
+  std::string Text =
+      serializeTables(Svc->Target->grammar(), Svc->Target->build().Tables);
+  faultInject().corruptTableBody(Text, tableBodyOffset(Text));
+  LRTables Loaded;
+  DiagnosticSink Diags;
+  if (!deserializeTables(Text, Svc->Target->grammar(), Loaded, Diags)) {
+    Err = strf("table self-verification failed at startup:\n%s",
+               Diags.renderAll().c_str());
+    return nullptr;
+  }
+  return Svc;
+}
+
+/// Maps a budget's stop cause to the wire status (BudgetStop::Cancelled
+/// means the watchdog cancelled us at the deadline, so it reports as
+/// Deadline; a forced Watchdog status is published by the server itself).
+static ResponseStatus statusForStop(BudgetStop S) {
+  switch (S) {
+  case BudgetStop::Cancelled:
+  case BudgetStop::Deadline:
+    return ResponseStatus::Deadline;
+  case BudgetStop::Steps:
+    return ResponseStatus::StepBudget;
+  case BudgetStop::Memory:
+    return ResponseStatus::MemBudget;
+  case BudgetStop::None:
+    break;
+  }
+  return ResponseStatus::CompileError;
+}
+
+HandlerResult CompileService::compile(const RequestMsg &Req,
+                                      RequestBudget &Budget) const {
+  HandlerResult R;
+
+  // A request that spent its whole deadline queueing is already dead.
+  if (Budget.shouldStop(0)) {
+    R.Status = statusForStop(Budget.Stopped.load(std::memory_order_relaxed));
+    R.Payload = strf("request budget exhausted (%s) before compilation",
+                     budgetStopName(
+                         Budget.Stopped.load(std::memory_order_relaxed)));
+    return R;
+  }
+
+  Program Prog;
+  if (Budget.MaxArenaBytes)
+    Prog.Arena->setLimitBytes(Budget.MaxArenaBytes);
+  DiagnosticSink FrontendDiags;
+  if (!compileMiniC(Req.Source, Prog, FrontendDiags)) {
+    R.Status = ResponseStatus::CompileError;
+    R.Payload = FrontendDiags.renderAll();
+    return R;
+  }
+  if (Prog.Arena->exhausted()) {
+    Budget.stop(BudgetStop::Memory);
+    R.Status = ResponseStatus::MemBudget;
+    R.Payload = strf("node arena byte budget exhausted (%zu bytes) during "
+                     "parsing",
+                     Prog.Arena->bytes());
+    return R;
+  }
+
+  // One worker per request: the server parallelizes across requests, so
+  // a wedged or slow request can never occupy more than one pool worker.
+  CodeGenOptions Opts = BaseOpts;
+  Opts.Parallel.Threads = 1;
+  Opts.Budget = &Budget;
+
+  GGCodeGenerator CG(*Target, Opts);
+  std::string Asm, Err;
+  bool Ok = CG.compile(Prog, Asm, Err);
+  R.BlockedTrees = static_cast<uint32_t>(CG.stats().BlockedTrees);
+  R.RecoveredTrees = static_cast<uint32_t>(CG.stats().RecoveredTrees);
+  if (Ok) {
+    R.Status = ResponseStatus::Ok;
+    R.Payload = std::move(Asm);
+    return R;
+  }
+  R.Status = statusForStop(Budget.Stopped.load(std::memory_order_relaxed));
+  R.Payload = CG.diagnostics().all().empty()
+                  ? Err
+                  : CG.diagnostics().renderAll();
+  return R;
+}

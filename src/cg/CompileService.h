@@ -1,0 +1,72 @@
+//===- CompileService.h - the compile server's handler ----------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile logic behind `compile_minic --serve` (docs/server.md),
+/// bridging the transport-level Server (support/Server.h) to the real
+/// pipeline: MiniC frontend -> table-driven code generator -> per-tree PCC
+/// fallback, exactly the single-shot driver path.
+///
+/// Startup builds the grammar and tables once and *self-verifies* them
+/// through the v2 serializer: the tables are serialized and immediately
+/// re-loaded through the hardened deserializer, so the server only comes
+/// up on a table image whose checksum, fingerprint, and bounds all check
+/// out (and the corrupt-table fault makes startup fail fatally, which the
+/// supervisor treats as a config error rather than a crash). After that
+/// the target is immutable and shared by every worker.
+///
+/// Each request compiles with Threads=1: the server parallelizes across
+/// requests, not within one, so one wedged request can never hold more
+/// than one worker. Output is a pure function of the request bytes — the
+/// at-most-once client replay after a server crash is safe because a
+/// replayed request reproduces the original response exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_CG_COMPILESERVICE_H
+#define GG_CG_COMPILESERVICE_H
+
+#include "cg/CodeGenerator.h"
+#include "support/Server.h"
+
+#include <memory>
+#include <string>
+
+namespace gg {
+
+/// One immutable compile pipeline serving any number of concurrent
+/// requests.
+class CompileService {
+public:
+  /// Builds the target and runs the v2-serializer self-verification.
+  /// Returns null (with \p Err) when the description fails to build or
+  /// the serialized tables do not load back cleanly — a fatal startup
+  /// fault (ExitFatalFault), never a per-request error.
+  static std::unique_ptr<CompileService> create(std::string &Err,
+                                                CodeGenOptions BaseOpts = {});
+
+  /// Compiles one request under its budget. Never throws, never exits:
+  /// every failure maps to a ResponseStatus. Thread-safe.
+  HandlerResult compile(const RequestMsg &Req, RequestBudget &Budget) const;
+
+  /// The service as a Server-compatible handler.
+  CompileHandler handler() {
+    return [this](const RequestMsg &Req, RequestBudget &Budget) {
+      return compile(Req, Budget);
+    };
+  }
+
+  const VaxTarget &target() const { return *Target; }
+
+private:
+  CompileService() = default;
+  std::unique_ptr<VaxTarget> Target;
+  CodeGenOptions BaseOpts;
+};
+
+} // namespace gg
+
+#endif // GG_CG_COMPILESERVICE_H

@@ -2,9 +2,25 @@
 
 #include "ir/Node.h"
 #include "support/Error.h"
+#include "support/FaultInject.h"
 #include "support/Strings.h"
 
 using namespace gg;
+
+NodeArena::NodeArena() {
+  // The oom-arena fault caps every arena in the process at construction;
+  // request budgets can only tighten this further (setLimitBytes).
+  int64_t Cap = faultInject().arenaCapBytes();
+  if (Cap >= 0)
+    MaxBytes = static_cast<size_t>(Cap);
+}
+
+void NodeArena::noteExhausted() {
+  if (Exhausted)
+    return;
+  Exhausted = true;
+  faultInject().noteArenaExhaustion();
+}
 
 namespace {
 struct OpInfo {

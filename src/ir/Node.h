@@ -105,13 +105,27 @@ public:
 };
 
 /// Bump allocator for nodes; pointers remain valid for the arena's lifetime.
+///
+/// Arenas are byte-budgeted for the request-quarantine layer (and the
+/// `oom-arena` fault): exceeding the cap never returns null — allocation
+/// always yields a valid node, and a sticky exhausted() flag is set
+/// instead. Callers (the frontend between statements, the code generator
+/// between trees and phases) poll the flag at coarse granularity and
+/// degrade structurally, so the hot construction paths stay free of
+/// null-checks. The construction-time default cap comes from the global
+/// fault injector; the compile server tightens it per request via
+/// setLimitBytes.
 class NodeArena {
 public:
+  NodeArena(); ///< applies the oom-arena fault cap, if configured
+
   Node *make(Op O, Ty T) {
     Storage.emplace_back();
     Node &N = Storage.back();
     N.Opcode = O;
     N.Type = T;
+    if (MaxBytes && Storage.size() * sizeof(Node) > MaxBytes)
+      noteExhausted();
     return &N;
   }
 
@@ -198,8 +212,27 @@ public:
 
   size_t size() const { return Storage.size(); }
 
+  /// Node-storage bytes allocated so far (the budgeted quantity).
+  size_t bytes() const { return Storage.size() * sizeof(Node); }
+
+  /// Tightens the byte cap (0 = unlimited). Only ever lowers the
+  /// effective limit when a fault cap is already active.
+  void setLimitBytes(size_t Bytes) {
+    if (Bytes && (!MaxBytes || Bytes < MaxBytes))
+      MaxBytes = Bytes;
+  }
+
+  /// Sticky: true once any allocation exceeded the cap. The arena stays
+  /// usable (allocation never fails); consumers abandon the enclosing
+  /// tree/phase when they see the flag.
+  bool exhausted() const { return Exhausted; }
+
 private:
   std::deque<Node> Storage;
+  size_t MaxBytes = 0;    ///< 0 = unlimited
+  bool Exhausted = false; ///< sticky cap-exceeded flag
+
+  void noteExhausted(); ///< sets the flag, counts fault.arena_exhaustions
 };
 
 /// Renders \p N in the linearized prefix form used throughout the paper,

@@ -61,6 +61,10 @@ std::string BlockReport::render() const {
     Msg = strf("syntactic block in state %d at token %zu ('%s')", State,
                TokenPos, Lookahead.c_str());
     break;
+  case Cause::Budget:
+    Msg = strf("request budget exhausted (%s) in state %d at token %zu",
+               budgetStopName(BudgetWhy), State, TokenPos);
+    break;
   }
   if (!ViablePrefix.empty())
     Msg += strf("; viable prefix: %s", Join(ViablePrefix, 12).c_str());
@@ -75,7 +79,8 @@ int Matcher::termIndexFor(const std::string &Name) const {
 }
 
 MatchResult Matcher::match(const std::vector<LinToken> &Input,
-                           const DynamicChooser &Chooser) const {
+                           const DynamicChooser &Chooser,
+                           RequestBudget *Budget) const {
   // Hot-path telemetry: entry references are stable, so look them up once
   // (and the entries themselves are atomics, safe for concurrent workers).
   StatsRegistry &Reg = stats();
@@ -89,6 +94,8 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       Reg.counter("match.syntactic_blocks");
   static std::atomic<uint64_t> &NumCapHits =
       Reg.counter("match.depth_cap_hits");
+  static std::atomic<uint64_t> &NumBudgetStops =
+      Reg.counter("match.budget_stops");
   static LogHistogram &DepthHist = Reg.histogram("match.stack_depth");
   static LogHistogram &TokensHist = Reg.histogram("match.tokens_per_tree");
   static LogHistogram &StepsHist = Reg.histogram("match.steps_per_tree");
@@ -125,12 +132,20 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
   const size_t N = Input.size();
   const int EofIdx = G.termIndex(G.eofSymbol());
 
+  // The request's effective stack cap: the budget may only tighten the
+  // matcher's own configured cap, never widen it.
+  size_t DepthCap = Opts.MaxStackDepth;
+  if (Budget && Budget->MaxStackDepth && Budget->MaxStackDepth < DepthCap)
+    DepthCap = Budget->MaxStackDepth;
+
   // Per-tree distribution bookkeeping runs on every exit path.
   auto Finish = [&] {
     DepthHist.record(MaxDepth);
     TokensHist.record(N);
     StepsHist.record(R.Steps.size());
     NumBlocks += !R.Ok;
+    if (Budget)
+      Budget->StepsUsed.fetch_add(R.Steps.size(), std::memory_order_relaxed);
     Span.arg("tokens", static_cast<int64_t>(N));
     Span.arg("steps", static_cast<int64_t>(R.Steps.size()));
     Span.arg("max_depth", static_cast<int64_t>(MaxDepth));
@@ -138,9 +153,11 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
 
   // Fails the match with a structured report; Error is the rendering of
   // Block so string-matching consumers keep working.
+  BudgetStop PendingBudgetWhy = BudgetStop::None;
   auto Blocked = [&](BlockReport::Cause Why, std::string Lookahead) {
     BlockReport B;
     B.Why = Why;
+    B.BudgetWhy = PendingBudgetWhy;
     B.State = StateStack.back();
     B.TokenPos = Pos;
     B.StackDepth = StateStack.size();
@@ -157,6 +174,19 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
   };
 
   while (true) {
+    // Cooperative quarantine poll (docs/server.md): cancellation, the
+    // wall-clock deadline and the step budget, every BudgetPollMask+1
+    // steps so a runaway parse aborts promptly without putting a clock
+    // read on every iteration.
+    if (Budget && (R.Steps.size() & BudgetPollMask) == 0 &&
+        Budget->shouldStop(R.Steps.size())) {
+      ++NumBudgetStops;
+      PendingBudgetWhy = Budget->Stopped.load(std::memory_order_relaxed);
+      Blocked(BlockReport::Cause::Budget,
+              Pos < N ? Input[Pos].Term : "$end");
+      return R;
+    }
+
     int TermIdx;
     if (Pos < N) {
       TermIdx = termIndexFor(Input[Pos].Term);
@@ -168,7 +198,7 @@ MatchResult Matcher::match(const std::vector<LinToken> &Input,
       TermIdx = EofIdx;
     }
 
-    if (StateStack.size() > Opts.MaxStackDepth) {
+    if (StateStack.size() > DepthCap) {
       // Cap hit: pathological input (or an injected fault) must degrade
       // into a reportable block, not unbounded growth.
       ++NumCapHits;

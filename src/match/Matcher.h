@@ -23,6 +23,7 @@
 
 #include "ir/Linearize.h"
 #include "mdl/Grammar.h"
+#include "support/Deadline.h"
 #include "tablegen/Packing.h"
 
 #include <functional>
@@ -49,9 +50,13 @@ struct BlockReport {
     NoAction,        ///< no action for (state, lookahead): a description gap
     UnknownTerminal, ///< the input token is not a grammar terminal at all
     MissingGoto,     ///< no goto after a reduce (corrupt or stale tables)
-    DepthCap         ///< the configured parse-stack depth cap was exceeded
+    DepthCap,        ///< the configured parse-stack depth cap was exceeded
+    Budget           ///< the request's RequestBudget stopped the parse
+                     ///< (BudgetWhy says why); never recovered via fallback
   };
   Cause Why = Cause::NoAction;
+  /// Valid when Why == Cause::Budget: which budget dimension tripped.
+  BudgetStop BudgetWhy = BudgetStop::None;
   int State = -1;           ///< parser state at the block
   size_t TokenPos = 0;      ///< input position of the offending lookahead
   size_t StackDepth = 0;    ///< parse-stack depth at the block
@@ -100,8 +105,16 @@ public:
   /// syntactic block: the description failed to cover well-formed input.
   /// On failure, MatchResult::Block carries the structured cause.
   /// Thread-safe: may be called concurrently from multiple workers.
+  ///
+  /// \p Budget, when non-null, is the owning request's quarantine budget:
+  /// the loop polls cancellation/deadline/steps every BudgetPollMask+1
+  /// steps, honors the budget's tighter stack-depth cap, and charges the
+  /// tree's total steps to Budget->StepsUsed on every exit path. A budget
+  /// stop surfaces as Cause::Budget, which the degradation ladder treats
+  /// as non-recoverable (no PCC fallback: fail fast, free the worker).
   MatchResult match(const std::vector<LinToken> &Input,
-                    const DynamicChooser &Chooser = nullptr) const;
+                    const DynamicChooser &Chooser = nullptr,
+                    RequestBudget *Budget = nullptr) const;
 
   const Grammar &grammar() const { return G; }
   const MatcherOptions &options() const { return Opts; }

@@ -1,0 +1,39 @@
+//===- ExitCodes.h - driver exit-code taxonomy ------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process exit codes every driver (`compile_minic`, `run_vax`, the
+/// compile server) reports. The crash-only supervisor loop
+/// (`scripts/serve.sh`) keys its restart policy off these, so the three
+/// failure classes must stay distinct:
+///
+///   * ExitUsage — the command line itself was malformed. Restarting with
+///     the same argv can never succeed; the supervisor gives up.
+///   * ExitCompileFailure — the *input* was bad or hit a recoverable
+///     failure (frontend rejection, codegen failure, exhausted request
+///     budget). The process is healthy; other inputs would work.
+///   * ExitFatalFault — the process environment or shared immutable state
+///     is broken (machine description failed to build, table checksum
+///     mismatch at server startup, internal invariant violated). This is
+///     the crash-only path: the supervisor restarts with backoff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_EXITCODES_H
+#define GG_SUPPORT_EXITCODES_H
+
+namespace gg {
+
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitCompileFailure = 1, ///< recoverable: bad/unlucky input, budget hit
+  ExitUsage = 2,          ///< malformed command line; retrying is pointless
+  ExitFatalFault = 3,     ///< broken environment/tables; restart + backoff
+};
+
+} // namespace gg
+
+#endif // GG_SUPPORT_EXITCODES_H

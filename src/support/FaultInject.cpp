@@ -90,6 +90,18 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
         Ms = *P;
       }
       New.StallWorkerMs = static_cast<int>(Ms);
+    } else if (Key == "oom-arena") {
+      int64_t Bytes = 4096; // small enough that any real program trips it
+      if (!Val.empty()) {
+        std::optional<int64_t> P = parseInt(Val);
+        if (!P || *P < 1) {
+          Err = strf("oom-arena cap must be >= 1 byte, got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        Bytes = *P;
+      }
+      New.ArenaCapBytes = Bytes;
     } else if (Key == "seed") {
       std::optional<int64_t> S = Val.empty() ? std::nullopt : parseInt(Val);
       if (!S || *S < 0) {
@@ -100,7 +112,7 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
     } else {
       Err = strf("unknown fault kind '%.*s' (known: drop-prod, "
                  "corrupt-table, truncate-input, cap-regs, stall-worker, "
-                 "seed)",
+                 "oom-arena, seed)",
                  static_cast<int>(Key.size()), Key.data());
       return false;
     }
@@ -131,6 +143,10 @@ size_t FaultInjector::truncatedInputSize(size_t NumTokens, uint64_t Ordinal) {
   size_t Keep = NumTokens - (NumTokens / 4 > 0 ? NumTokens / 4 : 1);
   ++stats().counter("fault.trees_truncated");
   return Keep;
+}
+
+void FaultInjector::noteArenaExhaustion() {
+  ++stats().counter("fault.arena_exhaustions");
 }
 
 void FaultInjector::stallWorker(uint64_t TaskOrdinal) {

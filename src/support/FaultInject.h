@@ -24,6 +24,10 @@
 ///                           seed-derived amount up to MS milliseconds,
 ///                           scrambling worker completion order (proves
 ///                           source-order stitching is scheduling-proof);
+///   * `oom-arena[=BYTES]`   cap every NodeArena's node storage at BYTES
+///                           (default 4096): allocation past the cap sets
+///                           the arena's sticky exhausted() flag, driving
+///                           the memory-exhaustion degradation path;
 ///   * `seed=S`              seed for derived offsets (deterministic).
 ///
 /// Faults are process-global (like the stats registry), configured from a
@@ -60,12 +64,15 @@ struct FaultConfig {
   /// Delay each parallel compile task by a seed-derived amount in
   /// [0, StallWorkerMs] milliseconds. 0 = off.
   int StallWorkerMs = 0;
+  /// Cap every NodeArena at this many node-storage bytes. -1 = off.
+  int64_t ArenaCapBytes = -1;
   /// Seed for derived choices (corrupt offset, truncation point, stalls).
   uint64_t Seed = 1;
 
   bool anyEnabled() const {
     return !DropProdTag.empty() || CorruptTableByte != -1 ||
-           TruncateEveryNth > 0 || CapFreeRegs >= 0 || StallWorkerMs > 0;
+           TruncateEveryNth > 0 || CapFreeRegs >= 0 || StallWorkerMs > 0 ||
+           ArenaCapBytes >= 0;
   }
 };
 
@@ -113,6 +120,16 @@ public:
   /// Register-manager cap: the number of allocatable scratch registers the
   /// allocator may use, or -1 for no cap.
   int capFreeRegs() const { return C.CapFreeRegs; }
+
+  /// oom-arena fault: the NodeArena construction-time byte cap, or -1 for
+  /// no cap. Per-request budgets tighten (never widen) this via
+  /// NodeArena::setLimitBytes.
+  int64_t arenaCapBytes() const { return C.ArenaCapBytes; }
+
+  /// Counts one sticky arena-cap trip under `fault.arena_exhaustions`
+  /// (called by NodeArena the first time an allocation exceeds its cap,
+  /// whether the cap came from the fault or from a request budget).
+  void noteArenaExhaustion();
 
   /// stall-worker fault: sleeps for a deterministic, seed-derived delay
   /// for compile task \p TaskOrdinal (counts `fault.worker_stalls`). No-op

@@ -1,0 +1,152 @@
+//===- Frame.h - compile-server wire protocol -------------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed frame protocol the compile server speaks over
+/// stdin/stdout and its Unix socket (docs/server.md). One frame is:
+///
+///   offset size  field
+///   0      4     magic "GGF1"
+///   4      1     type (FrameType)
+///   5      4     payload length, little-endian (<= MaxFrameBytes)
+///   9      len   payload bytes
+///   9+len  4     FNV-1a checksum over bytes [4, 9+len) — type, length
+///                and payload, so a flipped length or type byte is caught
+///                exactly like a flipped payload byte
+///
+/// The reader is incremental (feed() arbitrary chunks, next() complete
+/// frames) and crash-only friendly: any malformed header or checksum
+/// mismatch is reported once and then the reader *resyncs* by scanning
+/// for the next magic, so one poisoned frame quarantines itself instead
+/// of wedging or killing the stream. Request/response payloads have their
+/// own bounds-checked binary encodings here, mirroring the hardened v2
+/// table deserializer (tablegen/Serialize.cpp): every read is
+/// length-checked, every enum range-checked, and a byte-flip sweep in
+/// tests/ServerTest.cpp asserts no single-bit corruption is ever accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_FRAME_H
+#define GG_SUPPORT_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// Frame types on the wire. Unknown values are a protocol error.
+enum class FrameType : uint8_t {
+  Request = 1,  ///< client -> server: compile this source
+  Response = 2, ///< server -> client: result for one request id
+  Ping = 3,     ///< client -> server: liveness probe
+  Pong = 4,     ///< server -> client: liveness answer
+  Shutdown = 5, ///< client -> server: drain and exit cleanly (exit 0)
+  Crash = 6,    ///< client -> server: die immediately (tests/supervisor
+                ///< drills only; ignored unless the server allows it)
+};
+
+/// Hard cap on one frame's payload; oversized length prefixes are rejected
+/// without allocating.
+constexpr uint32_t MaxFrameBytes = 16u << 20;
+
+/// The four magic bytes.
+extern const char FrameMagic[4];
+
+/// Serializes one frame (header + payload + checksum) onto \p Out.
+void appendFrame(std::string &Out, FrameType Type, std::string_view Payload);
+
+/// One decoded frame.
+struct Frame {
+  FrameType Type = FrameType::Ping;
+  std::string Payload;
+};
+
+/// Incremental frame decoder with resync-on-corruption.
+class FrameReader {
+public:
+  /// Outcome of one next() call.
+  enum class Status {
+    Frame,    ///< *Out holds a complete, checksum-verified frame
+    NeedMore, ///< no complete frame buffered; feed() more bytes
+    Corrupt,  ///< a malformed frame was skipped (Error says why); call
+              ///< next() again — the reader has already resynced
+  };
+
+  /// Appends raw bytes from the transport.
+  void feed(const char *Data, size_t Len) { Buf.append(Data, Len); }
+
+  /// Extracts the next frame, resyncing past garbage if necessary.
+  Status next(Frame &Out);
+
+  /// Human-readable reason for the last Corrupt status.
+  const std::string &error() const { return Err; }
+
+  /// Total resync events (corrupt frames skipped) since construction.
+  uint64_t resyncs() const { return Resyncs; }
+
+  /// Bytes buffered but not yet consumed (diagnosing mid-frame EOF).
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0; ///< consumed prefix of Buf
+  std::string Err;
+  uint64_t Resyncs = 0;
+
+  void compact();
+  /// Skips one byte and scans to the next magic; returns Corrupt.
+  Status resync(const std::string &Why);
+};
+
+/// A compile request as carried in a Request frame payload.
+struct RequestMsg {
+  uint64_t Id = 0;
+  uint32_t DeadlineMs = 0;    ///< 0 = server default
+  uint64_t MaxSteps = 0;      ///< 0 = server default
+  uint64_t MaxArenaBytes = 0; ///< 0 = server default
+  std::string Source;
+};
+
+/// Terminal status of one request, carried in a Response frame.
+enum class ResponseStatus : uint8_t {
+  Ok = 0,           ///< Payload is the assembly text
+  CompileError = 1, ///< recoverable failure; Payload is diagnostics
+  Deadline = 2,     ///< quarantined: wall-clock deadline exceeded
+  StepBudget = 3,   ///< quarantined: matcher step budget exceeded
+  MemBudget = 4,    ///< quarantined: arena byte budget exceeded
+  Watchdog = 5,     ///< quarantined: worker wedged; request abandoned
+  Protocol = 6,     ///< quarantined: the request frame itself was bad
+};
+
+/// Returns a stable name for \p S ("ok", "deadline", ...).
+const char *responseStatusName(ResponseStatus S);
+
+/// A compile response as carried in a Response frame payload.
+struct ResponseMsg {
+  uint64_t Id = 0;
+  ResponseStatus Status = ResponseStatus::Ok;
+  uint32_t BlockedTrees = 0;   ///< trees that hit the degradation ladder
+  uint32_t RecoveredTrees = 0; ///< subset regenerated via the PCC baseline
+  std::string Payload;         ///< assembly on Ok, diagnostics otherwise
+};
+
+/// Payload codecs. Decoders are hardened: they return false (with \p Err
+/// set) on any truncation, trailing garbage, out-of-range enum or
+/// inconsistent length, and never read out of bounds.
+std::string encodeRequest(const RequestMsg &M);
+bool decodeRequest(std::string_view Payload, RequestMsg &M, std::string &Err);
+std::string encodeResponse(const ResponseMsg &M);
+bool decodeResponse(std::string_view Payload, ResponseMsg &M, std::string &Err);
+
+/// FNV-1a over \p Data — the frame checksum primitive (shared with the
+/// tests' byte-flip sweep).
+uint32_t frameChecksum(std::string_view Data);
+
+} // namespace gg
+
+#endif // GG_SUPPORT_FRAME_H

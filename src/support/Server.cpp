@@ -1,0 +1,470 @@
+//===- Server.cpp - fault-isolated compile server -----------------------------===//
+
+#include "support/Server.h"
+#include "support/ExitCodes.h"
+#include "support/Stats.h"
+#include "support/Strings.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gg;
+
+namespace {
+
+/// Creates-at-zero every server.* key the gg-stats-v1 artifact promises,
+/// so a freshly started server dumps a stable schema even before its
+/// first request (mirrors cg's touchSchemaKeys).
+void touchServerSchemaKeys() {
+  static bool Done = [] {
+    for (const char *Name :
+         {"server.requests", "server.ok", "server.compile_errors",
+          "server.quarantined", "server.deadline_kills",
+          "server.step_budget_kills", "server.mem_budget_kills",
+          "server.watchdog_kills", "server.protocol_errors",
+          "server.resyncs", "server.restarts", "server.fallback_trees",
+          "server.blocked_trees", "server.discarded_results",
+          "server.connections"})
+      stats().counter(Name);
+    stats().histogram("server.request_ms");
+    return true;
+  }();
+  (void)Done;
+}
+
+/// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
+/// Returns false once the peer is gone (EPIPE/ECONNRESET); SIGPIPE is
+/// ignored process-wide while serving.
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+/// One output stream. Workers, the watchdog and the input pump all write
+/// responses; the mutex keeps frames atomic on the wire.
+struct Server::Conn {
+  explicit Conn(int Fd) : Fd(Fd) {}
+  int Fd;
+  std::mutex WriteM;
+  bool Broken = false;
+
+  void writeFrame(FrameType Type, std::string_view Payload) {
+    std::string Wire;
+    appendFrame(Wire, Type, Payload);
+    std::lock_guard<std::mutex> Lock(WriteM);
+    if (Broken)
+      return;
+    if (!writeAll(Fd, Wire.data(), Wire.size()))
+      Broken = true; // client gone; its remaining responses are discarded
+  }
+
+  void respond(const ResponseMsg &M) {
+    writeFrame(FrameType::Response, encodeResponse(M));
+  }
+};
+
+/// One admitted request. Shared by the queue, the owning worker and the
+/// watchdog; Responded arbitrates who publishes the (single) response.
+struct Server::Active {
+  RequestMsg Req;
+  std::shared_ptr<Conn> C;
+  RequestBudget Budget;
+  std::atomic<bool> Responded{false};
+  uint64_t AdmitNs = 0;
+
+  /// True for the caller that wins the right to respond.
+  bool claimResponse() {
+    bool Expected = false;
+    return Responded.compare_exchange_strong(Expected, true,
+                                             std::memory_order_acq_rel);
+  }
+};
+
+Server::Server(CompileHandler Handler, ServerOptions Opts)
+    : Handler(std::move(Handler)), Opts(Opts) {
+  touchServerSchemaKeys();
+  stats().counter("server.restarts") += Opts.Generation;
+}
+
+Server::~Server() { stopWatchdog(); }
+
+void Server::startWatchdog() {
+  WatchdogStop = false;
+  Watchdog = std::thread([this] {
+    std::unique_lock<std::mutex> Lock(WatchdogM);
+    while (!WatchdogStop) {
+      WatchdogCV.wait_for(Lock,
+                          std::chrono::milliseconds(Opts.WatchdogIntervalMs));
+      if (WatchdogStop)
+        return;
+      Lock.unlock();
+      watchdogScan();
+      Lock.lock();
+    }
+  });
+}
+
+void Server::stopWatchdog() {
+  if (!Watchdog.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(WatchdogM);
+    WatchdogStop = true;
+  }
+  WatchdogCV.notify_all();
+  Watchdog.join();
+}
+
+void Server::watchdogScan() {
+  uint64_t Now = RequestBudget::nowNs();
+  uint64_t GraceNs = Opts.WatchdogGraceMs * 1000000ull;
+  std::vector<std::shared_ptr<Active>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(ActiveM);
+    Snapshot = InFlight;
+  }
+  for (const std::shared_ptr<Active> &A : Snapshot) {
+    if (A->Responded.load(std::memory_order_acquire))
+      continue;
+    uint64_t Deadline = A->Budget.DeadlineNs;
+    if (!Deadline || Now <= Deadline)
+      continue;
+    // Past the deadline: first ask nicely — the matcher's budget poll
+    // aborts the parse within ~BudgetPollMask steps.
+    A->Budget.Cancelled.store(true, std::memory_order_relaxed);
+    if (Now <= Deadline + GraceNs)
+      continue;
+    // Still running a grace period later: the worker is wedged (e.g. the
+    // stall-worker fault sleeping through the deadline). Fail exactly
+    // this request; the worker rejoins the pool when it wakes, and its
+    // result is discarded by the Responded flag.
+    if (!A->claimResponse())
+      continue;
+    ++stats().counter("server.watchdog_kills");
+    ++stats().counter("server.quarantined");
+    ResponseMsg M;
+    M.Id = A->Req.Id;
+    M.Status = ResponseStatus::Watchdog;
+    M.Payload = strf("request %llu abandoned: worker unresponsive %llums "
+                     "past its deadline",
+                     static_cast<unsigned long long>(A->Req.Id),
+                     static_cast<unsigned long long>((Now - Deadline) /
+                                                     1000000ull));
+    A->C->respond(M);
+  }
+}
+
+void Server::closeQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Closed = true;
+  }
+  QueueCV.notify_all();
+}
+
+void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
+  auto A = std::make_shared<Active>();
+  A->Req = std::move(Req);
+  A->C = C;
+  A->AdmitNs = RequestBudget::nowNs();
+  // ~0u is the explicit "no deadline" escape hatch; 0 means "server
+  // default". Budgets follow the same convention.
+  uint32_t DeadlineMs = A->Req.DeadlineMs == 0
+                            ? static_cast<uint32_t>(std::min<uint64_t>(
+                                  Opts.DefaultDeadlineMs, 0xfffffffeu))
+                            : A->Req.DeadlineMs;
+  if (DeadlineMs != 0xffffffffu)
+    A->Budget.arm(DeadlineMs);
+  A->Budget.MaxSteps =
+      A->Req.MaxSteps ? A->Req.MaxSteps : Opts.DefaultMaxSteps;
+  A->Budget.MaxArenaBytes = static_cast<size_t>(
+      A->Req.MaxArenaBytes ? A->Req.MaxArenaBytes : Opts.DefaultMaxArenaBytes);
+  {
+    std::lock_guard<std::mutex> Lock(ActiveM);
+    InFlight.push_back(A);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Queue.push_back(std::move(A));
+  }
+  QueueCV.notify_one();
+}
+
+void Server::serveOne(const std::shared_ptr<Active> &A) {
+  StatsRegistry &Reg = stats();
+  ++Reg.counter("server.requests");
+  HandlerResult R;
+  try {
+    R = Handler(A->Req, A->Budget);
+  } catch (...) {
+    // The handler contract is exception-free; honor the quarantine
+    // promise anyway rather than unwinding out of the pool.
+    R.Status = ResponseStatus::CompileError;
+    R.Payload = "internal error: handler threw";
+  }
+
+  Reg.counter("server.fallback_trees") += R.RecoveredTrees;
+  Reg.counter("server.blocked_trees") += R.BlockedTrees;
+
+  if (!A->claimResponse()) {
+    // The watchdog already failed this request; drop the late result.
+    ++Reg.counter("server.discarded_results");
+  } else {
+    switch (R.Status) {
+    case ResponseStatus::Ok:
+      ++Reg.counter("server.ok");
+      break;
+    case ResponseStatus::CompileError:
+      ++Reg.counter("server.compile_errors");
+      break;
+    case ResponseStatus::Deadline:
+      ++Reg.counter("server.deadline_kills");
+      ++Reg.counter("server.quarantined");
+      break;
+    case ResponseStatus::StepBudget:
+      ++Reg.counter("server.step_budget_kills");
+      ++Reg.counter("server.quarantined");
+      break;
+    case ResponseStatus::MemBudget:
+      ++Reg.counter("server.mem_budget_kills");
+      ++Reg.counter("server.quarantined");
+      break;
+    case ResponseStatus::Watchdog:
+    case ResponseStatus::Protocol:
+      ++Reg.counter("server.quarantined");
+      break;
+    }
+    ResponseMsg M;
+    M.Id = A->Req.Id;
+    M.Status = R.Status;
+    M.BlockedTrees = R.BlockedTrees;
+    M.RecoveredTrees = R.RecoveredTrees;
+    M.Payload = std::move(R.Payload);
+    A->C->respond(M);
+    Reg.histogram("server.request_ms")
+        .record((RequestBudget::nowNs() - A->AdmitNs) / 1000000ull);
+  }
+
+  std::lock_guard<std::mutex> Lock(ActiveM);
+  InFlight.erase(std::remove(InFlight.begin(), InFlight.end(), A),
+                 InFlight.end());
+}
+
+void Server::drainQueue() {
+  while (true) {
+    std::shared_ptr<Active> A;
+    {
+      std::unique_lock<std::mutex> Lock(QueueM);
+      QueueCV.wait(Lock, [this] { return Closed || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Closed and drained
+      A = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    serveOne(A);
+  }
+}
+
+void Server::pumpInput(const std::shared_ptr<Conn> &C, int InFd,
+                       bool &SawShutdown) {
+  SawShutdown = false;
+  FrameReader Reader;
+  char Chunk[65536];
+  StatsRegistry &Reg = stats();
+  while (true) {
+    Frame F;
+    FrameReader::Status S = Reader.next(F);
+    if (S == FrameReader::Status::NeedMore) {
+      ssize_t N = ::read(InFd, Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        // EOF mid-frame is itself a protocol event worth counting: the
+        // client died between header and payload.
+        if (Reader.buffered() > 0)
+          ++Reg.counter("server.protocol_errors");
+        return;
+      }
+      Reader.feed(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (S == FrameReader::Status::Corrupt) {
+      // Quarantine the poisoned bytes, tell the client, keep serving.
+      ++Reg.counter("server.resyncs");
+      ++Reg.counter("server.protocol_errors");
+      ResponseMsg M;
+      M.Status = ResponseStatus::Protocol;
+      M.Payload = Reader.error();
+      C->respond(M);
+      continue;
+    }
+    switch (F.Type) {
+    case FrameType::Request: {
+      RequestMsg Req;
+      std::string Err;
+      if (!decodeRequest(F.Payload, Req, Err)) {
+        ++Reg.counter("server.protocol_errors");
+        ResponseMsg M;
+        M.Status = ResponseStatus::Protocol;
+        M.Payload = "bad request payload: " + Err;
+        C->respond(M);
+        break;
+      }
+      admit(C, std::move(Req));
+      break;
+    }
+    case FrameType::Ping:
+      C->writeFrame(FrameType::Pong, F.Payload);
+      break;
+    case FrameType::Shutdown:
+      SawShutdown = true;
+      return;
+    case FrameType::Crash:
+      if (Opts.AllowCrash) {
+        // Crash drill: die the crash-only way — no draining, no flushing,
+        // the supervisor's problem now. A signal death (not ExitFatalFault,
+        // which means "restart cannot help") so the supervisor restarts us.
+        ::abort();
+      }
+      ++Reg.counter("server.protocol_errors");
+      {
+        ResponseMsg M;
+        M.Status = ResponseStatus::Protocol;
+        M.Payload = "crash frames are disabled on this server";
+        C->respond(M);
+      }
+      break;
+    case FrameType::Response:
+    case FrameType::Pong:
+      ++Reg.counter("server.protocol_errors");
+      break;
+    }
+  }
+}
+
+int Server::serveFds(int InFd, int OutFd) {
+  ::signal(SIGPIPE, SIG_IGN);
+  auto C = std::make_shared<Conn>(OutFd);
+  ++stats().counter("server.connections");
+  startWatchdog();
+
+  bool SawShutdown = false;
+  std::thread Reader([&] {
+    pumpInput(C, InFd, SawShutdown);
+    closeQueue();
+  });
+
+  // The drain loops ride the PR-4 work-stealing pool: each index hosts
+  // one worker, the caller participates as worker 0, and Workers=1 is a
+  // plain serial server.
+  unsigned W = resolveWorkerCount(Opts.Workers, 1u << 16);
+  ParallelOptions PO;
+  PO.Threads = static_cast<int>(W);
+  parallelFor(W, PO, [this](size_t) { drainQueue(); });
+
+  Reader.join();
+  stopWatchdog();
+  (void)SawShutdown; // EOF and Shutdown both drain, then exit cleanly
+  return ExitOk;
+}
+
+int Server::serveUnixSocket(const std::string &Path) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    fprintf(stderr, "serve: socket(): %s\n", strerror(errno));
+    return ExitFatalFault;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    fprintf(stderr, "serve: socket path too long: %s\n", Path.c_str());
+    ::close(ListenFd);
+    return ExitUsage;
+  }
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0) {
+    fprintf(stderr, "serve: bind/listen(%s): %s\n", Path.c_str(),
+            strerror(errno));
+    ::close(ListenFd);
+    return ExitFatalFault;
+  }
+
+  startWatchdog();
+  std::atomic<bool> Shut{false};
+  std::mutex ConnsM;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::vector<std::thread> ConnThreads;
+
+  std::thread Acceptor([&] {
+    while (!Shut.load(std::memory_order_relaxed)) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        break; // listen fd closed: shutting down
+      }
+      ++stats().counter("server.connections");
+      auto C = std::make_shared<Conn>(Fd);
+      std::lock_guard<std::mutex> Lock(ConnsM);
+      Conns.push_back(C);
+      ConnThreads.emplace_back([this, C, Fd, &Shut, ListenFd] {
+        bool SawShutdown = false;
+        pumpInput(C, Fd, SawShutdown);
+        if (SawShutdown && !Shut.exchange(true)) {
+          // First Shutdown frame wins: stop accepting, then unblock the
+          // acceptor and every idle connection reader.
+          ::shutdown(ListenFd, SHUT_RDWR);
+          closeQueue();
+        }
+      });
+    }
+  });
+
+  // Workers drain until the queue closes (Shutdown frame).
+  unsigned W = resolveWorkerCount(Opts.Workers, 1u << 16);
+  ParallelOptions PO;
+  PO.Threads = static_cast<int>(W);
+  parallelFor(W, PO, [this](size_t) { drainQueue(); });
+
+  // Closed queue means shutdown: kick still-open connections loose.
+  Shut.store(true);
+  ::shutdown(ListenFd, SHUT_RDWR);
+  Acceptor.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::shutdown(C->Fd, SHUT_RDWR);
+  }
+  for (std::thread &T : ConnThreads)
+    T.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::close(C->Fd);
+  }
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  stopWatchdog();
+  return ExitOk;
+}

@@ -1,0 +1,158 @@
+//===- Server.h - fault-isolated compile server -----------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon core behind `compile_minic --serve` (docs/server.md): a
+/// long-lived, multi-tenant service over the Frame protocol. This layer
+/// owns transports (stdin/stdout frames, a local Unix socket), the
+/// request queue, the worker pool dispatch, the request-quarantine layer
+/// (per-request RequestBudget with deadlines and step/stack/memory
+/// budgets), and the watchdog that fails a wedged request without taking
+/// the process down. What "compile" means is injected as a handler, so
+/// support stays the bottom layer: the real handler (frontend + table-
+/// driven code generator + PCC fallback ladder) is cg/CompileService.
+///
+/// Robustness contract (the crash-only design):
+///   * shared state (grammar/tables) is immutable after startup and
+///     checksum-verified, so requests cannot poison each other;
+///   * every recoverable failure — bad source, syntactic block, budget
+///     exhaustion, malformed frame — becomes a structured Response/resync,
+///     never a process exit;
+///   * a wedged worker (stall-worker fault, runaway parse) is detected by
+///     the watchdog: its request is failed and abandoned, the worker
+///     rejoins the pool when it eventually returns;
+///   * anything else (broken invariants, fatal signals) kills the process,
+///     and the supervisor loop in scripts/serve.sh restarts it with capped
+///     exponential backoff. Clients replay in-flight requests at most
+///     once — safe because a response is a pure function of the request.
+///
+/// Worker dispatch rides the PR-4 work-stealing pool: serve() calls
+/// parallelFor(Workers, ...) where each index hosts a queue-drain loop, so
+/// the caller participates as worker 0 and Workers=1 degenerates to a
+/// serial server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_SUPPORT_SERVER_H
+#define GG_SUPPORT_SERVER_H
+
+#include "support/Deadline.h"
+#include "support/Frame.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gg {
+
+/// Server tunables (the --serve-* flag surface).
+struct ServerOptions {
+  /// Worker threads draining the request queue. 0 = hardware concurrency.
+  int Workers = 0;
+  /// Default per-request deadline when the request does not carry one.
+  /// 0 = no deadline.
+  uint64_t DefaultDeadlineMs = 10000;
+  /// Default matcher step budget per request. 0 = unlimited.
+  uint64_t DefaultMaxSteps = 200u << 20;
+  /// Default per-arena byte budget per request. 0 = unlimited.
+  uint64_t DefaultMaxArenaBytes = 256u << 20;
+  /// Watchdog scan interval.
+  uint64_t WatchdogIntervalMs = 20;
+  /// Grace past the deadline before a still-running request is declared
+  /// wedged and force-failed (the worker's eventual result is discarded).
+  uint64_t WatchdogGraceMs = 500;
+  /// Honor Crash frames (supervisor drills). Off by default: a stray or
+  /// malicious Crash frame must not kill a production server.
+  bool AllowCrash = false;
+  /// Supervisor generation (scripts/serve.sh --serve-generation=N): how
+  /// many times this server has been restarted; exported as
+  /// server.restarts so the stats artifact shows supervisor activity.
+  uint64_t Generation = 0;
+};
+
+/// Everything the handler reports back for one request.
+struct HandlerResult {
+  ResponseStatus Status = ResponseStatus::Ok;
+  std::string Payload; ///< assembly on Ok, rendered diagnostics otherwise
+  uint32_t BlockedTrees = 0;
+  uint32_t RecoveredTrees = 0;
+};
+
+/// The compile function: pure in the request (byte-identical output for
+/// byte-identical input), cooperative in the budget. Runs on a pool
+/// worker; must not throw or exit for recoverable failures.
+using CompileHandler =
+    std::function<HandlerResult(const RequestMsg &Req, RequestBudget &Budget)>;
+
+/// The long-lived server. One instance per process; serve*() blocks until
+/// shutdown and returns the process exit code.
+class Server {
+public:
+  Server(CompileHandler Handler, ServerOptions Opts);
+  ~Server();
+
+  /// Serves the framed protocol on a pair of file descriptors (the stdio
+  /// daemon mode: InFd=0, OutFd=1). Returns ExitOk on clean shutdown
+  /// (Shutdown frame or EOF after draining).
+  int serveFds(int InFd, int OutFd);
+
+  /// Binds \p Path as a SOCK_STREAM Unix socket and serves each accepted
+  /// connection (same framed protocol, any number of requests per
+  /// connection). Returns ExitOk on clean shutdown, ExitFatalFault when
+  /// the socket cannot be bound.
+  int serveUnixSocket(const std::string &Path);
+
+private:
+  struct Conn;   ///< one output stream + write mutex
+  struct Active; ///< one admitted, not-yet-responded request
+
+  CompileHandler Handler;
+  ServerOptions Opts;
+
+  std::mutex QueueM;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<Active>> Queue;
+  bool Closed = false; ///< no more requests will be enqueued
+
+  std::mutex ActiveM;
+  std::vector<std::shared_ptr<Active>> InFlight;
+
+  std::thread Watchdog;
+  std::mutex WatchdogM;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
+
+  void startWatchdog();
+  void stopWatchdog();
+  void watchdogScan();
+
+  /// Parses frames arriving on \p C, enqueueing requests; returns when the
+  /// stream hits EOF or a Shutdown frame. Sets \p SawShutdown accordingly.
+  void pumpInput(const std::shared_ptr<Conn> &C, int InFd, bool &SawShutdown);
+
+  /// Admits one decoded request: builds its budget, registers it with the
+  /// watchdog, and queues it for the worker pool.
+  void admit(const std::shared_ptr<Conn> &C, RequestMsg Req);
+
+  /// Worker-side drain loop (one per pool index).
+  void drainQueue();
+
+  /// Runs the handler for one request and publishes its response unless
+  /// the watchdog already did.
+  void serveOne(const std::shared_ptr<Active> &A);
+
+  void closeQueue();
+};
+
+} // namespace gg
+
+#endif // GG_SUPPORT_SERVER_H

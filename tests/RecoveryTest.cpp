@@ -9,6 +9,8 @@
 
 #include "cg/CodeGenerator.h"
 #include "frontend/Parser.h"
+#include "ir/Node.h"
+#include "support/Deadline.h"
 #include "ir/Linearize.h"
 #include "match/Matcher.h"
 #include "mdl/SpecParser.h"
@@ -18,6 +20,9 @@
 #include "vaxsim/Simulator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sys/wait.h>
 
 using namespace gg;
 
@@ -382,6 +387,158 @@ int main() { print(c(6)); print(d(2) + d(9)); return a(1) + b(3); }
   EXPECT_EQ(Base.Output, R.Output);
   EXPECT_EQ(Base.ReturnValue, R.ReturnValue);
 }
+
+TEST(FaultSpec, OomArenaParses) {
+  FaultGuard Guard;
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("oom-arena", Err)) << Err;
+  EXPECT_EQ(faultInject().config().ArenaCapBytes, 4096) << "default cap";
+  ASSERT_TRUE(faultInject().configure("oom-arena=65536", Err)) << Err;
+  EXPECT_EQ(faultInject().config().ArenaCapBytes, 65536);
+  EXPECT_FALSE(faultInject().configure("oom-arena=0", Err));
+  EXPECT_NE(Err.find(">= 1 byte"), std::string::npos);
+}
+
+TEST(Recovery, OomArenaFailsCleanlyAndCountsExhaustions) {
+  FaultGuard Guard;
+  const char *Source = "int main() { int a; int b; a = 2; b = 3;\n"
+                       "  print(a * b + a - b); return a + b; }\n";
+  SimResult Clean = compileAndRun(Source);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  // A cap far too small for any real program: every arena the request
+  // touches goes sticky-exhausted. The pipeline must fail with a
+  // diagnostic — allocation never returns null and nothing crashes — and
+  // the exhaustion must be visible in fault telemetry.
+  std::string Err;
+  ASSERT_TRUE(faultInject().configure("oom-arena=512", Err)) << Err;
+  uint64_t Before = gg::stats().counter("fault.arena_exhaustions");
+  std::unique_ptr<VaxTarget> Target;
+  {
+    std::string TErr;
+    Target = VaxTarget::create(TErr);
+    ASSERT_NE(Target, nullptr) << TErr;
+  }
+  Program P;
+  DiagnosticSink D;
+  NodeArena &Arena = *P.Arena;
+  // The program arena was constructed under the fault, so the cap is
+  // already armed; parsing this source overflows 512 bytes of nodes.
+  bool Parsed = compileMiniC(Source, P, D);
+  if (Parsed) {
+    GGCodeGenerator CG(*Target);
+    std::string Asm;
+    EXPECT_FALSE(CG.compile(P, Asm, Err));
+    EXPECT_NE(CG.diagnostics().renderAll().find("arena"), std::string::npos);
+  }
+  EXPECT_TRUE(Arena.exhausted());
+  EXPECT_GT(gg::stats().counter("fault.arena_exhaustions"), Before);
+
+  // A generous cap is never hit: output identical to the clean run.
+  ASSERT_TRUE(faultInject().configure("oom-arena=67108864", Err)) << Err;
+  SimResult Roomy = compileAndRun(Source);
+  ASSERT_TRUE(Roomy.Ok) << Roomy.Error;
+  EXPECT_EQ(Roomy.Output, Clean.Output);
+  EXPECT_EQ(Roomy.ReturnValue, Clean.ReturnValue);
+}
+
+TEST(Recovery, ArenaLimitOnlyTightens) {
+  FaultGuard Guard;
+  NodeArena A;
+  A.setLimitBytes(1 << 20);
+  A.setLimitBytes(1 << 24); // looser: ignored
+  A.setLimitBytes(4096);    // tighter: applied
+  size_t Made = 0;
+  while (!A.exhausted() && Made < 100000) {
+    (void)A.make(Op::Const, Ty::L);
+    ++Made;
+  }
+  EXPECT_TRUE(A.exhausted());
+  EXPECT_GT(A.bytes(), size_t(4096));
+  EXPECT_LE(A.bytes(), size_t(1 << 20)) << "the 4096 cap applied";
+}
+
+TEST(Recovery, MatcherBudgetStopBlocksWithoutFallback) {
+  FaultGuard Guard;
+  // A right-recursive list long enough to cost well over the step budget.
+  const char *Spec = R"(
+%start s
+s <- Plus_l Const_l s : emit add
+s <- Const_l : emit move
+)";
+  Built B = buildFrom(Spec);
+  // Prefix form of Plus(c, Plus(c, ... c)): "Plus_l Const_l" x 600, then
+  // the innermost Const_l — ~1800 matcher steps, far over the budget.
+  std::vector<LinToken> Input;
+  for (int I = 0; I < 600; ++I) {
+    Input.push_back({"Plus_l", nullptr});
+    Input.push_back({"Const_l", nullptr});
+  }
+  Input.push_back({"Const_l", nullptr});
+
+  RequestBudget Budget;
+  Budget.MaxSteps = 256; // poll interval is 128, so the cap is observed
+  MatchResult MR = B.M->match(Input, nullptr, &Budget);
+  ASSERT_FALSE(MR.Ok);
+  ASSERT_TRUE(MR.Block.has_value());
+  EXPECT_EQ(MR.Block->Why, BlockReport::Cause::Budget);
+  EXPECT_EQ(MR.Block->BudgetWhy, BudgetStop::Steps);
+  EXPECT_EQ(Budget.Stopped.load(), BudgetStop::Steps);
+  EXPECT_NE(MR.Error.find("request budget exhausted (steps)"),
+            std::string::npos);
+
+  // Same input, no budget: matches fine — the block above was the
+  // budget, not the grammar.
+  MatchResult Free = B.M->match(Input);
+  EXPECT_TRUE(Free.Ok) << Free.Error;
+
+  // Cancellation (the watchdog path) reports its own cause.
+  RequestBudget Cancelled;
+  Cancelled.Cancelled.store(true);
+  MatchResult MC = B.M->match(Input, nullptr, &Cancelled);
+  ASSERT_FALSE(MC.Ok);
+  ASSERT_TRUE(MC.Block.has_value());
+  EXPECT_EQ(MC.Block->Why, BlockReport::Cause::Budget);
+  EXPECT_EQ(MC.Block->BudgetWhy, BudgetStop::Cancelled);
+}
+
+#if defined(GG_COMPILE_MINIC_BIN) && defined(GG_RUN_VAX_BIN)
+/// Runs \p Cmd through the shell and returns its exit code (-1 if it
+/// died on a signal).
+static int runExit(const std::string &Cmd) {
+  int Status = std::system(Cmd.c_str());
+  if (Status == -1 || !WIFEXITED(Status))
+    return -1;
+  return WEXITSTATUS(Status);
+}
+
+// The exit-code taxonomy (support/ExitCodes.h) is supervisor API: 2 for
+// usage errors (operator bug — don't retry), 1 for recoverable compile
+// failures, 3 for fatal faults where a restart cannot help, 0 otherwise.
+TEST(ExitCodes, DriversFollowTheTaxonomy) {
+  const std::string CM = GG_COMPILE_MINIC_BIN;
+  const std::string RV = GG_RUN_VAX_BIN;
+
+  // Usage errors: no input, unknown flag, malformed --serve value.
+  EXPECT_EQ(runExit(CM + " >/dev/null 2>&1"), 2);
+  EXPECT_EQ(runExit(CM + " --no-such-flag >/dev/null 2>&1"), 2);
+  EXPECT_EQ(runExit(CM + " --serve= >/dev/null 2>&1"), 2);
+  EXPECT_EQ(runExit(RV + " >/dev/null 2>&1"), 2);
+
+  // Recoverable compile failure: missing input file.
+  EXPECT_EQ(runExit(CM + " /nonexistent-input.c >/dev/null 2>&1"), 1);
+  EXPECT_EQ(runExit(RV + " /nonexistent-input.c >/dev/null 2>&1"), 1);
+
+  // Fatal fault: corrupt shared tables fail the server's startup
+  // self-verification — restart cannot help, the supervisor must stop.
+  EXPECT_EQ(runExit("GG_FAULT=corrupt-table " + CM +
+                    " --serve=/tmp/gg-recovery-test.sock >/dev/null 2>&1"),
+            3);
+
+  // Success: a well-formed corpus run.
+  EXPECT_EQ(runExit(CM + " --gen-corpus=1 >/dev/null 2>&1"), 0);
+}
+#endif
 
 TEST(Recovery, DropProdCountsFaultStat) {
   FaultGuard Guard;

@@ -1,0 +1,178 @@
+//===- ServerSlowTest.cpp - watchdog and recovery timing ----------------------===//
+//
+// Timing-dependent server coverage, excluded from the tier-1 gate (slow
+// label): the watchdog declaring a wedged worker's request dead and the
+// worker's late result being discarded, plus quarantine under a saturated
+// queue. The timing-free protocol/quarantine tests are ServerTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ExitCodes.h"
+#include "support/Frame.h"
+#include "support/Server.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unistd.h>
+
+using namespace gg;
+
+namespace {
+
+struct PipeHarness {
+  int In[2];
+  int Out[2];
+  std::thread T;
+  int ExitCode = -1;
+
+  explicit PipeHarness(CompileHandler H, ServerOptions Opts) {
+    EXPECT_EQ(pipe(In), 0);
+    EXPECT_EQ(pipe(Out), 0);
+    T = std::thread([this, H = std::move(H), Opts] {
+      Server S(H, Opts);
+      ExitCode = S.serveFds(In[0], Out[1]);
+    });
+  }
+
+  void sendRequest(uint64_t Id, const std::string &Source,
+                   uint64_t DeadlineMs) {
+    RequestMsg Req;
+    Req.Id = Id;
+    Req.DeadlineMs = DeadlineMs;
+    Req.Source = Source;
+    std::string Wire;
+    appendFrame(Wire, FrameType::Request, encodeRequest(Req));
+    ASSERT_EQ(write(In[1], Wire.data(), Wire.size()),
+              static_cast<ssize_t>(Wire.size()));
+  }
+
+  std::vector<ResponseMsg> finish() {
+    std::string Wire;
+    appendFrame(Wire, FrameType::Shutdown, "");
+    EXPECT_EQ(write(In[1], Wire.data(), Wire.size()),
+              static_cast<ssize_t>(Wire.size()));
+    close(In[1]);
+    T.join();
+    close(Out[1]);
+    std::vector<ResponseMsg> Responses;
+    FrameReader R;
+    char Buf[4096];
+    ssize_t N;
+    while ((N = read(Out[0], Buf, sizeof(Buf))) > 0)
+      R.feed(Buf, static_cast<size_t>(N));
+    Frame F;
+    while (R.next(F) == FrameReader::Status::Frame) {
+      if (F.Type != FrameType::Response)
+        continue;
+      ResponseMsg M;
+      std::string Err;
+      if (decodeResponse(F.Payload, M, Err))
+        Responses.push_back(std::move(M));
+    }
+    close(In[0]);
+    close(Out[0]);
+    return Responses;
+  }
+};
+
+const ResponseMsg *findById(const std::vector<ResponseMsg> &Rs, uint64_t Id) {
+  for (const ResponseMsg &R : Rs)
+    if (R.Id == Id)
+      return &R;
+  return nullptr;
+}
+
+// A worker that ignores its budget entirely (the stall-worker failure
+// mode): the watchdog must fail the request past deadline + grace, the
+// server must stay healthy, and the worker's eventual result must be
+// discarded rather than double-responded.
+TEST(ServerSlowTest, WatchdogFailsWedgedRequestAndDiscardsLateResult) {
+  uint64_t KillsBefore = stats().counter("server.watchdog_kills");
+  uint64_t DiscardsBefore = stats().counter("server.discarded_results");
+
+  std::atomic<bool> WedgeDone{false};
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Opts.WatchdogIntervalMs = 5;
+  Opts.WatchdogGraceMs = 50;
+  PipeHarness H(
+      [&](const RequestMsg &Req, RequestBudget &) {
+        HandlerResult R;
+        if (Req.Source == "wedge") {
+          // Uncooperative: never polls the budget.
+          std::this_thread::sleep_for(std::chrono::milliseconds(800));
+          WedgeDone = true;
+          R.Payload = "late result nobody wants";
+          return R;
+        }
+        R.Payload = "healthy";
+        return R;
+      },
+      Opts);
+
+  H.sendRequest(1, "wedge", /*DeadlineMs=*/30);
+  // Give the watchdog time to fire (deadline 30 + grace 50 + slack),
+  // then prove the server still serves while the worker is wedged.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(WedgeDone.load());
+  H.sendRequest(2, "probe", /*DeadlineMs=*/5000);
+  std::vector<ResponseMsg> Rs = H.finish();
+
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  const ResponseMsg *Wedged = findById(Rs, 1);
+  ASSERT_NE(Wedged, nullptr);
+  EXPECT_EQ(Wedged->Status, ResponseStatus::Watchdog);
+  const ResponseMsg *Probe = findById(Rs, 2);
+  ASSERT_NE(Probe, nullptr);
+  EXPECT_EQ(Probe->Status, ResponseStatus::Ok);
+  // Exactly one response per request id: the late worker result was
+  // discarded, not sent as a duplicate frame.
+  int CountId1 = 0;
+  for (const ResponseMsg &R : Rs)
+    if (R.Id == 1)
+      ++CountId1;
+  EXPECT_EQ(CountId1, 1);
+  EXPECT_TRUE(WedgeDone.load()); // the worker did eventually return
+  EXPECT_GE(stats().counter("server.watchdog_kills"), KillsBefore + 1);
+  EXPECT_GE(stats().counter("server.discarded_results"), DiscardsBefore + 1);
+}
+
+// Requests that spend their whole deadline queueing behind a wedged
+// worker die with a Deadline frame (cooperative path), while later
+// requests with room still succeed: quarantine is per-request.
+TEST(ServerSlowTest, QueueingPastDeadlineQuarantinesCooperatively) {
+  ServerOptions Opts;
+  Opts.Workers = 1; // single worker so the queue actually backs up
+  Opts.WatchdogIntervalMs = 5;
+  Opts.WatchdogGraceMs = 2000; // watchdog stays out of this test's way
+  PipeHarness H(
+      [](const RequestMsg &Req, RequestBudget &B) {
+        HandlerResult R;
+        if (B.shouldStop(0)) {
+          R.Status = ResponseStatus::Deadline;
+          return R;
+        }
+        if (Req.Source == "hog")
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        R.Payload = "done";
+        return R;
+      },
+      Opts);
+  H.sendRequest(1, "hog", /*DeadlineMs=*/5000);
+  H.sendRequest(2, "starved", /*DeadlineMs=*/50); // dies in the queue
+  H.sendRequest(3, "patient", /*DeadlineMs=*/5000);
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_EQ(Rs.size(), 3u);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  ASSERT_NE(findById(Rs, 2), nullptr);
+  ASSERT_NE(findById(Rs, 3), nullptr);
+  EXPECT_EQ(findById(Rs, 1)->Status, ResponseStatus::Ok);
+  EXPECT_EQ(findById(Rs, 2)->Status, ResponseStatus::Deadline);
+  EXPECT_EQ(findById(Rs, 3)->Status, ResponseStatus::Ok);
+}
+
+} // namespace

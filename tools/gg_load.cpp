@@ -1,0 +1,566 @@
+//===- gg_load.cpp - compile-server load driver -------------------------------===//
+//
+// Drives a live `compile_minic --serve=SOCKET` daemon (docs/server.md)
+// with the deterministic --gen-corpus program population, concurrently,
+// and reports throughput + latency percentiles + error-frame counts as a
+// gg-bench-v1 metrics file for the regression sentinel.
+//
+//   gg-load --socket=PATH [--spawn=BIN [--serve-arg=ARG]...]
+//           [--requests=N] [--clients=K] [--corpus=N] [--deadline-ms=N]
+//           [--max-steps=N] [--max-arena=BYTES] [--crash-every=N]
+//           [--verify] [--bench-json=FILE] [--no-shutdown]
+//
+// --spawn=BIN forks BIN (compile_minic, or scripts/serve.sh for
+// supervisor drills) with --serve=SOCKET plus every --serve-arg, and
+// asserts at exit that the process died cleanly — the fault-matrix soak's
+// "zero process deaths" check. Without --spawn, gg-load connects to an
+// already-running server at --socket.
+//
+// gg-load is also the client half of the crash-only recovery loop: when a
+// connection dies mid-request (server crashed; supervisor restarting it),
+// the client reconnects with backoff and replays its in-flight request AT
+// MOST ONCE — safe because a response is a pure function of the request.
+// --crash-every=N injects a Crash frame before every Nth request (the
+// server must run with --serve-allow-crash, under scripts/serve.sh).
+//
+// --verify recomputes each program's single-shot assembly in-process
+// (same CompileService the server uses) and asserts byte-identical
+// payloads for every clean response — responses with blocked or
+// recovered trees (i.e. requests an injected fault actually hit) are
+// quarantined by the server and skipped here, as are programs whose
+// local reference compile is itself fault-afflicted.
+//
+// Exit codes follow support/ExitCodes.h: 1 on any verify mismatch,
+// client give-up, or unclean server death.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/CompileService.h"
+#include "support/ExitCodes.h"
+#include "support/Frame.h"
+#include "support/Strings.h"
+#include "workload/ProgramGen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace gg;
+
+namespace {
+
+struct LoadOptions {
+  std::string Socket;
+  std::string SpawnBin;
+  std::vector<std::string> ServeArgs;
+  int Requests = 50;
+  int Clients = 4;
+  int Corpus = 16;
+  uint32_t DeadlineMs = 0; ///< 0 = server default
+  uint64_t MaxSteps = 0;
+  uint64_t MaxArenaBytes = 0;
+  int CrashEvery = 0; ///< inject a Crash frame before every Nth request
+  bool Verify = false;
+  bool Shutdown = true;
+  std::string BenchJsonPath;
+};
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Connects to the server's Unix socket, retrying with backoff for up to
+/// ~10 seconds (the supervisor's restart window). Returns -1 on give-up.
+int connectWithRetry(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int DelayMs = 20;
+  for (int Try = 0; Try < 24; ++Try) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Fd;
+    ::close(Fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    DelayMs = std::min(DelayMs * 2, 1000);
+  }
+  return -1;
+}
+
+bool writeAll(int Fd, const std::string &Data) {
+  const char *P = Data.data();
+  size_t Len = Data.size();
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Shared tallies across client threads.
+struct Tally {
+  std::atomic<uint64_t> Ok{0};
+  std::atomic<uint64_t> Quarantined{0}; ///< deadline/step/mem/watchdog/protocol
+  std::atomic<uint64_t> CompileErrors{0};
+  std::atomic<uint64_t> Replays{0};
+  std::atomic<uint64_t> GaveUp{0};
+  std::atomic<uint64_t> VerifyMismatches{0};
+  std::atomic<uint64_t> VerifySkipped{0};
+  std::atomic<uint64_t> Verified{0};
+  std::atomic<uint64_t> StrayResponses{0};
+  std::atomic<uint64_t> CrashesInjected{0};
+  std::atomic<uint64_t> AsmBytes{0};
+  std::mutex LatM;
+  std::vector<uint64_t> LatenciesNs;
+};
+
+/// One client connection, reconnecting across server restarts.
+class Client {
+public:
+  explicit Client(const std::string &Socket) : Socket(Socket) {}
+  ~Client() { drop(); }
+
+  bool ensureConnected() {
+    if (Fd >= 0)
+      return true;
+    Fd = connectWithRetry(Socket);
+    Reader = FrameReader();
+    return Fd >= 0;
+  }
+
+  void drop() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+
+  bool send(FrameType Type, const std::string &Payload) {
+    if (!ensureConnected())
+      return false;
+    std::string Wire;
+    appendFrame(Wire, Type, Payload);
+    if (!writeAll(Fd, Wire)) {
+      drop();
+      return false;
+    }
+    return true;
+  }
+
+  /// Reads until the Response for \p WantId arrives (counting strays),
+  /// or the connection dies / \p TimeoutNs elapses.
+  bool awaitResponse(uint64_t WantId, uint64_t TimeoutNs, ResponseMsg &Out,
+                     Tally &T) {
+    uint64_t Deadline = nowNs() + TimeoutNs;
+    char Chunk[65536];
+    while (true) {
+      Frame F;
+      FrameReader::Status S = Reader.next(F);
+      if (S == FrameReader::Status::NeedMore) {
+        if (nowNs() > Deadline) {
+          drop();
+          return false;
+        }
+        ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0) {
+          drop();
+          return false;
+        }
+        Reader.feed(Chunk, static_cast<size_t>(N));
+        continue;
+      }
+      if (S == FrameReader::Status::Corrupt)
+        continue; // reader already resynced
+      if (F.Type != FrameType::Response) {
+        ++T.StrayResponses;
+        continue;
+      }
+      std::string Err;
+      if (!decodeResponse(F.Payload, Out, Err)) {
+        ++T.StrayResponses;
+        continue;
+      }
+      if (Out.Id != WantId) {
+        // Protocol-error responses carry id 0; a late watchdog response
+        // for a request we already replayed is also possible.
+        ++T.StrayResponses;
+        continue;
+      }
+      return true;
+    }
+  }
+
+private:
+  std::string Socket;
+  int Fd = -1;
+  FrameReader Reader;
+};
+
+/// The local single-shot reference for --verify: assembly per corpus
+/// program, or nullopt when the program is unverifiable (the local
+/// reference compile was itself hit by an injected fault).
+struct VerifyOracle {
+  std::vector<std::optional<std::string>> Expected;
+
+  bool build(const std::vector<std::string> &Corpus) {
+    std::string Err;
+    std::unique_ptr<CompileService> Svc = CompileService::create(Err);
+    if (!Svc) {
+      fprintf(stderr, "gg-load: --verify reference pipeline failed: %s\n",
+              Err.c_str());
+      return false;
+    }
+    Expected.resize(Corpus.size());
+    for (size_t I = 0; I < Corpus.size(); ++I) {
+      RequestMsg Req;
+      Req.Id = I;
+      Req.Source = Corpus[I];
+      RequestBudget NoLimits;
+      HandlerResult R = Svc->compile(Req, NoLimits);
+      if (R.Status == ResponseStatus::Ok && R.BlockedTrees == 0)
+        Expected[I] = std::move(R.Payload);
+    }
+    return true;
+  }
+};
+
+void usage() {
+  fprintf(stderr,
+          "usage: gg-load --socket=PATH [--spawn=BIN [--serve-arg=ARG]...]\n"
+          "               [--requests=N] [--clients=K] [--corpus=N]\n"
+          "               [--deadline-ms=N] [--max-steps=N] "
+          "[--max-arena=BYTES]\n"
+          "               [--crash-every=N] [--verify] [--bench-json=FILE]\n"
+          "               [--no-shutdown]\n");
+}
+
+bool intFlag(const std::string &A, const char *Prefix, int64_t Min,
+             int64_t Max, int64_t &Out, bool &Matched) {
+  size_t L = strlen(Prefix);
+  Matched = A.rfind(Prefix, 0) == 0;
+  if (!Matched)
+    return true;
+  std::optional<int64_t> N = parseInt(std::string_view(A).substr(L));
+  if (!N || *N < Min || *N > Max) {
+    fprintf(stderr, "gg-load: bad value in %s\n", A.c_str());
+    return false;
+  }
+  Out = *N;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  LoadOptions Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    bool M = false;
+    int64_t V = 0;
+    if (A.rfind("--socket=", 0) == 0)
+      Opt.Socket = A.substr(9);
+    else if (A.rfind("--spawn=", 0) == 0)
+      Opt.SpawnBin = A.substr(8);
+    else if (A.rfind("--serve-arg=", 0) == 0)
+      Opt.ServeArgs.push_back(A.substr(12));
+    else if (!intFlag(A, "--requests=", 1, 10000000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.Requests = static_cast<int>(V);
+    else if (!intFlag(A, "--clients=", 1, 256, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.Clients = static_cast<int>(V);
+    else if (!intFlag(A, "--corpus=", 1, 100000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.Corpus = static_cast<int>(V);
+    else if (!intFlag(A, "--deadline-ms=", 0, 86400000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.DeadlineMs = static_cast<uint32_t>(V);
+    else if (!intFlag(A, "--max-steps=", 0, INT64_MAX, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.MaxSteps = static_cast<uint64_t>(V);
+    else if (!intFlag(A, "--max-arena=", 0, INT64_MAX, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.MaxArenaBytes = static_cast<uint64_t>(V);
+    else if (!intFlag(A, "--crash-every=", 1, 1000000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.CrashEvery = static_cast<int>(V);
+    else if (A == "--verify")
+      Opt.Verify = true;
+    else if (A == "--no-shutdown")
+      Opt.Shutdown = false;
+    else if (A.rfind("--bench-json=", 0) == 0)
+      Opt.BenchJsonPath = A.substr(13);
+    else {
+      fprintf(stderr, "gg-load: unknown option %s\n", A.c_str());
+      usage();
+      return ExitUsage;
+    }
+  }
+  if (Opt.Socket.empty()) {
+    usage();
+    return ExitUsage;
+  }
+
+  // The same deterministic corpus as `compile_minic --gen-corpus=N`, so
+  // the server compiles the population the differential tests know.
+  std::vector<std::string> Corpus;
+  Corpus.reserve(Opt.Corpus);
+  for (int Case = 0; Case < Opt.Corpus; ++Case) {
+    GenOptions GOpts;
+    GOpts.Functions = 4 + Case % 3;
+    GOpts.StmtsPerFunction = 6 + Case % 5;
+    Corpus.push_back(generateProgram(0xD1FF0000u + Case, GOpts));
+  }
+
+  VerifyOracle Oracle;
+  if (Opt.Verify && !Oracle.build(Corpus))
+    return ExitFatalFault;
+
+  // Spawn the server (or supervisor script) if requested.
+  pid_t ServerPid = -1;
+  if (!Opt.SpawnBin.empty()) {
+    ::unlink(Opt.Socket.c_str());
+    ServerPid = fork();
+    if (ServerPid < 0) {
+      fprintf(stderr, "gg-load: fork: %s\n", strerror(errno));
+      return ExitFatalFault;
+    }
+    if (ServerPid == 0) {
+      std::vector<std::string> Args;
+      Args.push_back(Opt.SpawnBin);
+      Args.push_back("--serve=" + Opt.Socket);
+      for (const std::string &Extra : Opt.ServeArgs)
+        Args.push_back(Extra);
+      std::vector<char *> Argv;
+      for (std::string &S : Args)
+        Argv.push_back(S.data());
+      Argv.push_back(nullptr);
+      execv(Argv[0], Argv.data());
+      fprintf(stderr, "gg-load: exec %s: %s\n", Opt.SpawnBin.c_str(),
+              strerror(errno));
+      _exit(ExitFatalFault);
+    }
+  }
+
+  Tally T;
+  std::atomic<int> NextRequest{0};
+  // Client-side response timeout: generously beyond any server deadline +
+  // watchdog grace, so a hit deadline still yields a structured response
+  // rather than a client timeout.
+  uint64_t TimeoutNs = 30ull * 1000 * 1000 * 1000;
+
+  uint64_t WallStart = nowNs();
+  std::vector<std::thread> Workers;
+  for (int C = 0; C < Opt.Clients; ++C) {
+    Workers.emplace_back([&, C] {
+      Client Conn(Opt.Socket);
+      std::vector<uint64_t> LocalLat;
+      while (true) {
+        int Idx = NextRequest.fetch_add(1);
+        if (Idx >= Opt.Requests)
+          break;
+        if (Opt.CrashEvery > 0 && Idx > 0 && Idx % Opt.CrashEvery == 0) {
+          // Crash drill: kill the server out from under everyone. The
+          // supervisor restarts it; every client reconnects and replays.
+          if (Conn.send(FrameType::Crash, ""))
+            ++T.CrashesInjected;
+          Conn.drop();
+        }
+
+        RequestMsg Req;
+        Req.Id = static_cast<uint64_t>(Idx) + 1;
+        Req.DeadlineMs = Opt.DeadlineMs;
+        Req.MaxSteps = Opt.MaxSteps;
+        Req.MaxArenaBytes = Opt.MaxArenaBytes;
+        size_t ProgIdx = static_cast<size_t>(Idx) % Corpus.size();
+        Req.Source = Corpus[ProgIdx];
+        std::string Payload = encodeRequest(Req);
+
+        // Replay on connection loss: output is a pure function of the
+        // request, so replaying the in-flight request reproduces the lost
+        // response exactly (at most once per connection epoch). Bounded at
+        // 4 attempts because a freshly-reconnected socket can land in the
+        // listen backlog of a server that is already dying — the kernel
+        // accepts the connect before the process finishes aborting — so
+        // one replay can be burned without a second real crash.
+        ResponseMsg Resp;
+        bool Got = false;
+        uint64_t T0 = nowNs();
+        for (int Attempt = 0; Attempt < 4 && !Got; ++Attempt) {
+          if (Attempt > 0) {
+            ++T.Replays;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          if (!Conn.send(FrameType::Request, Payload))
+            continue;
+          Got = Conn.awaitResponse(Req.Id, TimeoutNs, Resp, T);
+        }
+        if (!Got) {
+          ++T.GaveUp;
+          continue;
+        }
+        LocalLat.push_back(nowNs() - T0);
+
+        switch (Resp.Status) {
+        case ResponseStatus::Ok:
+          ++T.Ok;
+          T.AsmBytes += Resp.Payload.size();
+          if (Opt.Verify) {
+            if (Resp.BlockedTrees > 0 || Resp.RecoveredTrees > 0 ||
+                !Oracle.Expected[ProgIdx]) {
+              // A fault actually hit this request (or the local
+              // reference): quarantine semantics, nothing to compare.
+              ++T.VerifySkipped;
+            } else if (Resp.Payload != *Oracle.Expected[ProgIdx]) {
+              ++T.VerifyMismatches;
+              fprintf(stderr,
+                      "gg-load: VERIFY MISMATCH request %llu (program %zu): "
+                      "%zu vs %zu bytes\n",
+                      static_cast<unsigned long long>(Req.Id), ProgIdx,
+                      Resp.Payload.size(), Oracle.Expected[ProgIdx]->size());
+            } else {
+              ++T.Verified;
+            }
+          }
+          break;
+        case ResponseStatus::CompileError:
+          ++T.CompileErrors;
+          break;
+        default:
+          ++T.Quarantined;
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> Lock(T.LatM);
+      T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
+                           LocalLat.end());
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  double WallSeconds = static_cast<double>(nowNs() - WallStart) / 1e9;
+
+  // Clean shutdown + death audit.
+  bool UncleanDeath = false;
+  if (Opt.Shutdown) {
+    Client Conn(Opt.Socket);
+    Conn.send(FrameType::Shutdown, "");
+  }
+  if (ServerPid > 0) {
+    int Status = 0;
+    if (waitpid(ServerPid, &Status, 0) == ServerPid) {
+      if (WIFSIGNALED(Status)) {
+        fprintf(stderr, "gg-load: server died on signal %d\n",
+                WTERMSIG(Status));
+        UncleanDeath = true;
+      } else if (WEXITSTATUS(Status) != 0) {
+        fprintf(stderr, "gg-load: server exited %d\n", WEXITSTATUS(Status));
+        UncleanDeath = true;
+      }
+    }
+  }
+
+  std::sort(T.LatenciesNs.begin(), T.LatenciesNs.end());
+  auto Pct = [&](double P) -> double {
+    if (T.LatenciesNs.empty())
+      return 0;
+    size_t I = static_cast<size_t>(P * (T.LatenciesNs.size() - 1));
+    return static_cast<double>(T.LatenciesNs[I]) / 1e9;
+  };
+
+  uint64_t Answered = T.Ok + T.CompileErrors + T.Quarantined;
+  printf("gg-load: %d requests, %llu ok, %llu compile-error, "
+         "%llu quarantined, %llu replays, %llu gave-up\n",
+         Opt.Requests, static_cast<unsigned long long>(T.Ok.load()),
+         static_cast<unsigned long long>(T.CompileErrors.load()),
+         static_cast<unsigned long long>(T.Quarantined.load()),
+         static_cast<unsigned long long>(T.Replays.load()),
+         static_cast<unsigned long long>(T.GaveUp.load()));
+  printf("gg-load: wall %.3fs, throughput %.1f req/s, latency p50 %.4fs "
+         "p95 %.4fs p99 %.4fs\n",
+         WallSeconds, Answered / std::max(WallSeconds, 1e-9), Pct(0.50),
+         Pct(0.95), Pct(0.99));
+  if (Opt.Verify)
+    printf("gg-load: verified %llu byte-identical, %llu skipped (faulted), "
+           "%llu MISMATCHED\n",
+           static_cast<unsigned long long>(T.Verified.load()),
+           static_cast<unsigned long long>(T.VerifySkipped.load()),
+           static_cast<unsigned long long>(T.VerifyMismatches.load()));
+
+  if (!Opt.BenchJsonPath.empty()) {
+    // gg-bench-v1, same contract as bench/BenchCommon.h: metrics with
+    // "seconds" in the name are wall-clock (sentinel-exempt unless
+    // --time-threshold); the rest must be deterministic run to run.
+    std::map<std::string, double> Metrics;
+    Metrics["requests"] = Opt.Requests;
+    Metrics["requests_ok"] = static_cast<double>(T.Ok.load());
+    Metrics["compile_errors"] = static_cast<double>(T.CompileErrors.load());
+    Metrics["error_frames"] = static_cast<double>(T.Quarantined.load());
+    Metrics["gave_up"] = static_cast<double>(T.GaveUp.load());
+    Metrics["verify_mismatches"] =
+        static_cast<double>(T.VerifyMismatches.load());
+    Metrics["asm_bytes"] = static_cast<double>(T.AsmBytes.load());
+    Metrics["wall_seconds"] = WallSeconds;
+    Metrics["p50_seconds"] = Pct(0.50);
+    Metrics["p95_seconds"] = Pct(0.95);
+    Metrics["p99_seconds"] = Pct(0.99);
+    Metrics["throughput_per_wall_seconds"] =
+        Answered / std::max(WallSeconds, 1e-9);
+    std::ofstream Out(Opt.BenchJsonPath);
+    if (!Out) {
+      fprintf(stderr, "gg-load: cannot write %s\n", Opt.BenchJsonPath.c_str());
+      return ExitCompileFailure;
+    }
+    Out << "{\"schema\":\"gg-bench-v1\",\"bench\":\"server_throughput\","
+           "\"metrics\":{";
+    bool First = true;
+    for (const auto &[Name, Value] : Metrics) {
+      char Buf[64];
+      snprintf(Buf, sizeof(Buf), "%.9g", Value);
+      Out << (First ? "" : ",") << "\"" << Name << "\":" << Buf;
+      First = false;
+    }
+    Out << "}}\n";
+  }
+
+  bool Failed = UncleanDeath || T.VerifyMismatches.load() > 0 ||
+                T.GaveUp.load() > 0;
+  return Failed ? ExitCompileFailure : ExitOk;
+}
