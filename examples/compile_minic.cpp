@@ -13,6 +13,9 @@
 //                 [--serve-deadline-ms=N] [--serve-max-steps=N]
 //                 [--serve-max-arena=BYTES] [--serve-grace-ms=N]
 //                 [--serve-allow-crash] [--serve-generation=N]
+//                 [--serve-queue-depth=N] [--serve-queue-deadline-ms=N]
+//                 [--serve-shed-policy=reject-newest|shed-oldest]
+//                 [--serve-drain-ms=N]
 //
 // --threads=N compiles functions on N pool workers (0 = hardware
 // concurrency); the output is byte-identical at any thread count.
@@ -42,7 +45,11 @@
 // framed compile requests over stdin/stdout — or over a Unix socket with
 // --serve=PATH — dispatching onto the work-stealing pool with
 // per-request deadlines, step/memory budgets and a watchdog. The
-// supervisor loop lives in scripts/serve.sh.
+// supervisor loop lives in scripts/serve.sh. --serve-queue-depth bounds
+// the admission queue (excess load is shed with Overloaded frames per
+// --serve-shed-policy); SIGTERM drains gracefully and SIGHUP hot-reloads
+// the table image under a fresh generation (--serve-drain-ms bounds
+// both waits).
 //
 // Exit codes (support/ExitCodes.h): 0 success, 1 recoverable compile
 // failure, 2 usage error, 3 fatal fault (broken description/tables —
@@ -61,8 +68,10 @@
 #include "support/Strings.h"
 #include "workload/ProgramGen.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -212,6 +221,30 @@ int main(int argc, char **argv) {
     } else if (A.rfind("--serve-generation=", 0) == 0) {
       if (!serveIntValue(A, 19, 0, INT64_MAX, SOpts.Generation))
         return ExitUsage;
+    } else if (A.rfind("--serve-queue-depth=", 0) == 0) {
+      uint64_t V;
+      if (!serveIntValue(A, sizeof("--serve-queue-depth=") - 1, 0, 1u << 20,
+                         V))
+        return ExitUsage;
+      SOpts.MaxQueueDepth = static_cast<size_t>(V);
+    } else if (A.rfind("--serve-queue-deadline-ms=", 0) == 0) {
+      if (!serveIntValue(A, sizeof("--serve-queue-deadline-ms=") - 1, 0,
+                         86400000, SOpts.QueueDeadlineMs))
+        return ExitUsage;
+    } else if (A == "--serve-shed-policy=reject-newest") {
+      SOpts.Shed = ShedPolicy::RejectNewest;
+    } else if (A == "--serve-shed-policy=shed-oldest") {
+      SOpts.Shed = ShedPolicy::ShedOldest;
+    } else if (A.rfind("--serve-shed-policy=", 0) == 0) {
+      fprintf(stderr,
+              "bad --serve-shed-policy (want reject-newest or shed-oldest)"
+              ": %s\n",
+              A.c_str());
+      return ExitUsage;
+    } else if (A.rfind("--serve-drain-ms=", 0) == 0) {
+      if (!serveIntValue(A, sizeof("--serve-drain-ms=") - 1, 1, 86400000,
+                         SOpts.DrainDeadlineMs))
+        return ExitUsage;
     } else if (A[0] == '-') {
       fprintf(stderr, "unknown option %s\n", A.c_str());
       return ExitUsage;
@@ -227,7 +260,10 @@ int main(int argc, char **argv) {
             "       compile_minic --serve[=SOCKET] [--serve-workers=N] "
             "[--serve-deadline-ms=N] [--serve-max-steps=N] "
             "[--serve-max-arena=BYTES] [--serve-grace-ms=N] "
-            "[--serve-allow-crash] [--serve-generation=N]\n",
+            "[--serve-allow-crash] [--serve-generation=N] "
+            "[--serve-queue-depth=N] [--serve-queue-deadline-ms=N] "
+            "[--serve-shed-policy=reject-newest|shed-oldest] "
+            "[--serve-drain-ms=N]\n",
             commonDriverUsage());
     return ExitUsage;
   }
@@ -248,6 +284,18 @@ int main(int argc, char **argv) {
       return ExitFatalFault;
     }
     Server S(Svc->handler(), SOpts);
+    S.setReloader(Svc->reloader());
+    // Operator lifecycle signals: SIGTERM/SIGINT drain gracefully (finish
+    // queued + in-flight work, then exit 0 so the supervisor stops
+    // cleanly); SIGHUP hot-reloads the table image. The handler just sets
+    // a flag; the server's watchdog thread does the work. No SA_RESTART:
+    // an interrupted poll/read retries on its own.
+    struct sigaction SA;
+    memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = [](int Sig) { Server::notifySignal(Sig); };
+    sigaction(SIGTERM, &SA, nullptr);
+    sigaction(SIGINT, &SA, nullptr);
+    sigaction(SIGHUP, &SA, nullptr);
     return ServeSocket.empty() ? S.serveFds(0, 1)
                                : S.serveUnixSocket(ServeSocket);
   }

@@ -5,8 +5,10 @@
 #
 # Runs the deterministic bench suites (E3 compile speed, E5 phase
 # breakdown, E7 code quality) with --baseline-json, plus the compile
-# server throughput run (gg-load against a live --serve daemon), and
-# either:
+# server throughput run (gg-load against a live --serve daemon) and an
+# overload leg (open-loop arrivals against a bounded queue, merged into
+# the same artifact under the overload_ prefix: goodput, shed rate,
+# tail latency), and either:
 #
 #   --update (default)  writes BENCH_compile_speed.json,
 #                       BENCH_phase_breakdown.json and
@@ -18,7 +20,9 @@
 #                       any count-metric deviation beyond the default
 #                       0.5% threshold (time metrics are informational
 #                       and skipped; pass gg-report --time-threshold
-#                       manually to opt in).
+#                       manually to opt in). The overload_ metrics are
+#                       load-dependent, so --noisy=overload_ keeps them
+#                       informational like the time class.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -55,6 +59,15 @@ if [ "$MODE" = update ]; then
       --spawn="$BUILD_DIR/examples/compile_minic" \
       --requests=200 --clients=4 --corpus=16 --verify \
       --bench-json="$ROOT/BENCH_server_throughput.json" > /dev/null
+  rm -f "$BUILD_DIR/bench-serve.sock"
+  GG_FAULT=overload-burst=20 \
+  "$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \
+      --spawn="$BUILD_DIR/examples/compile_minic" \
+      --serve-arg=--serve-workers=2 --serve-arg=--serve-queue-depth=4 \
+      --requests=300 --clients=4 --corpus=12 --open-loop=500 \
+      --timeout-ms=20000 --expect-sheds \
+      --bench-json="$ROOT/BENCH_server_throughput.json" \
+      --bench-merge --bench-prefix=overload_ > /dev/null
   echo "   BENCH_compile_speed.json BENCH_phase_breakdown.json" \
        "BENCH_code_quality.json BENCH_server_throughput.json"
   exit 0
@@ -74,7 +87,16 @@ rm -f "$BUILD_DIR/bench-serve.sock"
     --spawn="$BUILD_DIR/examples/compile_minic" \
     --requests=200 --clients=4 --corpus=16 --verify \
     --bench-json="$FRESH/server_throughput.json" > /dev/null
-"$BUILD_DIR/tools/gg-report" \
+rm -f "$BUILD_DIR/bench-serve.sock"
+GG_FAULT=overload-burst=20 \
+"$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \
+    --spawn="$BUILD_DIR/examples/compile_minic" \
+    --serve-arg=--serve-workers=2 --serve-arg=--serve-queue-depth=4 \
+    --requests=300 --clients=4 --corpus=12 --open-loop=500 \
+    --timeout-ms=20000 --expect-sheds \
+    --bench-json="$FRESH/server_throughput.json" \
+    --bench-merge --bench-prefix=overload_ > /dev/null
+"$BUILD_DIR/tools/gg-report" --noisy=overload_ \
     --check-bench="$FRESH/compile_speed.json:$ROOT/BENCH_compile_speed.json" \
     --check-bench="$FRESH/phase_breakdown.json:$ROOT/BENCH_phase_breakdown.json" \
     --check-bench="$FRESH/code_quality.json:$ROOT/BENCH_code_quality.json" \

@@ -27,11 +27,16 @@
 #    corpus requests across the whole fault matrix plus a supervisor
 #    crash drill — zero process deaths, non-faulted responses
 #    byte-identical to single-shot,
-# 8. runs the benchmark regression sentinel: fresh deterministic bench
+# 8. runs the overload soak: a saturating open-loop gg-load against a
+#    bounded-queue server under the overload-burst fault (excess requests
+#    get OVERLOADED frames, zero watchdog kills), a slow-client drip
+#    leg, a shed-oldest policy smoke, and a mid-soak SIGHUP hot-reload
+#    drill through scripts/serve.sh ending in a clean SIGTERM drain,
+# 9. runs the benchmark regression sentinel: fresh deterministic bench
 #    metrics vs the committed BENCH_*.json baselines (scripts/bench.sh),
-# 9. builds the parallel-determinism test under -fsanitize=thread and runs
-#    it: the work-stealing compile pipeline must be race-free, not just
-#    deterministic.
+# 10. builds the parallel-determinism test under -fsanitize=thread and
+#    runs it: the work-stealing compile pipeline must be race-free, not
+#    just deterministic.
 #
 # --fast reuses the plain ./build tree (no sanitizers), runs only the
 # tier1 gate and skips the TSAN leg: a quick pre-commit pass.
@@ -325,6 +330,108 @@ restarts=$(grep -c "restart #" "$TMP/serve.crash.out" || true)
   { echo "crash drill never exercised a supervisor restart" >&2; exit 1; }
 sed -n 's/^gg-load: /   /p' "$TMP/serve.crash.out" | head -2
 echo "   crash drill: $restarts supervisor restarts, zero lost requests"
+
+echo "== overload soak (admission control, backpressure, drain, reload)"
+# Saturating open-loop load against a bounded queue while the
+# overload-burst fault inflates service times: the server must answer
+# every accepted request (gg-load fails on any give-up), shed the excess
+# with OVERLOADED frames (--expect-sheds fails if none arrive), and keep
+# the watchdog out of it — overload is backpressure, not wedging.
+rm -f "$TMP/serve.sock"
+GG_FAULT=overload-burst=40 "$BUILD_DIR"/tools/gg-load \
+  --socket="$TMP/serve.sock" \
+  --spawn="$BUILD_DIR"/examples/compile_minic \
+  --serve-arg=--serve-workers=2 \
+  --serve-arg=--serve-queue-depth=4 \
+  --serve-arg=--stats-json="$TMP/serve.overload.stats.json" \
+  --requests=400 --clients=4 --corpus=12 --open-loop=400 \
+  --timeout-ms=20000 --expect-sheds --verify \
+  >"$TMP/serve.overload.out" 2>&1 ||
+  { echo "overload soak failed" >&2; cat "$TMP/serve.overload.out" >&2
+    exit 1; }
+json_check "$TMP/serve.overload.stats.json"
+grep -q '"server.watchdog_kills":0' "$TMP/serve.overload.stats.json" ||
+  { echo "overload soak tripped the watchdog" >&2; exit 1; }
+grep -q '"server.overloaded":[1-9]' "$TMP/serve.overload.stats.json" ||
+  { echo "overload soak never shed on the server side" >&2; exit 1; }
+sed -n 's/^gg-load: /   /p' "$TMP/serve.overload.out" | head -3
+
+# Slow-client drip: gg-load's own frame writes are sliced into chunks
+# with delays (the slow-client fault acts in the client process). A
+# dripping writer must cost the server patience, not correctness.
+rm -f "$TMP/serve.sock"
+GG_FAULT=slow-client=2 "$BUILD_DIR"/tools/gg-load \
+  --socket="$TMP/serve.sock" \
+  --spawn="$BUILD_DIR"/examples/compile_minic \
+  --requests=60 --clients=4 --corpus=8 --timeout-ms=30000 --verify \
+  >"$TMP/serve.slow.out" 2>&1 ||
+  { echo "slow-client soak failed" >&2; cat "$TMP/serve.slow.out" >&2
+    exit 1; }
+echo "   slow-client: $(sed -n 's/^gg-load: \([0-9]* requests.*\)/\1/p' \
+  "$TMP/serve.slow.out")"
+
+# Shed-oldest policy smoke: same saturation, displacement instead of
+# rejection — the server-side counter proves the policy actually ran.
+rm -f "$TMP/serve.sock"
+GG_FAULT=overload-burst=40 "$BUILD_DIR"/tools/gg-load \
+  --socket="$TMP/serve.sock" \
+  --spawn="$BUILD_DIR"/examples/compile_minic \
+  --serve-arg=--serve-workers=2 \
+  --serve-arg=--serve-queue-depth=2 \
+  --serve-arg=--serve-shed-policy=shed-oldest \
+  --serve-arg=--stats-json="$TMP/serve.oldest.stats.json" \
+  --requests=200 --clients=4 --corpus=8 --open-loop=400 \
+  --timeout-ms=20000 --expect-sheds \
+  >"$TMP/serve.oldest.out" 2>&1 ||
+  { echo "shed-oldest soak failed" >&2; cat "$TMP/serve.oldest.out" >&2
+    exit 1; }
+grep -q '"server.shed_oldest":[1-9]' "$TMP/serve.oldest.stats.json" ||
+  { echo "shed-oldest policy never displaced a queued request" >&2; exit 1; }
+echo "   shed-oldest: displacement policy exercised under saturation"
+
+# Reload drill: a supervised server takes live load while gg-load injects
+# in-band Reload frames (--min-generation proves the swaps happened) and
+# the supervisor forwards a mid-soak SIGHUP; --verify holds the
+# byte-identity bar across generations, and a final SIGTERM must come
+# back as a clean drain (supervisor exit 0), with the reloads and the
+# drain visible in the server's stats artifact.
+rm -f "$TMP/serve.sock"
+scripts/serve.sh "$BUILD_DIR"/examples/compile_minic \
+  --serve="$TMP/serve.sock" --serve-workers=2 \
+  --stats-json="$TMP/serve.reload.stats.json" \
+  >"$TMP/serve.reload.log" 2>&1 &
+SUPERVISOR=$!
+for _ in $(seq 1 100); do
+  [[ -S "$TMP/serve.sock" ]] && break
+  sleep 0.1
+done
+[[ -S "$TMP/serve.sock" ]] ||
+  { echo "supervised server never bound its socket" >&2; exit 1; }
+"$BUILD_DIR"/tools/gg-load --socket="$TMP/serve.sock" \
+  --requests=120 --clients=4 --corpus=8 --verify \
+  --reload-every=40 --min-generation=2 --timeout-ms=30000 --no-shutdown \
+  >"$TMP/serve.reload.out" 2>&1 &
+LOADPID=$!
+sleep 0.5
+kill -HUP "$SUPERVISOR" 2>/dev/null || true
+wait "$LOADPID" ||
+  { echo "reload drill load failed" >&2; cat "$TMP/serve.reload.out" >&2
+    cat "$TMP/serve.reload.log" >&2; exit 1; }
+kill -TERM "$SUPERVISOR"
+set +e
+wait "$SUPERVISOR"
+drain_code=$?
+set -e
+[[ "$drain_code" -eq 0 ]] ||
+  { echo "supervisor drain exited $drain_code (want 0: clean drain)" >&2
+    cat "$TMP/serve.reload.log" >&2; exit 1; }
+grep -q '"server.reloads":[1-9]' "$TMP/serve.reload.stats.json" ||
+  { echo "reload drill: no reload recorded in server stats" >&2; exit 1; }
+grep -q '"server.drains":[1-9]' "$TMP/serve.reload.stats.json" ||
+  { echo "reload drill: SIGTERM drain missing from server stats" >&2
+    exit 1; }
+sed -n 's/^gg-load: /   /p' "$TMP/serve.reload.out" | head -3
+echo "   reload drill: hot reloads under load, clean SIGTERM drain"
 
 echo "== benchmark regression sentinel (vs committed BENCH_*.json)"
 scripts/bench.sh --check --build-dir "$BUILD_DIR"

@@ -29,6 +29,16 @@
 # because a response is a pure function of the request. Each restart
 # passes --serve-generation=N so the server's server.restarts stats
 # counter reflects supervisor history in gg-stats-v1 dumps.
+#
+# Lifecycle signals (docs/server.md "Overload & lifecycle"):
+#
+#   SIGHUP   forwarded to the server, which hot-reloads its table image
+#            under a new generation; the supervisor keeps supervising.
+#   SIGTERM/ SIGINT  forwarded, then the supervisor waits for the graceful
+#            drain: exit 0 (or 143: the server died on our own TERM before
+#            its handler was up) counts as a clean drain -> exit 0; any
+#            other exit during the drain is a crash -> exit 1, so callers
+#            can tell "drained" from "died while draining".
 #===------------------------------------------------------------------------===#
 set -u
 
@@ -60,17 +70,48 @@ PROVE_MS=5000
 GENERATION=0
 CHILD=0
 
-# Forward termination to the child and stop supervising: the supervisor
-# itself must die cleanly when its operator kills it.
-trap 'if [ "$CHILD" -ne 0 ]; then kill -TERM "$CHILD" 2>/dev/null; wait "$CHILD" 2>/dev/null; fi; rm -f "$SOCKET"; exit 0' TERM INT
+# Waits until $CHILD really exits, re-issuing wait whenever a trap
+# interrupts it (bash returns 128+SIG from wait when a trapped signal
+# arrives; the child is usually still alive then). Sets WAIT_CODE.
+wait_child() {
+  while :; do
+    wait "$CHILD" 2>/dev/null
+    WAIT_CODE=$?
+    kill -0 "$CHILD" 2>/dev/null || break
+  done
+}
+
+# Forward termination to the child, then wait out its graceful drain and
+# report it honestly: a clean drain (exit 0, or 143 when the child died on
+# our own TERM before installing its handler) exits 0, a crash during the
+# drain exits 1.
+on_term() {
+  if [ "$CHILD" -ne 0 ]; then
+    kill -TERM "$CHILD" 2>/dev/null
+    wait_child
+  else
+    WAIT_CODE=0
+  fi
+  rm -f "$SOCKET"
+  if [ "$WAIT_CODE" -eq 0 ] || [ "$WAIT_CODE" -eq 143 ]; then
+    exit 0
+  fi
+  echo "serve.sh: server crashed during drain (exit $WAIT_CODE)" >&2
+  exit 1
+}
+trap 'on_term' TERM INT
+
+# Forward SIGHUP: the server hot-reloads its table image in place (no
+# process exit, no restart, no dropped requests) and keeps serving.
+trap 'if [ "$CHILD" -ne 0 ]; then kill -HUP "$CHILD" 2>/dev/null; fi' HUP
 
 while :; do
   rm -f "$SOCKET"
   START_MS=$(( $(date +%s%N) / 1000000 ))
   "$BIN" --serve="$SOCKET" --serve-generation="$GENERATION" "${EXTRA[@]+"${EXTRA[@]}"}" &
   CHILD=$!
-  wait "$CHILD"
-  CODE=$?
+  wait_child
+  CODE=$WAIT_CODE
   CHILD=0
   END_MS=$(( $(date +%s%N) / 1000000 ))
 

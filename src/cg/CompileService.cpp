@@ -8,31 +8,67 @@
 
 using namespace gg;
 
+std::shared_ptr<const VaxTarget> CompileService::buildVerified(
+    std::string &Err) {
+  std::shared_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  if (!Target)
+    return nullptr;
+
+  // Self-verify the table image through the v2 serializer: the round trip
+  // exercises the fingerprint, checksum and bounds checks the loader
+  // applies to on-disk tables, so the server never publishes an image
+  // that would not survive a save/load cycle. The corrupt-table fault
+  // lands here (as it does on run_vax's round-trip path): at startup it
+  // is a fatal fault for the supervisor, on reload it keeps the old image
+  // serving.
+  std::string Text =
+      serializeTables(Target->grammar(), Target->build().Tables);
+  faultInject().corruptTableBody(Text, tableBodyOffset(Text));
+  LRTables Loaded;
+  DiagnosticSink Diags;
+  if (!deserializeTables(Text, Target->grammar(), Loaded, Diags)) {
+    Err = strf("table self-verification failed:\n%s",
+               Diags.renderAll().c_str());
+    return nullptr;
+  }
+  return Target;
+}
+
 std::unique_ptr<CompileService> CompileService::create(std::string &Err,
                                                        CodeGenOptions Base) {
   auto Svc = std::unique_ptr<CompileService>(new CompileService());
   Svc->BaseOpts = Base;
-  Svc->Target = VaxTarget::create(Err);
+  Svc->Target = buildVerified(Err);
   if (!Svc->Target)
     return nullptr;
-
-  // Self-verify the shared table image through the v2 serializer: the
-  // round trip exercises the fingerprint, checksum and bounds checks the
-  // loader applies to on-disk tables, so a server never comes up on a
-  // table image that would not survive a save/load cycle. The
-  // corrupt-table fault lands here (as it does on run_vax's round-trip
-  // path) and turns startup into a fatal fault for the supervisor.
-  std::string Text =
-      serializeTables(Svc->Target->grammar(), Svc->Target->build().Tables);
-  faultInject().corruptTableBody(Text, tableBodyOffset(Text));
-  LRTables Loaded;
-  DiagnosticSink Diags;
-  if (!deserializeTables(Text, Svc->Target->grammar(), Loaded, Diags)) {
-    Err = strf("table self-verification failed at startup:\n%s",
-               Diags.renderAll().c_str());
-    return nullptr;
-  }
   return Svc;
+}
+
+std::pair<std::shared_ptr<const VaxTarget>, uint64_t>
+CompileService::snapshot() const {
+  std::lock_guard<std::mutex> Lock(TargetM);
+  return {Target, TableGeneration};
+}
+
+uint64_t CompileService::generation() const {
+  std::lock_guard<std::mutex> Lock(TargetM);
+  return TableGeneration;
+}
+
+bool CompileService::reload(uint64_t &NewGeneration, std::string &Err) {
+  // Build and verify entirely off to the side; the swap at the end is the
+  // only moment the serving state changes, and it is atomic under the
+  // snapshot lock. In-flight requests keep their snapshot of the old
+  // image — the old shared_ptr stays alive until the last of them drops.
+  std::shared_ptr<const VaxTarget> Fresh = buildVerified(Err);
+  std::lock_guard<std::mutex> Lock(TargetM);
+  if (!Fresh) {
+    NewGeneration = TableGeneration; // old image keeps serving
+    return false;
+  }
+  Target = std::move(Fresh);
+  NewGeneration = ++TableGeneration;
+  return true;
 }
 
 /// Maps a budget's stop cause to the wire status (BudgetStop::Cancelled
@@ -56,6 +92,13 @@ static ResponseStatus statusForStop(BudgetStop S) {
 HandlerResult CompileService::compile(const RequestMsg &Req,
                                       RequestBudget &Budget) const {
   HandlerResult R;
+
+  // Pin the table image for the whole request: a concurrent reload swaps
+  // the service's pointer, not ours. The generation is stamped into the
+  // response so clients can observe reload progress (and tests can assert
+  // byte-identity per generation).
+  auto [Snap, Gen] = snapshot();
+  R.Generation = Gen;
 
   // A request that spent its whole deadline queueing is already dead.
   if (Budget.shouldStop(0)) {
@@ -90,7 +133,7 @@ HandlerResult CompileService::compile(const RequestMsg &Req,
   Opts.Parallel.Threads = 1;
   Opts.Budget = &Budget;
 
-  GGCodeGenerator CG(*Target, Opts);
+  GGCodeGenerator CG(*Snap, Opts);
   std::string Asm, Err;
   bool Ok = CG.compile(Prog, Asm, Err);
   R.BlockedTrees = static_cast<uint32_t>(CG.stats().BlockedTrees);

@@ -15,8 +15,17 @@
 /// re-loaded through the hardened deserializer, so the server only comes
 /// up on a table image whose checksum, fingerprint, and bounds all check
 /// out (and the corrupt-table fault makes startup fail fatally, which the
-/// supervisor treats as a config error rather than a crash). After that
-/// the target is immutable and shared by every worker.
+/// supervisor treats as a config error rather than a crash).
+///
+/// The table image itself is *hot-swappable*: reload() rebuilds and
+/// re-verifies a fresh image and atomically publishes it under a new
+/// generation (SIGHUP / the Reload frame land here via the Server's
+/// ReloadHandler). Each request snapshots a shared_ptr to the image at
+/// dispatch, so in-flight requests keep compiling against the image they
+/// started with while new requests pick up the swap — zero requests see a
+/// torn table, and within one generation outputs stay byte-identical
+/// because a rebuild from the same description is deterministic. A failed
+/// reload keeps the old image serving (and the old generation).
 ///
 /// Each request compiles with Threads=1: the server parallelizes across
 /// requests, not within one, so one wedged request can never hold more
@@ -33,12 +42,13 @@
 #include "support/Server.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace gg {
 
-/// One immutable compile pipeline serving any number of concurrent
-/// requests.
+/// One compile pipeline serving any number of concurrent requests over a
+/// hot-swappable, generation-counted table image.
 class CompileService {
 public:
   /// Builds the target and runs the v2-serializer self-verification.
@@ -48,9 +58,19 @@ public:
   static std::unique_ptr<CompileService> create(std::string &Err,
                                                 CodeGenOptions BaseOpts = {});
 
-  /// Compiles one request under its budget. Never throws, never exits:
-  /// every failure maps to a ResponseStatus. Thread-safe.
+  /// Compiles one request under its budget against a snapshot of the
+  /// current table image, stamping the snapshot's generation into the
+  /// result. Never throws, never exits: every failure maps to a
+  /// ResponseStatus. Thread-safe, including concurrently with reload().
   HandlerResult compile(const RequestMsg &Req, RequestBudget &Budget) const;
+
+  /// Rebuilds a fresh table image, runs the same serializer
+  /// self-verification as startup, and atomically swaps it in under the
+  /// next generation. On failure returns false with \p Err set and keeps
+  /// the old image (and generation) serving — a bad reload is a no-op,
+  /// never an outage. \p NewGeneration reports the generation now serving
+  /// either way. Safe while requests are in flight: they hold snapshots.
+  bool reload(uint64_t &NewGeneration, std::string &Err);
 
   /// The service as a Server-compatible handler.
   CompileHandler handler() {
@@ -59,11 +79,30 @@ public:
     };
   }
 
-  const VaxTarget &target() const { return *Target; }
+  /// The service as a Server-compatible reload hook.
+  ReloadHandler reloader() {
+    return [this](uint64_t &NewGeneration, std::string &Err) {
+      return reload(NewGeneration, Err);
+    };
+  }
+
+  /// The table generation currently serving (starts at 1).
+  uint64_t generation() const;
+
+  const VaxTarget &target() const { return *snapshot().first; }
 
 private:
   CompileService() = default;
-  std::unique_ptr<VaxTarget> Target;
+
+  /// Builds and self-verifies one table image (shared by create/reload).
+  static std::shared_ptr<const VaxTarget> buildVerified(std::string &Err);
+
+  /// The current image + its generation, taken atomically.
+  std::pair<std::shared_ptr<const VaxTarget>, uint64_t> snapshot() const;
+
+  mutable std::mutex TargetM; ///< guards Target/TableGeneration swaps
+  std::shared_ptr<const VaxTarget> Target;
+  uint64_t TableGeneration = 1;
   CodeGenOptions BaseOpts;
 };
 

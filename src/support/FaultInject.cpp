@@ -102,6 +102,32 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
         Bytes = *P;
       }
       New.ArenaCapBytes = Bytes;
+    } else if (Key == "overload-burst") {
+      int64_t Ms = 20; // long enough to back a small queue up, short
+                       // enough to keep soak runs quick
+      if (!Val.empty()) {
+        std::optional<int64_t> P = parseInt(Val);
+        if (!P || *P < 1 || *P > 1000) {
+          Err = strf("overload-burst delay must be in [1,1000] ms, "
+                     "got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        Ms = *P;
+      }
+      New.OverloadBurstMs = static_cast<int>(Ms);
+    } else if (Key == "slow-client") {
+      int64_t Ms = 2;
+      if (!Val.empty()) {
+        std::optional<int64_t> P = parseInt(Val);
+        if (!P || *P < 1 || *P > 1000) {
+          Err = strf("slow-client delay must be in [1,1000] ms, got '%.*s'",
+                     static_cast<int>(Val.size()), Val.data());
+          return false;
+        }
+        Ms = *P;
+      }
+      New.SlowClientMs = static_cast<int>(Ms);
     } else if (Key == "seed") {
       std::optional<int64_t> S = Val.empty() ? std::nullopt : parseInt(Val);
       if (!S || *S < 0) {
@@ -112,13 +138,14 @@ bool FaultInjector::configure(std::string_view Spec, std::string &Err) {
     } else {
       Err = strf("unknown fault kind '%.*s' (known: drop-prod, "
                  "corrupt-table, truncate-input, cap-regs, stall-worker, "
-                 "oom-arena, seed)",
+                 "oom-arena, overload-burst, slow-client, seed)",
                  static_cast<int>(Key.size()), Key.data());
       return false;
     }
   }
   C = New;
   TreeOrdinal.store(0, std::memory_order_relaxed);
+  DispatchOrdinal.store(0, std::memory_order_relaxed);
   return true;
 }
 
@@ -160,6 +187,22 @@ void FaultInjector::stallWorker(uint64_t TaskOrdinal) {
       (H >> 7) % (static_cast<uint64_t>(C.StallWorkerMs) * 1000 + 1);
   ++stats().counter("fault.worker_stalls");
   std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+}
+
+void FaultInjector::overloadBurst() {
+  if (C.OverloadBurstMs <= 0)
+    return;
+  // Alternating windows of 8 requests: bursts back the queue up, the
+  // quiet windows let sheds and retries interleave with successes.
+  uint64_t Ordinal = DispatchOrdinal.fetch_add(1, std::memory_order_relaxed);
+  if ((Ordinal / 8) % 2 != 0)
+    return;
+  ++stats().counter("fault.overload_bursts");
+  std::this_thread::sleep_for(std::chrono::milliseconds(C.OverloadBurstMs));
+}
+
+void FaultInjector::noteSlowClientWrite() {
+  ++stats().counter("fault.slow_client_writes");
 }
 
 int64_t FaultInjector::corruptTableBody(std::string &TableText,

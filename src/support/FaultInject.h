@@ -28,6 +28,16 @@
 ///                           (default 4096): allocation past the cap sets
 ///                           the arena's sticky exhausted() flag, driving
 ///                           the memory-exhaustion degradation path;
+///   * `overload-burst[=MS]` inflate the compile server's per-request
+///                           service time by MS milliseconds in bursts
+///                           (alternating windows of 8 requests), pushing
+///                           a bounded queue into its shed paths without
+///                           touching the compile pipeline itself;
+///   * `slow-client[=MS]`    make gg-load dribble request frames onto the
+///                           wire in small chunks with MS milliseconds
+///                           between them (a slowloris-style client; the
+///                           server's incremental reader must treat it as
+///                           NeedMore, never as corruption);
 ///   * `seed=S`              seed for derived offsets (deterministic).
 ///
 /// Faults are process-global (like the stats registry), configured from a
@@ -66,13 +76,18 @@ struct FaultConfig {
   int StallWorkerMs = 0;
   /// Cap every NodeArena at this many node-storage bytes. -1 = off.
   int64_t ArenaCapBytes = -1;
+  /// Inflate server-side service time by this many ms in bursts. 0 = off.
+  int OverloadBurstMs = 0;
+  /// gg-load writes frames in small chunks with this many ms between
+  /// them. 0 = off.
+  int SlowClientMs = 0;
   /// Seed for derived choices (corrupt offset, truncation point, stalls).
   uint64_t Seed = 1;
 
   bool anyEnabled() const {
     return !DropProdTag.empty() || CorruptTableByte != -1 ||
            TruncateEveryNth > 0 || CapFreeRegs >= 0 || StallWorkerMs > 0 ||
-           ArenaCapBytes >= 0;
+           ArenaCapBytes >= 0 || OverloadBurstMs > 0 || SlowClientMs > 0;
   }
 };
 
@@ -96,6 +111,7 @@ public:
   void reset() {
     C = FaultConfig();
     TreeOrdinal.store(0, std::memory_order_relaxed);
+    DispatchOrdinal.store(0, std::memory_order_relaxed);
   }
 
   /// True if the expanded production with semantic tag \p SemTag should be
@@ -142,11 +158,26 @@ public:
   /// corrupted offset, or -1 if the fault is off or the body is empty.
   int64_t corruptTableBody(std::string &TableText, size_t BodyStart);
 
+  /// overload-burst fault: sleeps OverloadBurstMs in alternating windows
+  /// of 8 dispatched requests (counts `fault.overload_bursts` when it
+  /// fires). Called from the server's dispatch path — never the compile
+  /// pipeline — so an in-process verify oracle sharing GG_FAULT is
+  /// unaffected. No-op when off.
+  void overloadBurst();
+
+  /// slow-client fault: the inter-chunk delay (ms) a load client should
+  /// insert while writing a frame, or 0 when off. The caller counts
+  /// `fault.slow_client_writes` via noteSlowClientWrite() per frame.
+  int slowClientChunkMs() const { return C.SlowClientMs; }
+  void noteSlowClientWrite();
+
 private:
   FaultConfig C;
   /// Statement trees numbered so far (truncate-input); atomic because
   /// parallel compiles may reserve blocks concurrently.
   std::atomic<uint64_t> TreeOrdinal{0};
+  /// Requests dispatched so far (overload-burst windowing).
+  std::atomic<uint64_t> DispatchOrdinal{0};
 };
 
 /// Shorthand for the global injector.

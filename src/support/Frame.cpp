@@ -17,7 +17,7 @@ constexpr size_t TrailerLen = 4;        ///< checksum
 
 bool knownFrameType(uint8_t T) {
   return T >= static_cast<uint8_t>(FrameType::Request) &&
-         T <= static_cast<uint8_t>(FrameType::Crash);
+         T <= static_cast<uint8_t>(FrameType::Reloaded);
 }
 
 void putU8(std::string &Out, uint8_t V) {
@@ -222,6 +222,7 @@ std::string gg::encodeResponse(const ResponseMsg &M) {
   putU8(Out, static_cast<uint8_t>(M.Status));
   putU32(Out, M.BlockedTrees);
   putU32(Out, M.RecoveredTrees);
+  putU64(Out, M.Generation);
   putU32(Out, static_cast<uint32_t>(M.Payload.size()));
   Out.append(M.Payload);
   return Out;
@@ -233,7 +234,7 @@ bool gg::decodeResponse(std::string_view Payload, ResponseMsg &M,
   uint8_t Status = 0;
   uint32_t TextLen = 0;
   if (!R.u64(M.Id) || !R.u8(Status) || !R.u32(M.BlockedTrees) ||
-      !R.u32(M.RecoveredTrees) || !R.u32(TextLen)) {
+      !R.u32(M.RecoveredTrees) || !R.u64(M.Generation) || !R.u32(TextLen)) {
     Err = "truncated response header";
     return false;
   }
@@ -248,6 +249,84 @@ bool gg::decodeResponse(std::string_view Payload, ResponseMsg &M,
   }
   if (!R.atEnd()) {
     Err = "trailing garbage after response payload";
+    return false;
+  }
+  return true;
+}
+
+const char *gg::overloadCauseName(OverloadCause C) {
+  switch (C) {
+  case OverloadCause::QueueFull:
+    return "queue-full";
+  case OverloadCause::ShedOldest:
+    return "shed-oldest";
+  case OverloadCause::QueueDeadline:
+    return "queue-deadline";
+  case OverloadCause::AdmissionDeadline:
+    return "admission-deadline";
+  case OverloadCause::Draining:
+    return "draining";
+  }
+  return "unknown";
+}
+
+std::string gg::encodeOverload(const OverloadMsg &M) {
+  std::string Out;
+  putU64(Out, M.Id);
+  putU32(Out, M.RetryAfterMs);
+  putU32(Out, M.QueueDepth);
+  putU8(Out, static_cast<uint8_t>(M.Cause));
+  return Out;
+}
+
+bool gg::decodeOverload(std::string_view Payload, OverloadMsg &M,
+                        std::string &Err) {
+  ByteReader R(Payload);
+  uint8_t Cause = 0;
+  if (!R.u64(M.Id) || !R.u32(M.RetryAfterMs) || !R.u32(M.QueueDepth) ||
+      !R.u8(Cause)) {
+    Err = "truncated overload notice";
+    return false;
+  }
+  if (Cause > static_cast<uint8_t>(OverloadCause::Draining)) {
+    Err = strf("overload cause %u out of range", Cause);
+    return false;
+  }
+  M.Cause = static_cast<OverloadCause>(Cause);
+  if (!R.atEnd()) {
+    Err = "trailing garbage after overload notice";
+    return false;
+  }
+  return true;
+}
+
+std::string gg::encodeReloaded(const ReloadedMsg &M) {
+  std::string Out;
+  putU64(Out, M.Generation);
+  putU8(Out, M.Ok ? 1 : 0);
+  putU32(Out, static_cast<uint32_t>(M.Text.size()));
+  Out.append(M.Text);
+  return Out;
+}
+
+bool gg::decodeReloaded(std::string_view Payload, ReloadedMsg &M,
+                        std::string &Err) {
+  ByteReader R(Payload);
+  uint32_t TextLen = 0;
+  if (!R.u64(M.Generation) || !R.u8(M.Ok) || !R.u32(TextLen)) {
+    Err = "truncated reload outcome";
+    return false;
+  }
+  if (M.Ok > 1) {
+    Err = strf("reload ok flag %u out of range", M.Ok);
+    return false;
+  }
+  if (!R.bytes(M.Text, TextLen)) {
+    Err = strf("reload text truncated: header says %u bytes", TextLen);
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing garbage after reload outcome";
     return false;
   }
   return true;

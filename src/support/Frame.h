@@ -41,13 +41,18 @@ namespace gg {
 
 /// Frame types on the wire. Unknown values are a protocol error.
 enum class FrameType : uint8_t {
-  Request = 1,  ///< client -> server: compile this source
-  Response = 2, ///< server -> client: result for one request id
-  Ping = 3,     ///< client -> server: liveness probe
-  Pong = 4,     ///< server -> client: liveness answer
-  Shutdown = 5, ///< client -> server: drain and exit cleanly (exit 0)
-  Crash = 6,    ///< client -> server: die immediately (tests/supervisor
-                ///< drills only; ignored unless the server allows it)
+  Request = 1,    ///< client -> server: compile this source
+  Response = 2,   ///< server -> client: result for one request id
+  Ping = 3,       ///< client -> server: liveness probe
+  Pong = 4,       ///< server -> client: liveness answer
+  Shutdown = 5,   ///< client -> server: drain and exit cleanly (exit 0)
+  Crash = 6,      ///< client -> server: die immediately (tests/supervisor
+                  ///< drills only; ignored unless the server allows it)
+  Overloaded = 7, ///< server -> client: request shed at admission; carries
+                  ///< a retry-after hint instead of a compile result
+  Reload = 8,     ///< client -> server: drain in-flight work and hot-swap
+                  ///< a freshly verified table image (same as SIGHUP)
+  Reloaded = 9,   ///< server -> client: outcome of a Reload frame
 };
 
 /// Hard cap on one frame's payload; oversized length prefixes are rejected
@@ -132,7 +137,35 @@ struct ResponseMsg {
   ResponseStatus Status = ResponseStatus::Ok;
   uint32_t BlockedTrees = 0;   ///< trees that hit the degradation ladder
   uint32_t RecoveredTrees = 0; ///< subset regenerated via the PCC baseline
+  uint64_t Generation = 0;     ///< table image generation that served this
   std::string Payload;         ///< assembly on Ok, diagnostics otherwise
+};
+
+/// Why a request was shed at admission instead of compiled.
+enum class OverloadCause : uint8_t {
+  QueueFull = 0,         ///< reject-newest: queue at capacity
+  ShedOldest = 1,        ///< shed-oldest: displaced by a newer arrival
+  QueueDeadline = 2,     ///< waited in queue past the queueing deadline
+  AdmissionDeadline = 3, ///< estimated wait alone would blow the deadline
+  Draining = 4,          ///< server is draining toward shutdown
+};
+
+/// Returns a stable name for \p C ("queue-full", "draining", ...).
+const char *overloadCauseName(OverloadCause C);
+
+/// Shed notice carried in an Overloaded frame (server -> client).
+struct OverloadMsg {
+  uint64_t Id = 0;
+  uint32_t RetryAfterMs = 0; ///< hint: when a retry is likely to admit
+  uint32_t QueueDepth = 0;   ///< queue depth observed at the shed decision
+  OverloadCause Cause = OverloadCause::QueueFull;
+};
+
+/// Outcome of a Reload control frame (server -> client).
+struct ReloadedMsg {
+  uint64_t Generation = 0; ///< table generation now serving
+  uint8_t Ok = 0;          ///< 1 = swap happened, 0 = old image kept
+  std::string Text;        ///< diagnostics on failure
 };
 
 /// Payload codecs. Decoders are hardened: they return false (with \p Err
@@ -142,6 +175,10 @@ std::string encodeRequest(const RequestMsg &M);
 bool decodeRequest(std::string_view Payload, RequestMsg &M, std::string &Err);
 std::string encodeResponse(const ResponseMsg &M);
 bool decodeResponse(std::string_view Payload, ResponseMsg &M, std::string &Err);
+std::string encodeOverload(const OverloadMsg &M);
+bool decodeOverload(std::string_view Payload, OverloadMsg &M, std::string &Err);
+std::string encodeReloaded(const ReloadedMsg &M);
+bool decodeReloaded(std::string_view Payload, ReloadedMsg &M, std::string &Err);
 
 /// FNV-1a over \p Data — the frame checksum primitive (shared with the
 /// tests' byte-flip sweep).

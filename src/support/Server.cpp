@@ -2,14 +2,17 @@
 
 #include "support/Server.h"
 #include "support/ExitCodes.h"
+#include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <algorithm>
 #include <csignal>
 #include <cstring>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -30,9 +33,15 @@ void touchServerSchemaKeys() {
           "server.watchdog_kills", "server.protocol_errors",
           "server.resyncs", "server.restarts", "server.fallback_trees",
           "server.blocked_trees", "server.discarded_results",
-          "server.connections"})
+          "server.connections", "server.overloaded",
+          "server.shed_queue_full", "server.shed_oldest",
+          "server.shed_queue_deadline", "server.shed_admission_deadline",
+          "server.shed_draining", "server.drains", "server.reloads",
+          "server.reload_failures"})
       stats().counter(Name);
     stats().histogram("server.request_ms");
+    stats().histogram("server.queue_depth");
+    stats().histogram("server.queue_wait_ms");
     return true;
   }();
   (void)Done;
@@ -54,6 +63,12 @@ bool writeAll(int Fd, const char *Data, size_t Len) {
   }
   return true;
 }
+
+/// Signal flags polled by the watchdog thread: a sigaction handler may
+/// only touch lock-free atomics, so the actual drain/reload work happens
+/// on the next watchdog scan (<= WatchdogIntervalMs later).
+std::atomic<bool> SigDrainPending{false};
+std::atomic<bool> SigReloadPending{false};
 
 } // namespace
 
@@ -101,9 +116,54 @@ Server::Server(CompileHandler Handler, ServerOptions Opts)
     : Handler(std::move(Handler)), Opts(Opts) {
   touchServerSchemaKeys();
   stats().counter("server.restarts") += Opts.Generation;
+  if (::pipe(WakePipe) != 0)
+    WakePipe[0] = WakePipe[1] = -1;
 }
 
-Server::~Server() { stopWatchdog(); }
+Server::~Server() {
+  stopWatchdog();
+  joinReloadThread();
+  for (int Fd : WakePipe)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+void Server::notifySignal(int Sig) {
+  if (Sig == SIGHUP)
+    SigReloadPending.store(true, std::memory_order_relaxed);
+  else
+    SigDrainPending.store(true, std::memory_order_relaxed);
+}
+
+void Server::wakePumps() {
+  // The byte is deliberately never read back: every pumpInput poller —
+  // present and future — must see the pipe readable and stop.
+  if (WakePipe[1] >= 0)
+    (void)writeAll(WakePipe[1], "w", 1);
+}
+
+void Server::requestDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (Stopping)
+      return;
+    Stopping = true;
+    DrainStartNs = RequestBudget::nowNs();
+  }
+  ++stats().counter("server.drains");
+  closeQueue(); // queued work still completes; only admissions stop
+  wakePumps();
+}
+
+void Server::requestReload() {
+  ReloadWanted.store(true, std::memory_order_release);
+  WatchdogCV.notify_all();
+}
+
+void Server::joinReloadThread() {
+  if (ReloadThread.joinable())
+    ReloadThread.join();
+}
 
 void Server::startWatchdog() {
   WatchdogStop = false;
@@ -135,6 +195,45 @@ void Server::stopWatchdog() {
 void Server::watchdogScan() {
   uint64_t Now = RequestBudget::nowNs();
   uint64_t GraceNs = Opts.WatchdogGraceMs * 1000000ull;
+
+  // Operator signals land here: the sigaction handler only sets a flag,
+  // the watchdog does the actual lifecycle work on its own thread.
+  if (SigDrainPending.exchange(false, std::memory_order_acq_rel))
+    requestDrain();
+  if (SigReloadPending.exchange(false, std::memory_order_acq_rel))
+    requestReload();
+
+  // Launch a requested reload, serializing back-to-back requests: if one
+  // is still running, leave the flag set for the next scan.
+  if (ReloadWanted.load(std::memory_order_acquire)) {
+    if (ReloadRunning.load(std::memory_order_acquire) == false &&
+        ReloadWanted.exchange(false, std::memory_order_acq_rel)) {
+      joinReloadThread();
+      ReloadRunning.store(true, std::memory_order_release);
+      ReloadThread = std::thread([this] { runReload(); });
+    }
+  }
+
+  // A drain past its deadline stops being graceful: shed whatever is
+  // still queued and cancel what is executing (cooperatively — the
+  // budget poll turns it into a Deadline response within microseconds).
+  bool DrainExpired = false;
+  std::deque<std::shared_ptr<Active>> Left;
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (Stopping && Now > DrainStartNs + Opts.DrainDeadlineMs * 1000000ull) {
+      DrainExpired = true;
+      Left.swap(Queue);
+    }
+  }
+  if (DrainExpired) {
+    QueueCV.notify_all();
+    for (const std::shared_ptr<Active> &A : Left)
+      shed(A, OverloadCause::Draining, 0, true);
+    std::lock_guard<std::mutex> Lock(ActiveM);
+    for (const std::shared_ptr<Active> &A : InFlight)
+      A->Budget.Cancelled.store(true, std::memory_order_relaxed);
+  }
   std::vector<std::shared_ptr<Active>> Snapshot;
   {
     std::lock_guard<std::mutex> Lock(ActiveM);
@@ -179,6 +278,113 @@ void Server::closeQueue() {
   QueueCV.notify_all();
 }
 
+uint64_t Server::estimateWaitNs(size_t Depth) const {
+  uint64_t Per =
+      std::max<uint64_t>(EwmaServiceNs.load(std::memory_order_relaxed),
+                         Opts.AdmissionEstimateFloorMs * 1000000ull);
+  unsigned W = ResolvedWorkers ? ResolvedWorkers : 1;
+  return static_cast<uint64_t>(Depth) * Per / W;
+}
+
+void Server::shed(const std::shared_ptr<Active> &A, OverloadCause Cause,
+                  uint32_t QueueDepth, bool InFlightToo) {
+  if (InFlightToo) {
+    std::lock_guard<std::mutex> Lock(ActiveM);
+    InFlight.erase(std::remove(InFlight.begin(), InFlight.end(), A),
+                   InFlight.end());
+  }
+  if (!A->claimResponse())
+    return; // the watchdog already answered for this request
+  StatsRegistry &Reg = stats();
+  ++Reg.counter("server.overloaded");
+  switch (Cause) {
+  case OverloadCause::QueueFull:
+    ++Reg.counter("server.shed_queue_full");
+    break;
+  case OverloadCause::ShedOldest:
+    ++Reg.counter("server.shed_oldest");
+    break;
+  case OverloadCause::QueueDeadline:
+    ++Reg.counter("server.shed_queue_deadline");
+    break;
+  case OverloadCause::AdmissionDeadline:
+    ++Reg.counter("server.shed_admission_deadline");
+    break;
+  case OverloadCause::Draining:
+    ++Reg.counter("server.shed_draining");
+    break;
+  }
+  OverloadMsg M;
+  M.Id = A->Req.Id;
+  M.QueueDepth = QueueDepth;
+  M.Cause = Cause;
+  // Retry-after: the estimated time for the backlog ahead of a retry to
+  // clear. During a drain the process is going away — point the client
+  // at the supervisor's restart horizon instead.
+  uint64_t RetryMs =
+      Cause == OverloadCause::Draining
+          ? 1000
+          : estimateWaitNs(std::max<size_t>(QueueDepth, 1)) / 1000000ull;
+  M.RetryAfterMs =
+      static_cast<uint32_t>(std::clamp<uint64_t>(RetryMs, 1, 5000));
+  A->C->writeFrame(FrameType::Overloaded, encodeOverload(M));
+}
+
+void Server::runReload() {
+  TraceSpan Span("server.reload");
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    PauseDispatch = true;
+  }
+  // Drain the handlers (not the queue: admissions keep queueing, so a
+  // reload drops zero requests). Past the deadline we swap anyway —
+  // stragglers are safe, they pinned the old image at snapshot time.
+  uint64_t Deadline =
+      RequestBudget::nowNs() + Opts.DrainDeadlineMs * 1000000ull;
+  while (Executing.load(std::memory_order_acquire) > 0 &&
+         RequestBudget::nowNs() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  std::string Err;
+  uint64_t Gen = 0;
+  bool Ok = false;
+  ReloadHandler R;
+  {
+    std::lock_guard<std::mutex> Lock(ReloadM);
+    R = Reloader;
+  }
+  if (R)
+    Ok = R(Gen, Err);
+  else
+    Err = "no reloader installed";
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    PauseDispatch = false;
+  }
+  QueueCV.notify_all();
+
+  std::vector<std::shared_ptr<Conn>> Acks;
+  {
+    std::lock_guard<std::mutex> Lock(ReloadM);
+    Acks.swap(ReloadAcks);
+  }
+  ReloadedMsg M;
+  M.Generation = Gen;
+  M.Ok = Ok ? 1 : 0;
+  M.Text = Err;
+  std::string Payload = encodeReloaded(M);
+  for (const std::shared_ptr<Conn> &C : Acks)
+    C->writeFrame(FrameType::Reloaded, Payload);
+  // Count only after the acks are claimed and written: observers that
+  // serialize reloads through this counter (tests, drills) must not see
+  // reload N complete while its ack queue is still open — a Reload frame
+  // sent at that instant would be acked by reload N with N's generation
+  // instead of starting reload N+1.
+  ++stats().counter(Ok ? "server.reloads" : "server.reload_failures");
+  ReloadRunning.store(false, std::memory_order_release);
+}
+
 void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
   auto A = std::make_shared<Active>();
   A->Req = std::move(Req);
@@ -200,16 +406,67 @@ void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
     std::lock_guard<std::mutex> Lock(ActiveM);
     InFlight.push_back(A);
   }
+
+  // Admission control. Decide under the queue lock, act (write frames)
+  // outside it.
+  bool DoShed = false;
+  OverloadCause Cause = OverloadCause::QueueFull;
+  size_t Depth = 0;
+  std::shared_ptr<Active> Victim;
   {
     std::lock_guard<std::mutex> Lock(QueueM);
-    Queue.push_back(std::move(A));
+    Depth = Queue.size();
+    stats().histogram("server.queue_depth").record(Depth);
+    if (Stopping) {
+      DoShed = true;
+      Cause = OverloadCause::Draining;
+    } else if (A->Budget.DeadlineNs) {
+      // Reject-at-admission: if the estimated queue wait alone blows the
+      // request's deadline, shedding now is strictly cheaper than
+      // queueing it to die — the client learns in O(RTT), not O(deadline).
+      uint64_t Est = estimateWaitNs(Depth);
+      if (Est && A->AdmitNs + Est > A->Budget.DeadlineNs) {
+        DoShed = true;
+        Cause = OverloadCause::AdmissionDeadline;
+      }
+    }
+    if (!DoShed) {
+      if (Opts.MaxQueueDepth && Depth >= Opts.MaxQueueDepth) {
+        if (Opts.Shed == ShedPolicy::RejectNewest) {
+          DoShed = true;
+          Cause = OverloadCause::QueueFull;
+        } else {
+          Victim = Queue.front();
+          Queue.pop_front();
+          Queue.push_back(std::move(A));
+        }
+      } else {
+        Queue.push_back(std::move(A));
+      }
+    }
   }
+  if (DoShed) {
+    shed(A, Cause, static_cast<uint32_t>(Depth), /*InFlightToo=*/true);
+    return;
+  }
+  if (Victim)
+    shed(Victim, OverloadCause::ShedOldest, static_cast<uint32_t>(Depth),
+         /*InFlightToo=*/true);
   QueueCV.notify_one();
 }
 
 void Server::serveOne(const std::shared_ptr<Active> &A) {
   StatsRegistry &Reg = stats();
   ++Reg.counter("server.requests");
+  TraceSpan Span("server.request");
+  uint64_t StartNs = RequestBudget::nowNs();
+  Reg.histogram("server.queue_wait_ms")
+      .record((StartNs - A->AdmitNs) / 1000000ull);
+  Executing.fetch_add(1, std::memory_order_acq_rel);
+  // Soak drill: the overload-burst fault inflates service time here — in
+  // the server's dispatch path, not the compile pipeline, so gg-load's
+  // in-process verify oracle is unaffected by a shared GG_FAULT.
+  faultInject().overloadBurst();
   HandlerResult R;
   try {
     R = Handler(A->Req, A->Budget);
@@ -219,6 +476,11 @@ void Server::serveOne(const std::shared_ptr<Active> &A) {
     R.Status = ResponseStatus::CompileError;
     R.Payload = "internal error: handler threw";
   }
+  // Service-time EWMA (alpha = 1/8) feeding the admission estimator.
+  uint64_t Sample = RequestBudget::nowNs() - StartNs;
+  uint64_t Prev = EwmaServiceNs.load(std::memory_order_relaxed);
+  EwmaServiceNs.store(Prev ? Prev - Prev / 8 + Sample / 8 : Sample,
+                      std::memory_order_relaxed);
 
   Reg.counter("server.fallback_trees") += R.RecoveredTrees;
   Reg.counter("server.blocked_trees") += R.BlockedTrees;
@@ -256,11 +518,17 @@ void Server::serveOne(const std::shared_ptr<Active> &A) {
     M.Status = R.Status;
     M.BlockedTrees = R.BlockedTrees;
     M.RecoveredTrees = R.RecoveredTrees;
+    M.Generation = R.Generation;
     M.Payload = std::move(R.Payload);
     A->C->respond(M);
     Reg.histogram("server.request_ms")
         .record((RequestBudget::nowNs() - A->AdmitNs) / 1000000ull);
   }
+  // Decrement only after the response is on the wire: a reload waits for
+  // Executing==0 before swapping and acking, and clients assert that
+  // generations never regress in stream order — an earlier decrement
+  // would let a new-generation ack overtake an old-generation response.
+  Executing.fetch_sub(1, std::memory_order_acq_rel);
 
   std::lock_guard<std::mutex> Lock(ActiveM);
   InFlight.erase(std::remove(InFlight.begin(), InFlight.end(), A),
@@ -272,11 +540,23 @@ void Server::drainQueue() {
     std::shared_ptr<Active> A;
     {
       std::unique_lock<std::mutex> Lock(QueueM);
-      QueueCV.wait(Lock, [this] { return Closed || !Queue.empty(); });
+      // A paused dispatch (reload drain) holds workers here — unless the
+      // queue has Closed, in which case drain-to-exit wins.
+      QueueCV.wait(Lock, [this] {
+        return Closed || (!PauseDispatch && !Queue.empty());
+      });
       if (Queue.empty())
         return; // Closed and drained
       A = std::move(Queue.front());
       Queue.pop_front();
+    }
+    // Queueing deadline: a request that sat in the queue too long is
+    // answered with a structured shed, not a worker it no longer wants.
+    if (Opts.QueueDeadlineMs &&
+        RequestBudget::nowNs() - A->AdmitNs >
+            Opts.QueueDeadlineMs * 1000000ull) {
+      shed(A, OverloadCause::QueueDeadline, 0, /*InFlightToo=*/true);
+      continue;
     }
     serveOne(A);
   }
@@ -292,6 +572,23 @@ void Server::pumpInput(const std::shared_ptr<Conn> &C, int InFd,
     Frame F;
     FrameReader::Status S = Reader.next(F);
     if (S == FrameReader::Status::NeedMore) {
+      // Block in poll() rather than read() so a drain can wake us via the
+      // self-pipe: pipes have no ::shutdown, and closing the fd under a
+      // blocked reader is a race.
+      pollfd P[2];
+      P[0] = {InFd, POLLIN, 0};
+      P[1] = {WakePipe[0], POLLIN, 0};
+      int NFds = WakePipe[0] >= 0 ? 2 : 1;
+      int PR = ::poll(P, static_cast<nfds_t>(NFds), -1);
+      if (PR < 0) {
+        if (errno == EINTR)
+          continue;
+        return;
+      }
+      if (NFds == 2 && (P[1].revents & POLLIN))
+        return; // drain wake: stop reading; queued work still completes
+      if (!P[0].revents)
+        continue;
       ssize_t N = ::read(InFd, Chunk, sizeof(Chunk));
       if (N < 0 && errno == EINTR)
         continue;
@@ -336,6 +633,15 @@ void Server::pumpInput(const std::shared_ptr<Conn> &C, int InFd,
     case FrameType::Shutdown:
       SawShutdown = true;
       return;
+    case FrameType::Reload:
+      // Hot table reload, the control-frame path (SIGHUP is the other).
+      // The ack arrives as a Reloaded frame once the swap completes.
+      {
+        std::lock_guard<std::mutex> Lock(ReloadM);
+        ReloadAcks.push_back(C);
+      }
+      requestReload();
+      break;
     case FrameType::Crash:
       if (Opts.AllowCrash) {
         // Crash drill: die the crash-only way — no draining, no flushing,
@@ -353,6 +659,8 @@ void Server::pumpInput(const std::shared_ptr<Conn> &C, int InFd,
       break;
     case FrameType::Response:
     case FrameType::Pong:
+    case FrameType::Overloaded:
+    case FrameType::Reloaded:
       ++Reg.counter("server.protocol_errors");
       break;
     }
@@ -363,6 +671,7 @@ int Server::serveFds(int InFd, int OutFd) {
   ::signal(SIGPIPE, SIG_IGN);
   auto C = std::make_shared<Conn>(OutFd);
   ++stats().counter("server.connections");
+  ResolvedWorkers = resolveWorkerCount(Opts.Workers, 1u << 16);
   startWatchdog();
 
   bool SawShutdown = false;
@@ -374,14 +683,15 @@ int Server::serveFds(int InFd, int OutFd) {
   // The drain loops ride the PR-4 work-stealing pool: each index hosts
   // one worker, the caller participates as worker 0, and Workers=1 is a
   // plain serial server.
-  unsigned W = resolveWorkerCount(Opts.Workers, 1u << 16);
   ParallelOptions PO;
-  PO.Threads = static_cast<int>(W);
-  parallelFor(W, PO, [this](size_t) { drainQueue(); });
+  PO.Threads = static_cast<int>(ResolvedWorkers);
+  parallelFor(ResolvedWorkers, PO, [this](size_t) { drainQueue(); });
 
+  wakePumps(); // the queue is closed and drained; unblock the pump
   Reader.join();
+  joinReloadThread();
   stopWatchdog();
-  (void)SawShutdown; // EOF and Shutdown both drain, then exit cleanly
+  (void)SawShutdown; // EOF, Shutdown and drain all finish work, exit cleanly
   return ExitOk;
 }
 
@@ -410,6 +720,7 @@ int Server::serveUnixSocket(const std::string &Path) {
     return ExitFatalFault;
   }
 
+  ResolvedWorkers = resolveWorkerCount(Opts.Workers, 1u << 16);
   startWatchdog();
   std::atomic<bool> Shut{false};
   std::mutex ConnsM;
@@ -441,14 +752,14 @@ int Server::serveUnixSocket(const std::string &Path) {
     }
   });
 
-  // Workers drain until the queue closes (Shutdown frame).
-  unsigned W = resolveWorkerCount(Opts.Workers, 1u << 16);
+  // Workers drain until the queue closes (Shutdown frame or drain).
   ParallelOptions PO;
-  PO.Threads = static_cast<int>(W);
-  parallelFor(W, PO, [this](size_t) { drainQueue(); });
+  PO.Threads = static_cast<int>(ResolvedWorkers);
+  parallelFor(ResolvedWorkers, PO, [this](size_t) { drainQueue(); });
 
   // Closed queue means shutdown: kick still-open connections loose.
   Shut.store(true);
+  wakePumps();
   ::shutdown(ListenFd, SHUT_RDWR);
   Acceptor.join();
   {
@@ -465,6 +776,7 @@ int Server::serveUnixSocket(const std::string &Path) {
   }
   ::close(ListenFd);
   ::unlink(Path.c_str());
+  joinReloadThread();
   stopWatchdog();
   return ExitOk;
 }

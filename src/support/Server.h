@@ -42,6 +42,7 @@
 #include "support/Deadline.h"
 #include "support/Frame.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -53,6 +54,14 @@
 #include <vector>
 
 namespace gg {
+
+/// What to do when the bounded queue is full and another request arrives.
+enum class ShedPolicy {
+  RejectNewest, ///< shed the arriving request (FIFO fairness)
+  ShedOldest,   ///< displace the oldest queued request (LIFO freshness:
+                ///< under sustained overload the newest work is the most
+                ///< likely to still meet its deadline)
+};
 
 /// Server tunables (the --serve-* flag surface).
 struct ServerOptions {
@@ -77,6 +86,27 @@ struct ServerOptions {
   /// many times this server has been restarted; exported as
   /// server.restarts so the stats artifact shows supervisor activity.
   uint64_t Generation = 0;
+  /// Admission control: queued-request cap. 0 = unbounded (the PR-7
+  /// behavior). When the cap is hit, Shed decides who gets the
+  /// Overloaded frame.
+  size_t MaxQueueDepth = 0;
+  /// Max time a request may sit queued before it is shed at dequeue with
+  /// an Overloaded(queue-deadline) frame instead of burning a worker on
+  /// work the client has likely given up on. 0 = no queueing deadline.
+  uint64_t QueueDeadlineMs = 0;
+  /// Full-queue policy (see ShedPolicy).
+  ShedPolicy Shed = ShedPolicy::RejectNewest;
+  /// How long a drain (SIGTERM) or reload (SIGHUP / Reload frame) waits
+  /// for in-flight work before giving up: a drain sheds what is left, a
+  /// reload swaps anyway (in-flight requests keep the old image via their
+  /// snapshot).
+  uint64_t DrainDeadlineMs = 10000;
+  /// Floor for the per-request service-time estimate used by
+  /// admission-deadline rejection, in ms. The live estimate is an EWMA of
+  /// observed service times; the floor makes rejection deterministic in
+  /// tests and lets operators encode "requests never finish faster than
+  /// X". 0 = EWMA only.
+  uint64_t AdmissionEstimateFloorMs = 0;
 };
 
 /// Everything the handler reports back for one request.
@@ -85,6 +115,7 @@ struct HandlerResult {
   std::string Payload; ///< assembly on Ok, rendered diagnostics otherwise
   uint32_t BlockedTrees = 0;
   uint32_t RecoveredTrees = 0;
+  uint64_t Generation = 0; ///< table image generation that served this
 };
 
 /// The compile function: pure in the request (byte-identical output for
@@ -92,6 +123,13 @@ struct HandlerResult {
 /// worker; must not throw or exit for recoverable failures.
 using CompileHandler =
     std::function<HandlerResult(const RequestMsg &Req, RequestBudget &Budget)>;
+
+/// The hot-reload function: rebuilds and verifies a fresh table image,
+/// atomically swapping it in on success. Reports the generation now
+/// serving (old on failure, new on success). Must be safe to run while
+/// requests using the *old* image are still in flight.
+using ReloadHandler =
+    std::function<bool(uint64_t &NewGeneration, std::string &Err)>;
 
 /// The long-lived server. One instance per process; serve*() blocks until
 /// shutdown and returns the process exit code.
@@ -111,36 +149,89 @@ public:
   /// the socket cannot be bound.
   int serveUnixSocket(const std::string &Path);
 
+  /// Installs the hot-reload hook run for SIGHUP / Reload frames. Without
+  /// one, reload requests are acked as failures and the image is kept.
+  /// Thread-safe (the reload thread reads it under the same lock).
+  void setReloader(ReloadHandler R) {
+    std::lock_guard<std::mutex> Lock(ReloadM);
+    Reloader = std::move(R);
+  }
+
+  /// Begins a graceful drain: new admissions are shed with
+  /// Overloaded(draining), already-queued and in-flight work completes
+  /// (bounded by DrainDeadlineMs via the watchdog), then serve*() returns
+  /// ExitOk. Idempotent; safe from any thread. SIGTERM lands here.
+  void requestDrain();
+
+  /// Requests an asynchronous table reload: dispatch pauses, in-flight
+  /// work drains (bounded by DrainDeadlineMs), the Reloader runs, then
+  /// dispatch resumes. Admissions continue into the queue throughout, so
+  /// a reload drops zero requests. SIGHUP and Reload frames land here.
+  void requestReload();
+
+  /// Async-signal-safe: records \p Sig (SIGTERM/SIGINT -> drain,
+  /// SIGHUP -> reload) for the watchdog thread to act on at its next
+  /// scan. Install from a sigaction handler.
+  static void notifySignal(int Sig);
+
 private:
   struct Conn;   ///< one output stream + write mutex
   struct Active; ///< one admitted, not-yet-responded request
 
   CompileHandler Handler;
   ServerOptions Opts;
+  ReloadHandler Reloader;
 
   std::mutex QueueM;
   std::condition_variable QueueCV;
   std::deque<std::shared_ptr<Active>> Queue;
-  bool Closed = false; ///< no more requests will be enqueued
+  bool Closed = false;        ///< no more requests will be enqueued
+  bool Stopping = false;      ///< draining toward exit; admissions shed
+  bool PauseDispatch = false; ///< reload in progress; workers hold off
+  uint64_t DrainStartNs = 0;  ///< when Stopping was set
 
   std::mutex ActiveM;
   std::vector<std::shared_ptr<Active>> InFlight;
+
+  /// EWMA of observed handler service time, feeding the admission-
+  /// deadline wait estimate. Relaxed: an approximate estimate is fine.
+  std::atomic<uint64_t> EwmaServiceNs{0};
+  /// Requests currently inside the handler (InFlight also counts queued
+  /// ones); a reload waits for this to hit zero before swapping.
+  std::atomic<unsigned> Executing{0};
+  unsigned ResolvedWorkers = 1;
+
+  /// Self-pipe that wakes pumpInput() pollers when a drain begins (pipes
+  /// have no ::shutdown, and closing an fd under a blocked reader is a
+  /// race). The byte is never consumed so every poller sees it.
+  int WakePipe[2] = {-1, -1};
 
   std::thread Watchdog;
   std::mutex WatchdogM;
   std::condition_variable WatchdogCV;
   bool WatchdogStop = false;
 
+  /// Reload machinery: the watchdog launches ReloadThread when
+  /// ReloadWanted is set; conns waiting on a Reloaded ack queue under
+  /// ReloadM.
+  std::atomic<bool> ReloadWanted{false};
+  std::mutex ReloadM;
+  std::vector<std::shared_ptr<Conn>> ReloadAcks;
+  std::thread ReloadThread;
+  std::atomic<bool> ReloadRunning{false};
+
   void startWatchdog();
   void stopWatchdog();
   void watchdogScan();
 
   /// Parses frames arriving on \p C, enqueueing requests; returns when the
-  /// stream hits EOF or a Shutdown frame. Sets \p SawShutdown accordingly.
+  /// stream hits EOF, a Shutdown frame, or a drain wake. Sets
+  /// \p SawShutdown accordingly.
   void pumpInput(const std::shared_ptr<Conn> &C, int InFd, bool &SawShutdown);
 
-  /// Admits one decoded request: builds its budget, registers it with the
-  /// watchdog, and queues it for the worker pool.
+  /// Admits one decoded request — or sheds it with an Overloaded frame
+  /// when the queue is full, the server is draining, or the estimated
+  /// queue wait alone would blow the request's deadline.
   void admit(const std::shared_ptr<Conn> &C, RequestMsg Req);
 
   /// Worker-side drain loop (one per pool index).
@@ -151,6 +242,17 @@ private:
   void serveOne(const std::shared_ptr<Active> &A);
 
   void closeQueue();
+  void wakePumps();
+  /// Publishes an Overloaded frame for \p A (if it still owns its
+  /// response slot) and counts the shed. Caller must have removed A from
+  /// the queue; removes it from InFlight if \p InFlightToo.
+  void shed(const std::shared_ptr<Active> &A, OverloadCause Cause,
+            uint32_t QueueDepth, bool InFlightToo);
+  /// Estimated queue wait for a request entering behind \p Depth others.
+  uint64_t estimateWaitNs(size_t Depth) const;
+  /// The reload body (runs on ReloadThread).
+  void runReload();
+  void joinReloadThread();
 };
 
 } // namespace gg

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cg/CompileService.h"
 #include "support/ExitCodes.h"
 #include "support/Frame.h"
 #include "support/Server.h"
@@ -15,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <unistd.h>
 
@@ -25,16 +28,27 @@ namespace {
 struct PipeHarness {
   int In[2];
   int Out[2];
+  std::unique_ptr<Server> Srv; ///< lets tests install a reloader
   std::thread T;
   int ExitCode = -1;
+  std::vector<OverloadMsg> Overloads; ///< filled by finish()
+  std::vector<ReloadedMsg> Reloads;   ///< filled by finish()
+  /// Generation of every Response/Reloaded frame, in wire order (zero
+  /// generations — handlers that do not stamp one — are skipped).
+  std::vector<uint64_t> GenOrder;
 
   explicit PipeHarness(CompileHandler H, ServerOptions Opts) {
     EXPECT_EQ(pipe(In), 0);
     EXPECT_EQ(pipe(Out), 0);
-    T = std::thread([this, H = std::move(H), Opts] {
-      Server S(H, Opts);
-      ExitCode = S.serveFds(In[0], Out[1]);
-    });
+    Srv = std::make_unique<Server>(std::move(H), Opts);
+    T = std::thread([this] { ExitCode = Srv->serveFds(In[0], Out[1]); });
+  }
+
+  void send(FrameType Type, const std::string &Payload) {
+    std::string Wire;
+    appendFrame(Wire, Type, Payload);
+    ASSERT_EQ(write(In[1], Wire.data(), Wire.size()),
+              static_cast<ssize_t>(Wire.size()));
   }
 
   void sendRequest(uint64_t Id, const std::string &Source,
@@ -43,10 +57,7 @@ struct PipeHarness {
     Req.Id = Id;
     Req.DeadlineMs = DeadlineMs;
     Req.Source = Source;
-    std::string Wire;
-    appendFrame(Wire, FrameType::Request, encodeRequest(Req));
-    ASSERT_EQ(write(In[1], Wire.data(), Wire.size()),
-              static_cast<ssize_t>(Wire.size()));
+    send(FrameType::Request, encodeRequest(Req));
   }
 
   std::vector<ResponseMsg> finish() {
@@ -65,12 +76,26 @@ struct PipeHarness {
       R.feed(Buf, static_cast<size_t>(N));
     Frame F;
     while (R.next(F) == FrameReader::Status::Frame) {
-      if (F.Type != FrameType::Response)
-        continue;
-      ResponseMsg M;
       std::string Err;
-      if (decodeResponse(F.Payload, M, Err))
-        Responses.push_back(std::move(M));
+      if (F.Type == FrameType::Response) {
+        ResponseMsg M;
+        if (decodeResponse(F.Payload, M, Err)) {
+          if (M.Generation)
+            GenOrder.push_back(M.Generation);
+          Responses.push_back(std::move(M));
+        }
+      } else if (F.Type == FrameType::Overloaded) {
+        OverloadMsg M;
+        if (decodeOverload(F.Payload, M, Err))
+          Overloads.push_back(M);
+      } else if (F.Type == FrameType::Reloaded) {
+        ReloadedMsg M;
+        if (decodeReloaded(F.Payload, M, Err)) {
+          if (M.Generation)
+            GenOrder.push_back(M.Generation);
+          Reloads.push_back(std::move(M));
+        }
+      }
     }
     close(In[0]);
     close(Out[0]);
@@ -83,6 +108,16 @@ const ResponseMsg *findById(const std::vector<ResponseMsg> &Rs, uint64_t Id) {
     if (R.Id == Id)
       return &R;
   return nullptr;
+}
+
+/// Spins (bounded, ~5s) until \p Pred holds.
+bool spinUntil(const std::function<bool()> &Pred) {
+  for (int I = 0; I < 5000; ++I) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Pred();
 }
 
 // A worker that ignores its budget entirely (the stall-worker failure
@@ -173,6 +208,92 @@ TEST(ServerSlowTest, QueueingPastDeadlineQuarantinesCooperatively) {
   EXPECT_EQ(findById(Rs, 1)->Status, ResponseStatus::Ok);
   EXPECT_EQ(findById(Rs, 2)->Status, ResponseStatus::Deadline);
   EXPECT_EQ(findById(Rs, 3)->Status, ResponseStatus::Ok);
+}
+
+// The reload acceptance drill at unit scale: a stream of real compiles
+// with hot table reloads injected mid-stream. Zero requests may be
+// dropped or duplicated, every output must be byte-identical to a
+// single-shot reference (the rebuild is deterministic), and the
+// generation observed on the wire must never regress.
+TEST(ServerSlowTest, ReloadUnderLoadDropsNothingAndKeepsBytesIdentical) {
+  std::string Err;
+  // Separate oracle instance: its generation never moves, so it yields
+  // the reference bytes the reloading service must keep producing.
+  std::unique_ptr<CompileService> Oracle = CompileService::create(Err);
+  ASSERT_NE(Oracle, nullptr) << Err;
+  std::unique_ptr<CompileService> Svc = CompileService::create(Err);
+  ASSERT_NE(Svc, nullptr) << Err;
+
+  const std::vector<std::string> Sources = {
+      "int main() { return 7; }",
+      "int main() { int x; x = 3; return x + 4; }",
+      "int main() { int a; int b; a = 2; b = 5; return a * b; }",
+      "int main() { int i; i = 0; while (i < 4) { i = i + 1; } return i; }",
+  };
+  std::vector<std::string> Ref;
+  for (const std::string &S : Sources) {
+    RequestMsg Req;
+    Req.Id = 1;
+    Req.Source = S;
+    RequestBudget B;
+    HandlerResult R = Oracle->compile(Req, B);
+    ASSERT_EQ(R.Status, ResponseStatus::Ok) << S;
+    Ref.push_back(R.Payload);
+  }
+
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReloads = Reg.counter("server.reloads").load();
+
+  ServerOptions Opts;
+  Opts.Workers = 4;
+  Opts.WatchdogIntervalMs = 5;
+  PipeHarness H(
+      [&Svc](const RequestMsg &Req, RequestBudget &B) {
+        return Svc->compile(Req, B);
+      },
+      Opts);
+  H.Srv->setReloader(Svc->reloader());
+
+  constexpr int N = 32;
+  constexpr int ReloadEvery = 8;
+  int ReloadsSent = 0;
+  for (int I = 1; I <= N; ++I) {
+    H.sendRequest(static_cast<uint64_t>(I), Sources[(I - 1) % Sources.size()],
+                  /*DeadlineMs=*/30000);
+    if (I % ReloadEvery == 0) {
+      H.send(FrameType::Reload, "");
+      // Serialize reloads through the counter so none coalesce: each one
+      // still races against the requests just sent.
+      int Want = ++ReloadsSent;
+      ASSERT_TRUE(spinUntil([&] {
+        return Reg.counter("server.reloads").load() >=
+               BaseReloads + static_cast<uint64_t>(Want);
+      }));
+    }
+  }
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  EXPECT_TRUE(H.Overloads.empty());
+  ASSERT_EQ(Rs.size(), static_cast<size_t>(N)); // exactly once each
+  for (int I = 1; I <= N; ++I) {
+    const ResponseMsg *R = findById(Rs, static_cast<uint64_t>(I));
+    ASSERT_NE(R, nullptr) << "id " << I;
+    EXPECT_EQ(R->Status, ResponseStatus::Ok) << "id " << I;
+    EXPECT_EQ(R->Payload, Ref[(I - 1) % Sources.size()])
+        << "output drifted across reloads, id " << I;
+    EXPECT_GE(R->Generation, 1u);
+    EXPECT_LE(R->Generation, 1u + static_cast<uint64_t>(ReloadsSent));
+  }
+  ASSERT_EQ(H.Reloads.size(), static_cast<size_t>(ReloadsSent));
+  for (int I = 0; I < ReloadsSent; ++I) {
+    EXPECT_EQ(H.Reloads[I].Ok, 1u) << H.Reloads[I].Text;
+    EXPECT_EQ(H.Reloads[I].Generation, 2u + static_cast<uint64_t>(I));
+  }
+  EXPECT_EQ(Svc->generation(), 1u + static_cast<uint64_t>(ReloadsSent));
+  for (size_t I = 1; I < H.GenOrder.size(); ++I)
+    EXPECT_GE(H.GenOrder[I], H.GenOrder[I - 1])
+        << "generation regressed on the wire at frame " << I;
 }
 
 } // namespace

@@ -12,12 +12,16 @@
 
 #include "cg/CompileService.h"
 #include "support/ExitCodes.h"
+#include "support/FaultInject.h"
 #include "support/Frame.h"
 #include "support/Server.h"
 #include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <thread>
 #include <unistd.h>
 
@@ -213,6 +217,7 @@ TEST(FrameTest, ResponseCodecRoundTripAndTruncation) {
   In.Status = ResponseStatus::StepBudget;
   In.BlockedTrees = 3;
   In.RecoveredTrees = 2;
+  In.Generation = 11;
   In.Payload = "diagnostic text";
   std::string Wire = encodeResponse(In);
   ResponseMsg Out;
@@ -222,11 +227,60 @@ TEST(FrameTest, ResponseCodecRoundTripAndTruncation) {
   EXPECT_EQ(Out.Status, ResponseStatus::StepBudget);
   EXPECT_EQ(Out.BlockedTrees, 3u);
   EXPECT_EQ(Out.RecoveredTrees, 2u);
+  EXPECT_EQ(Out.Generation, 11u);
   EXPECT_EQ(Out.Payload, In.Payload);
   for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
     ResponseMsg T;
     EXPECT_FALSE(decodeResponse(Wire.substr(0, Cut), T, Err)) << "cut=" << Cut;
   }
+}
+
+TEST(FrameTest, OverloadCodecRoundTripAndTruncation) {
+  OverloadMsg In;
+  In.Id = 77;
+  In.RetryAfterMs = 250;
+  In.QueueDepth = 12;
+  In.Cause = OverloadCause::ShedOldest;
+  std::string Wire = encodeOverload(In);
+  OverloadMsg Out;
+  std::string Err;
+  ASSERT_TRUE(decodeOverload(Wire, Out, Err)) << Err;
+  EXPECT_EQ(Out.Id, 77u);
+  EXPECT_EQ(Out.RetryAfterMs, 250u);
+  EXPECT_EQ(Out.QueueDepth, 12u);
+  EXPECT_EQ(Out.Cause, OverloadCause::ShedOldest);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    OverloadMsg T;
+    EXPECT_FALSE(decodeOverload(Wire.substr(0, Cut), T, Err)) << "cut=" << Cut;
+  }
+  // Trailing garbage and out-of-range causes are rejected, not ignored.
+  OverloadMsg T;
+  EXPECT_FALSE(decodeOverload(Wire + "x", T, Err));
+  std::string BadCause = Wire;
+  BadCause.back() = '\x7f';
+  EXPECT_FALSE(decodeOverload(BadCause, T, Err));
+  EXPECT_STREQ(overloadCauseName(OverloadCause::QueueFull), "queue-full");
+  EXPECT_STREQ(overloadCauseName(OverloadCause::Draining), "draining");
+}
+
+TEST(FrameTest, ReloadedCodecRoundTripAndTruncation) {
+  ReloadedMsg In;
+  In.Generation = 4;
+  In.Ok = 0;
+  In.Text = "table self-verification failed";
+  std::string Wire = encodeReloaded(In);
+  ReloadedMsg Out;
+  std::string Err;
+  ASSERT_TRUE(decodeReloaded(Wire, Out, Err)) << Err;
+  EXPECT_EQ(Out.Generation, 4u);
+  EXPECT_EQ(Out.Ok, 0u);
+  EXPECT_EQ(Out.Text, In.Text);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    ReloadedMsg T;
+    EXPECT_FALSE(decodeReloaded(Wire.substr(0, Cut), T, Err)) << "cut=" << Cut;
+  }
+  ReloadedMsg T;
+  EXPECT_FALSE(decodeReloaded(Wire + "x", T, Err));
 }
 
 //===----------------------------------------------------------------------===//
@@ -240,16 +294,17 @@ TEST(FrameTest, ResponseCodecRoundTripAndTruncation) {
 struct PipeHarness {
   int In[2];  ///< test writes In[1], server reads In[0]
   int Out[2]; ///< server writes Out[1], test reads Out[0]
+  std::unique_ptr<Server> Srv; ///< lets tests drive drain/reload directly
   std::thread T;
   int ExitCode = -1;
+  std::vector<OverloadMsg> Overloads; ///< filled by finish()
+  std::vector<ReloadedMsg> Reloads;   ///< filled by finish()
 
   explicit PipeHarness(CompileHandler H, ServerOptions Opts = {}) {
     EXPECT_EQ(pipe(In), 0);
     EXPECT_EQ(pipe(Out), 0);
-    T = std::thread([this, H = std::move(H), Opts] {
-      Server S(H, Opts);
-      ExitCode = S.serveFds(In[0], Out[1]);
-    });
+    Srv = std::make_unique<Server>(std::move(H), Opts);
+    T = std::thread([this] { ExitCode = Srv->serveFds(In[0], Out[1]); });
   }
 
   void send(FrameType Type, const std::string &Payload) {
@@ -290,12 +345,20 @@ struct PipeHarness {
       R.feed(Buf, static_cast<size_t>(N));
     Frame F;
     while (R.next(F) == FrameReader::Status::Frame) {
-      if (F.Type != FrameType::Response)
-        continue;
-      ResponseMsg M;
       std::string Err;
-      if (decodeResponse(F.Payload, M, Err))
-        Responses.push_back(std::move(M));
+      if (F.Type == FrameType::Response) {
+        ResponseMsg M;
+        if (decodeResponse(F.Payload, M, Err))
+          Responses.push_back(std::move(M));
+      } else if (F.Type == FrameType::Overloaded) {
+        OverloadMsg M;
+        if (decodeOverload(F.Payload, M, Err))
+          Overloads.push_back(M);
+      } else if (F.Type == FrameType::Reloaded) {
+        ReloadedMsg M;
+        if (decodeReloaded(F.Payload, M, Err))
+          Reloads.push_back(std::move(M));
+      }
     }
     close(In[0]);
     close(Out[0]);
@@ -311,6 +374,27 @@ const ResponseMsg *findById(const std::vector<ResponseMsg> &Rs, uint64_t Id) {
     if (R.Id == Id)
       return &R;
   return nullptr;
+}
+
+const OverloadMsg *findOverload(const std::vector<OverloadMsg> &Os,
+                                uint64_t Id) {
+  for (const OverloadMsg &O : Os)
+    if (O.Id == Id)
+      return &O;
+  return nullptr;
+}
+
+/// Spins (bounded, ~5s) until \p Pred holds. Stats counters are
+/// process-wide and cumulative across the test binary, so tests capture a
+/// baseline first and wait for strict growth — that makes the sequencing
+/// deterministic without trusting sleeps.
+bool spinUntil(const std::function<bool()> &Pred) {
+  for (int I = 0; I < 5000; ++I) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Pred();
 }
 
 TEST(ServerTest, ServesRequestsAndShutsDownCleanly) {
@@ -474,6 +558,349 @@ TEST(ServerTest, StepBudgetArmsTheBudgetObject) {
 }
 
 //===----------------------------------------------------------------------===//
+// Admission control, backpressure, drain, reload
+//===----------------------------------------------------------------------===//
+
+/// A handler whose "gate" requests spin until the process-wide overloaded
+/// counter grows past \p Baseline — the test can therefore hold one worker
+/// busy, build queue state behind it, trigger a shed, and only then let
+/// the held work complete. Everything else is answered immediately.
+CompileHandler gateOnOverload(uint64_t Baseline) {
+  return [Baseline](const RequestMsg &Req, RequestBudget &) {
+    if (Req.Source == "gate")
+      spinUntil([Baseline] {
+        return stats().counter("server.overloaded").load(
+                   std::memory_order_relaxed) > Baseline;
+      });
+    HandlerResult R;
+    R.Payload = "served:" + Req.Source;
+    return R;
+  };
+}
+
+TEST(ServerTest, QueueFullRejectsNewestByDefault) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseOver = Reg.counter("server.overloaded").load();
+  uint64_t BaseShed = Reg.counter("server.shed_queue_full").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxQueueDepth = 1;
+  PipeHarness H(gateOnOverload(BaseOver), Opts);
+
+  H.sendRequest(1, "gate");
+  // The gate must be *executing* (not queued) before we build the backlog,
+  // or the shed victim would be timing-dependent.
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  H.sendRequest(2, "b");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  H.sendRequest(3, "c"); // queue holds {2}: full, newest is rejected
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  ASSERT_NE(findById(Rs, 2), nullptr);
+  EXPECT_EQ(findById(Rs, 2)->Payload, "served:b");
+  EXPECT_EQ(findById(Rs, 3), nullptr);
+  const OverloadMsg *O = findOverload(H.Overloads, 3);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Cause, OverloadCause::QueueFull);
+  EXPECT_GE(O->RetryAfterMs, 1u);
+  EXPECT_EQ(Reg.counter("server.shed_queue_full").load(), BaseShed + 1);
+}
+
+TEST(ServerTest, ShedOldestPolicyEvictsQueueHead) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseOver = Reg.counter("server.overloaded").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxQueueDepth = 1;
+  Opts.Shed = ShedPolicy::ShedOldest;
+  PipeHarness H(gateOnOverload(BaseOver), Opts);
+
+  H.sendRequest(1, "gate");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  H.sendRequest(2, "old");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  H.sendRequest(3, "new"); // displaces 2: freshest work keeps its slot
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  EXPECT_EQ(findById(Rs, 2), nullptr);
+  ASSERT_NE(findById(Rs, 3), nullptr);
+  EXPECT_EQ(findById(Rs, 3)->Payload, "served:new");
+  const OverloadMsg *O = findOverload(H.Overloads, 2);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Cause, OverloadCause::ShedOldest);
+}
+
+TEST(ServerTest, AdmissionDeadlineRejectsDoomedRequest) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseOver = Reg.counter("server.overloaded").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  // The estimate floor pins the per-request service estimate at 100ms, so
+  // rejection does not depend on a live EWMA warm-up.
+  Opts.AdmissionEstimateFloorMs = 100;
+  PipeHarness H(gateOnOverload(BaseOver), Opts);
+
+  H.sendRequest(1, "gate");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  // A second no-deadline gate keeps queue depth at 1 (depth 0 estimates a
+  // zero wait, which always admits).
+  H.sendRequest(2, "gate");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  // 50ms of deadline cannot survive an estimated 100ms queue wait: shed at
+  // admission, in O(RTT) instead of O(deadline).
+  H.sendRequest(3, "doomed", /*DeadlineMs=*/50);
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  ASSERT_NE(findById(Rs, 2), nullptr);
+  EXPECT_EQ(findById(Rs, 3), nullptr);
+  const OverloadMsg *O = findOverload(H.Overloads, 3);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Cause, OverloadCause::AdmissionDeadline);
+  // Retry-after reflects the estimated backlog: exactly the 100ms floor
+  // here (the EWMA is still cold — the gates have not completed).
+  EXPECT_EQ(O->RetryAfterMs, 100u);
+}
+
+TEST(ServerTest, QueueDeadlineShedsStaleQueuedRequest) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseShed = Reg.counter("server.shed_queue_deadline").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  std::atomic<bool> Release{false};
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueDeadlineMs = 100;
+  PipeHarness H(
+      [&Release](const RequestMsg &Req, RequestBudget &) {
+        if (Req.Source == "gate")
+          spinUntil([&Release] { return Release.load(); });
+        HandlerResult R;
+        R.Payload = "served";
+        return R;
+      },
+      Opts);
+
+  H.sendRequest(1, "gate");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  H.sendRequest(2, "stale");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  // Hold the worker past the queueing deadline, then let it pop: request 2
+  // has been queued ~150ms > 100ms, so it is shed instead of served.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Release.store(true);
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  EXPECT_EQ(findById(Rs, 2), nullptr);
+  const OverloadMsg *O = findOverload(H.Overloads, 2);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Cause, OverloadCause::QueueDeadline);
+  EXPECT_EQ(Reg.counter("server.shed_queue_deadline").load(), BaseShed + 1);
+}
+
+TEST(ServerTest, DrainCompletesQueuedWorkThenExitsCleanly) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseDrains = Reg.counter("server.drains").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  std::atomic<bool> Release{false};
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  PipeHarness H(
+      [&Release](const RequestMsg &Req, RequestBudget &) {
+        if (Req.Source == "gate")
+          spinUntil([&Release] { return Release.load(); });
+        HandlerResult R;
+        R.Payload = "served:" + Req.Source;
+        return R;
+      },
+      Opts);
+
+  H.sendRequest(1, "gate");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  H.sendRequest(2, "queued");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  // Drain with one request executing and one queued: both must still be
+  // answered — a graceful drain sheds *admissions*, not accepted work.
+  H.Srv->requestDrain();
+  Release.store(true);
+
+  std::vector<ResponseMsg> Rs = H.finish(/*SendShutdown=*/false);
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  ASSERT_NE(findById(Rs, 2), nullptr);
+  EXPECT_EQ(findById(Rs, 2)->Payload, "served:queued");
+  EXPECT_TRUE(H.Overloads.empty());
+  EXPECT_EQ(Reg.counter("server.drains").load(), BaseDrains + 1);
+}
+
+TEST(ServerTest, DrainDeadlineShedsLeftoverQueueAndCancelsInFlight) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  uint64_t BaseShed = Reg.counter("server.shed_draining").load();
+  uint64_t BaseDepth = Reg.histogram("server.queue_depth").count();
+
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.DrainDeadlineMs = 60;
+  Opts.WatchdogIntervalMs = 5;
+  PipeHarness H(
+      [](const RequestMsg &Req, RequestBudget &B) {
+        HandlerResult R;
+        if (Req.Source == "wedge") {
+          // Cooperative but endless until cancelled: the drain deadline is
+          // what releases it.
+          spinUntil([&B] { return B.shouldStop(0); });
+          R.Payload = "cancelled";
+          return R;
+        }
+        R.Payload = "served";
+        return R;
+      },
+      Opts);
+
+  H.sendRequest(1, "wedge");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+  H.sendRequest(2, "stuck-behind");
+  ASSERT_TRUE(spinUntil([&] {
+    return Reg.histogram("server.queue_depth").count() >= BaseDepth + 2;
+  }));
+  H.Srv->requestDrain();
+  // Past DrainDeadlineMs the watchdog stops being graceful: the queued
+  // request is shed with Overloaded(draining) and the in-flight budget is
+  // cancelled, so the server still exits instead of hanging forever.
+  std::vector<ResponseMsg> Rs = H.finish(/*SendShutdown=*/false);
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  const ResponseMsg *Wedged = findById(Rs, 1);
+  ASSERT_NE(Wedged, nullptr);
+  EXPECT_EQ(Wedged->Payload, "cancelled");
+  EXPECT_EQ(findById(Rs, 2), nullptr);
+  const OverloadMsg *O = findOverload(H.Overloads, 2);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Cause, OverloadCause::Draining);
+  // During a drain the retry-after points at the supervisor's restart
+  // horizon, not the (now meaningless) queue estimate.
+  EXPECT_EQ(O->RetryAfterMs, 1000u);
+  EXPECT_EQ(Reg.counter("server.shed_draining").load(), BaseShed + 1);
+}
+
+TEST(ServerTest, ReloadFrameSwapsGenerationAndAcks) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseOk = Reg.counter("server.ok").load();
+  uint64_t BaseReloads = Reg.counter("server.reloads").load();
+  uint64_t BaseFails = Reg.counter("server.reload_failures").load();
+
+  std::atomic<uint64_t> Gen{1};
+  std::atomic<bool> FailNext{false};
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.WatchdogIntervalMs = 5;
+  PipeHarness H(
+      [&Gen](const RequestMsg &, RequestBudget &) {
+        HandlerResult R;
+        R.Generation = Gen.load();
+        R.Payload = "g";
+        return R;
+      },
+      Opts);
+  H.Srv->setReloader([&Gen, &FailNext](uint64_t &NewG, std::string &Err) {
+    if (FailNext.load()) {
+      NewG = Gen.load(); // failed reload keeps serving the old generation
+      Err = "forced reload failure";
+      return false;
+    }
+    NewG = Gen.fetch_add(1) + 1;
+    return true;
+  });
+
+  // Serialize request / reload / request through the stats counters so the
+  // generation each response observes is deterministic.
+  H.sendRequest(1, "a");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.ok").load() >= BaseOk + 1; }));
+  H.send(FrameType::Reload, "");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.reloads").load() > BaseReloads; }));
+  H.sendRequest(2, "b");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.ok").load() >= BaseOk + 2; }));
+  FailNext.store(true);
+  H.send(FrameType::Reload, "");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.reload_failures").load() > BaseFails; }));
+  H.sendRequest(3, "c");
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 1), nullptr);
+  ASSERT_NE(findById(Rs, 2), nullptr);
+  ASSERT_NE(findById(Rs, 3), nullptr);
+  EXPECT_EQ(findById(Rs, 1)->Generation, 1u);
+  EXPECT_EQ(findById(Rs, 2)->Generation, 2u);
+  EXPECT_EQ(findById(Rs, 3)->Generation, 2u); // failed reload: unchanged
+  ASSERT_EQ(H.Reloads.size(), 2u);
+  EXPECT_EQ(H.Reloads[0].Ok, 1u);
+  EXPECT_EQ(H.Reloads[0].Generation, 2u);
+  EXPECT_EQ(H.Reloads[1].Ok, 0u);
+  EXPECT_EQ(H.Reloads[1].Generation, 2u);
+  EXPECT_NE(H.Reloads[1].Text.find("forced reload failure"),
+            std::string::npos);
+}
+
+TEST(ServerTest, ReloadWithoutReloaderAcksFailure) {
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.WatchdogIntervalMs = 5;
+  uint64_t BaseFails = stats().counter("server.reload_failures").load();
+  PipeHarness H(
+      [](const RequestMsg &, RequestBudget &) { return HandlerResult{}; },
+      Opts);
+  H.send(FrameType::Reload, "");
+  ASSERT_TRUE(spinUntil([&] {
+    return stats().counter("server.reload_failures").load() > BaseFails;
+  }));
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_EQ(H.Reloads.size(), 1u);
+  EXPECT_EQ(H.Reloads[0].Ok, 0u);
+  EXPECT_NE(H.Reloads[0].Text.find("no reloader"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
 // CompileService: the real handler
 //===----------------------------------------------------------------------===//
 
@@ -529,6 +956,50 @@ TEST(CompileServiceTest, PreStoppedBudgetFailsFast) {
   EXPECT_NE(R.Payload.find("budget exhausted"), std::string::npos);
 }
 
+TEST(CompileServiceTest, ReloadSwapsGenerationAndSurvivesBadReload) {
+  std::string Err;
+  std::unique_ptr<CompileService> Svc = CompileService::create(Err);
+  ASSERT_NE(Svc, nullptr) << Err;
+  EXPECT_EQ(Svc->generation(), 1u);
+
+  RequestMsg Req;
+  Req.Id = 1;
+  Req.Source = "int main() { int x; x = 3; return x + 4; }";
+  RequestBudget B1;
+  HandlerResult R1 = Svc->compile(Req, B1);
+  ASSERT_EQ(R1.Status, ResponseStatus::Ok);
+  EXPECT_EQ(R1.Generation, 1u);
+
+  // A successful reload bumps the generation; the rebuild is
+  // deterministic, so the same source compiles byte-identically across
+  // generations — the invariant gg-load --verify leans on.
+  uint64_t NewGen = 0;
+  ASSERT_TRUE(Svc->reload(NewGen, Err)) << Err;
+  EXPECT_EQ(NewGen, 2u);
+  EXPECT_EQ(Svc->generation(), 2u);
+  RequestBudget B2;
+  HandlerResult R2 = Svc->compile(Req, B2);
+  ASSERT_EQ(R2.Status, ResponseStatus::Ok);
+  EXPECT_EQ(R2.Generation, 2u);
+  EXPECT_EQ(R2.Payload, R1.Payload);
+
+  // A reload whose fresh image fails checksum verification must keep the
+  // old image serving at the old generation.
+  std::string FErr;
+  ASSERT_TRUE(faultInject().configure("corrupt-table", FErr)) << FErr;
+  uint64_t FailedGen = 0;
+  EXPECT_FALSE(Svc->reload(FailedGen, Err));
+  faultInject().reset();
+  EXPECT_EQ(FailedGen, 2u);
+  EXPECT_EQ(Svc->generation(), 2u);
+  EXPECT_FALSE(Err.empty());
+  RequestBudget B3;
+  HandlerResult R3 = Svc->compile(Req, B3);
+  EXPECT_EQ(R3.Status, ResponseStatus::Ok);
+  EXPECT_EQ(R3.Generation, 2u);
+  EXPECT_EQ(R3.Payload, R1.Payload);
+}
+
 TEST(CompileServiceTest, ServerStatsKeysAreRegistered) {
   // The server schema keys must exist (value 0 is fine) so gg-report can
   // merge server stats artifacts without special cases. Constructing a
@@ -539,7 +1010,12 @@ TEST(CompileServiceTest, ServerStatsKeysAreRegistered) {
   std::string Json = Reg.toJson();
   for (const char *Key :
        {"server.requests", "server.ok", "server.quarantined",
-        "server.watchdog_kills", "server.restarts", "server.resyncs"})
+        "server.watchdog_kills", "server.restarts", "server.resyncs",
+        "server.overloaded", "server.shed_queue_full", "server.shed_oldest",
+        "server.shed_queue_deadline", "server.shed_admission_deadline",
+        "server.shed_draining", "server.drains", "server.reloads",
+        "server.reload_failures", "server.queue_depth",
+        "server.queue_wait_ms"})
     EXPECT_NE(Json.find(Key), std::string::npos) << Key;
 }
 

@@ -8,7 +8,10 @@
 //   gg-load --socket=PATH [--spawn=BIN [--serve-arg=ARG]...]
 //           [--requests=N] [--clients=K] [--corpus=N] [--deadline-ms=N]
 //           [--max-steps=N] [--max-arena=BYTES] [--crash-every=N]
-//           [--verify] [--bench-json=FILE] [--no-shutdown]
+//           [--timeout-ms=N] [--hedge-ms=N] [--open-loop=RPS] [--slo-ms=N]
+//           [--reload-every=N] [--min-generation=N] [--expect-sheds]
+//           [--verify] [--bench-json=FILE] [--bench-prefix=STR]
+//           [--bench-merge] [--no-shutdown]
 //
 // --spawn=BIN forks BIN (compile_minic, or scripts/serve.sh for
 // supervisor drills) with --serve=SOCKET plus every --serve-arg, and
@@ -23,6 +26,23 @@
 // --crash-every=N injects a Crash frame before every Nth request (the
 // server must run with --serve-allow-crash, under scripts/serve.sh).
 //
+// Overload resilience (the client half of the server's admission
+// control): an OVERLOADED frame is honored by sleeping at least the
+// server's retry-after hint, grown exponentially across rounds with
+// proportional jitter (capped at 2s), then resending — until the
+// per-request --timeout-ms budget would be blown, at which point the shed
+// is recorded as terminal rather than a give-up. --hedge-ms=N resends a
+// request that has gone unanswered for N ms on the same connection
+// (purity makes the duplicate safe; the loser counts as a stray).
+// --open-loop=RPS switches from closed-loop (next request after the last
+// answer) to a fixed arrival schedule that never adapts to service rate —
+// the honest way to measure goodput and shed rate at saturation; open
+// loop never retries a shed. --reload-every=N injects a Reload frame
+// before every Nth request; --min-generation asserts the table
+// generation observed in responses reached N. Responses carry the serving
+// table generation, and gg-load asserts it never regresses within one
+// connection (a crash restart legally resets it).
+//
 // --verify recomputes each program's single-shot assembly in-process
 // (same CompileService the server uses) and asserts byte-identical
 // payloads for every clean response — responses with blocked or
@@ -31,13 +51,17 @@
 // local reference compile is itself fault-afflicted.
 //
 // Exit codes follow support/ExitCodes.h: 1 on any verify mismatch,
-// client give-up, or unclean server death.
+// client give-up, unclean server death, generation regression, missed
+// --slo-ms p99 target, unmet --min-generation, or --expect-sheds with no
+// shed observed.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cg/CompileService.h"
 #include "support/ExitCodes.h"
+#include "support/FaultInject.h"
 #include "support/Frame.h"
+#include "support/Json.h"
 #include "support/Strings.h"
 #include "workload/ProgramGen.h"
 
@@ -49,9 +73,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <poll.h>
 #include <string>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -64,6 +90,8 @@ using namespace gg;
 
 namespace {
 
+constexpr uint64_t NsPerMs = 1000 * 1000;
+
 struct LoadOptions {
   std::string Socket;
   std::string SpawnBin;
@@ -74,10 +102,19 @@ struct LoadOptions {
   uint32_t DeadlineMs = 0; ///< 0 = server default
   uint64_t MaxSteps = 0;
   uint64_t MaxArenaBytes = 0;
-  int CrashEvery = 0; ///< inject a Crash frame before every Nth request
+  int CrashEvery = 0;   ///< inject a Crash frame before every Nth request
+  int ReloadEvery = 0;  ///< inject a Reload frame before every Nth request
+  int TimeoutMs = 30000; ///< per-request wall budget (send+retries+await)
+  int HedgeMs = 0;       ///< resend an unanswered request after N ms
+  int OpenLoopRps = 0;   ///< fixed arrival rate per client thread; 0 = closed
+  int SloMs = 0;         ///< p99 target; missing it fails the run
+  uint64_t MinGeneration = 0; ///< require the observed generation to reach N
+  bool ExpectSheds = false;   ///< fail unless at least one OVERLOADED arrived
   bool Verify = false;
   bool Shutdown = true;
   std::string BenchJsonPath;
+  std::string BenchPrefix; ///< prepended to every metric name
+  bool BenchMerge = false; ///< keep existing metrics in --bench-json
 };
 
 uint64_t nowNs() {
@@ -109,9 +146,7 @@ int connectWithRetry(const std::string &Path) {
   return -1;
 }
 
-bool writeAll(int Fd, const std::string &Data) {
-  const char *P = Data.data();
-  size_t Len = Data.size();
+bool writeAll(int Fd, const char *P, size_t Len) {
   while (Len > 0) {
     ssize_t N = ::write(Fd, P, Len);
     if (N < 0) {
@@ -132,6 +167,14 @@ struct Tally {
   std::atomic<uint64_t> CompileErrors{0};
   std::atomic<uint64_t> Replays{0};
   std::atomic<uint64_t> GaveUp{0};
+  std::atomic<uint64_t> Overloaded{0};      ///< OVERLOADED frames received
+  std::atomic<uint64_t> OverloadedFinal{0}; ///< sheds that ended a request
+  std::atomic<uint64_t> Retries{0};         ///< resends after a shed
+  std::atomic<uint64_t> Hedges{0};          ///< duplicate sends (--hedge-ms)
+  std::atomic<uint64_t> ReloadAcks{0};      ///< Reloaded frames received
+  std::atomic<uint64_t> DeadlineMissed{0};  ///< answered past --slo-ms
+  std::atomic<uint64_t> MaxGeneration{0};
+  std::atomic<uint64_t> GenerationRegressions{0};
   std::atomic<uint64_t> VerifyMismatches{0};
   std::atomic<uint64_t> VerifySkipped{0};
   std::atomic<uint64_t> Verified{0};
@@ -145,7 +188,9 @@ struct Tally {
 /// One client connection, reconnecting across server restarts.
 class Client {
 public:
-  explicit Client(const std::string &Socket) : Socket(Socket) {}
+  enum class Event { Response, Overload, Timeout, Lost };
+
+  Client(const std::string &Socket, Tally &T) : Socket(Socket), T(T) {}
   ~Client() { drop(); }
 
   bool ensureConnected() {
@@ -153,6 +198,9 @@ public:
       return true;
     Fd = connectWithRetry(Socket);
     Reader = FrameReader();
+    // A crash restart legally resets the server's generation counter, so
+    // monotonicity is asserted per connection, not per process.
+    LastGen = 0;
     return Fd >= 0;
   }
 
@@ -167,61 +215,143 @@ public:
       return false;
     std::string Wire;
     appendFrame(Wire, Type, Payload);
-    if (!writeAll(Fd, Wire)) {
+    int ChunkMs = faultInject().slowClientChunkMs();
+    if (ChunkMs > 0 && Wire.size() > 64) {
+      // slow-client fault: dribble the frame onto the wire in ~16 slices
+      // with a pause between each — the server's incremental reader must
+      // treat every partial frame as NeedMore, never as corruption.
+      faultInject().noteSlowClientWrite();
+      size_t Step = std::max<size_t>(Wire.size() / 16, 16);
+      for (size_t Off = 0; Off < Wire.size(); Off += Step) {
+        size_t Len = std::min(Step, Wire.size() - Off);
+        if (!writeAll(Fd, Wire.data() + Off, Len)) {
+          drop();
+          return false;
+        }
+        if (Off + Len < Wire.size())
+          std::this_thread::sleep_for(std::chrono::milliseconds(ChunkMs));
+      }
+      return true;
+    }
+    if (!writeAll(Fd, Wire.data(), Wire.size())) {
       drop();
       return false;
     }
     return true;
   }
 
-  /// Reads until the Response for \p WantId arrives (counting strays),
-  /// or the connection dies / \p TimeoutNs elapses.
-  bool awaitResponse(uint64_t WantId, uint64_t TimeoutNs, ResponseMsg &Out,
-                     Tally &T) {
-    uint64_t Deadline = nowNs() + TimeoutNs;
+  /// Blocks (via poll) until one complete frame, the absolute deadline,
+  /// or connection loss. Returns 1 with \p F filled, 0 on deadline (the
+  /// connection stays usable — hedges and open-loop sends continue on
+  /// it), -1 on loss. \p DeadlineNs is absolute nowNs() time.
+  int pump(uint64_t DeadlineNs, Frame &F) {
     char Chunk[65536];
     while (true) {
-      Frame F;
       FrameReader::Status S = Reader.next(F);
       if (S == FrameReader::Status::NeedMore) {
-        if (nowNs() > Deadline) {
+        if (Fd < 0)
+          return -1;
+        uint64_t Now = nowNs();
+        if (Now >= DeadlineNs)
+          return 0;
+        pollfd P{};
+        P.fd = Fd;
+        P.events = POLLIN;
+        uint64_t WaitMs = (DeadlineNs - Now) / NsPerMs + 1;
+        int R = ::poll(&P, 1,
+                       static_cast<int>(std::min<uint64_t>(WaitMs, 60000)));
+        if (R < 0) {
+          if (errno == EINTR)
+            continue;
           drop();
-          return false;
+          return -1;
         }
+        if (R == 0)
+          continue; // re-check the deadline at the top
         ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
         if (N < 0 && errno == EINTR)
           continue;
         if (N <= 0) {
           drop();
-          return false;
+          return -1;
         }
         Reader.feed(Chunk, static_cast<size_t>(N));
         continue;
       }
       if (S == FrameReader::Status::Corrupt)
         continue; // reader already resynced
-      if (F.Type != FrameType::Response) {
-        ++T.StrayResponses;
-        continue;
-      }
+      return 1;
+    }
+  }
+
+  /// Closed-loop wait: reads until the Response or Overloaded frame for
+  /// \p WantId arrives (counting strays, absorbing Reloaded acks), the
+  /// connection dies, or the absolute deadline passes.
+  Event awaitEvent(uint64_t WantId, uint64_t DeadlineNs, ResponseMsg &Resp,
+                   OverloadMsg &Over) {
+    while (true) {
+      Frame F;
+      int R = pump(DeadlineNs, F);
+      if (R == 0)
+        return Event::Timeout;
+      if (R < 0)
+        return Event::Lost;
       std::string Err;
-      if (!decodeResponse(F.Payload, Out, Err)) {
-        ++T.StrayResponses;
-        continue;
+      switch (F.Type) {
+      case FrameType::Response:
+        if (!decodeResponse(F.Payload, Resp, Err) || Resp.Id != WantId) {
+          // Protocol-error responses carry id 0; a late response for a
+          // request we already replayed or hedged is also possible.
+          ++T.StrayResponses;
+          break;
+        }
+        noteGeneration(Resp.Generation);
+        return Event::Response;
+      case FrameType::Overloaded:
+        if (!decodeOverload(F.Payload, Over, Err) || Over.Id != WantId) {
+          ++T.StrayResponses;
+          break;
+        }
+        return Event::Overload;
+      case FrameType::Reloaded: {
+        ReloadedMsg RM;
+        if (decodeReloaded(F.Payload, RM, Err)) {
+          ++T.ReloadAcks;
+          noteGeneration(RM.Generation);
+        } else {
+          ++T.StrayResponses;
+        }
+        break;
       }
-      if (Out.Id != WantId) {
-        // Protocol-error responses carry id 0; a late watchdog response
-        // for a request we already replayed is also possible.
+      default:
         ++T.StrayResponses;
-        continue;
+        break;
       }
-      return true;
+    }
+  }
+
+  /// Records a response's table generation: per-connection monotonicity
+  /// (a regression within one connection means the server answered from
+  /// an older image after a newer one — a reload-atomicity bug) plus the
+  /// process-wide max for --min-generation.
+  void noteGeneration(uint64_t G) {
+    if (G == 0)
+      return;
+    if (G < LastGen)
+      ++T.GenerationRegressions;
+    if (G > LastGen)
+      LastGen = G;
+    uint64_t Cur = T.MaxGeneration.load(std::memory_order_relaxed);
+    while (G > Cur && !T.MaxGeneration.compare_exchange_weak(
+                          Cur, G, std::memory_order_relaxed)) {
     }
   }
 
 private:
   std::string Socket;
+  Tally &T;
   int Fd = -1;
+  uint64_t LastGen = 0;
   FrameReader Reader;
 };
 
@@ -253,14 +383,66 @@ struct VerifyOracle {
   }
 };
 
+/// Sorts one answered response into the tallies (shared by the closed-
+/// and open-loop paths).
+void classifyResponse(const ResponseMsg &Resp, size_t ProgIdx, Tally &T,
+                      const LoadOptions &Opt, const VerifyOracle &Oracle) {
+  switch (Resp.Status) {
+  case ResponseStatus::Ok:
+    ++T.Ok;
+    T.AsmBytes += Resp.Payload.size();
+    if (Opt.Verify) {
+      if (Resp.BlockedTrees > 0 || Resp.RecoveredTrees > 0 ||
+          !Oracle.Expected[ProgIdx]) {
+        // A fault actually hit this request (or the local reference):
+        // quarantine semantics, nothing to compare.
+        ++T.VerifySkipped;
+      } else if (Resp.Payload != *Oracle.Expected[ProgIdx]) {
+        ++T.VerifyMismatches;
+        fprintf(stderr,
+                "gg-load: VERIFY MISMATCH request %llu (program %zu): "
+                "%zu vs %zu bytes\n",
+                static_cast<unsigned long long>(Resp.Id), ProgIdx,
+                Resp.Payload.size(), Oracle.Expected[ProgIdx]->size());
+      } else {
+        ++T.Verified;
+      }
+    }
+    break;
+  case ResponseStatus::CompileError:
+    ++T.CompileErrors;
+    break;
+  default:
+    ++T.Quarantined;
+    break;
+  }
+}
+
+/// The post-shed sleep: at least the server's retry-after hint, grown
+/// exponentially across rounds (x16 cap), with proportional deterministic
+/// jitter so a herd of shed clients does not re-arrive in lockstep.
+/// Capped at 2s to keep a saturated run's tail bounded.
+uint64_t backoffMs(uint32_t RetryAfterMs, uint32_t Round, uint64_t Salt) {
+  uint64_t Base = std::max<uint32_t>(RetryAfterMs, 1);
+  uint64_t Grown = Base << std::min<uint32_t>(Round, 4);
+  uint64_t H = (Salt * 0x9E3779B97F4A7C15ull) ^
+               (uint64_t(Round + 1) * 2654435761u);
+  uint64_t Jit = H % (Base / 2 + 1);
+  return std::min<uint64_t>(Grown + Jit, 2000);
+}
+
 void usage() {
   fprintf(stderr,
           "usage: gg-load --socket=PATH [--spawn=BIN [--serve-arg=ARG]...]\n"
           "               [--requests=N] [--clients=K] [--corpus=N]\n"
           "               [--deadline-ms=N] [--max-steps=N] "
           "[--max-arena=BYTES]\n"
-          "               [--crash-every=N] [--verify] [--bench-json=FILE]\n"
-          "               [--no-shutdown]\n");
+          "               [--crash-every=N] [--reload-every=N] "
+          "[--timeout-ms=N]\n"
+          "               [--hedge-ms=N] [--open-loop=RPS] [--slo-ms=N]\n"
+          "               [--min-generation=N] [--expect-sheds] [--verify]\n"
+          "               [--bench-json=FILE] [--bench-prefix=STR]\n"
+          "               [--bench-merge] [--no-shutdown]\n");
 }
 
 bool intFlag(const std::string &A, const char *Prefix, int64_t Min,
@@ -321,12 +503,42 @@ int main(int argc, char **argv) {
       return ExitUsage;
     else if (M)
       Opt.CrashEvery = static_cast<int>(V);
+    else if (!intFlag(A, "--reload-every=", 1, 1000000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.ReloadEvery = static_cast<int>(V);
+    else if (!intFlag(A, "--timeout-ms=", 1, 600000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.TimeoutMs = static_cast<int>(V);
+    else if (!intFlag(A, "--hedge-ms=", 1, 600000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.HedgeMs = static_cast<int>(V);
+    else if (!intFlag(A, "--open-loop=", 1, 1000000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.OpenLoopRps = static_cast<int>(V);
+    else if (!intFlag(A, "--slo-ms=", 1, 600000, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.SloMs = static_cast<int>(V);
+    else if (!intFlag(A, "--min-generation=", 1, INT64_MAX, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.MinGeneration = static_cast<uint64_t>(V);
+    else if (A == "--expect-sheds")
+      Opt.ExpectSheds = true;
     else if (A == "--verify")
       Opt.Verify = true;
     else if (A == "--no-shutdown")
       Opt.Shutdown = false;
+    else if (A == "--bench-merge")
+      Opt.BenchMerge = true;
     else if (A.rfind("--bench-json=", 0) == 0)
       Opt.BenchJsonPath = A.substr(13);
+    else if (A.rfind("--bench-prefix=", 0) == 0)
+      Opt.BenchPrefix = A.substr(15);
     else {
       fprintf(stderr, "gg-load: unknown option %s\n", A.c_str());
       usage();
@@ -381,29 +593,247 @@ int main(int argc, char **argv) {
 
   Tally T;
   std::atomic<int> NextRequest{0};
-  // Client-side response timeout: generously beyond any server deadline +
-  // watchdog grace, so a hit deadline still yields a structured response
-  // rather than a client timeout.
-  uint64_t TimeoutNs = 30ull * 1000 * 1000 * 1000;
+  // Client-side response timeout: by default generously beyond any server
+  // deadline + watchdog grace, so a hit deadline still yields a
+  // structured response rather than a client timeout.
+  const uint64_t TimeoutNs = static_cast<uint64_t>(Opt.TimeoutMs) * NsPerMs;
 
   uint64_t WallStart = nowNs();
-  std::vector<std::thread> Workers;
-  for (int C = 0; C < Opt.Clients; ++C) {
-    Workers.emplace_back([&, C] {
-      Client Conn(Opt.Socket);
-      std::vector<uint64_t> LocalLat;
-      while (true) {
-        int Idx = NextRequest.fetch_add(1);
-        if (Idx >= Opt.Requests)
-          break;
-        if (Opt.CrashEvery > 0 && Idx > 0 && Idx % Opt.CrashEvery == 0) {
-          // Crash drill: kill the server out from under everyone. The
-          // supervisor restarts it; every client reconnects and replays.
-          if (Conn.send(FrameType::Crash, ""))
-            ++T.CrashesInjected;
-          Conn.drop();
-        }
 
+  // Closed loop: each client thread sends its next request as soon as the
+  // previous one resolved; sheds are retried under the retry-after
+  // contract inside the per-request timeout budget.
+  auto ClosedLoopWorker = [&] {
+    Client Conn(Opt.Socket, T);
+    std::vector<uint64_t> LocalLat;
+    while (true) {
+      int Idx = NextRequest.fetch_add(1);
+      if (Idx >= Opt.Requests)
+        break;
+      if (Opt.CrashEvery > 0 && Idx > 0 && Idx % Opt.CrashEvery == 0) {
+        // Crash drill: kill the server out from under everyone. The
+        // supervisor restarts it; every client reconnects and replays.
+        if (Conn.send(FrameType::Crash, ""))
+          ++T.CrashesInjected;
+        Conn.drop();
+      }
+      if (Opt.ReloadEvery > 0 && Idx > 0 && Idx % Opt.ReloadEvery == 0) {
+        // Reload drill: hot-swap the table image mid-run. The Reloaded
+        // ack arrives asynchronously and is absorbed during awaits.
+        Conn.send(FrameType::Reload, "");
+      }
+
+      RequestMsg Req;
+      Req.Id = static_cast<uint64_t>(Idx) + 1;
+      Req.DeadlineMs = Opt.DeadlineMs;
+      Req.MaxSteps = Opt.MaxSteps;
+      Req.MaxArenaBytes = Opt.MaxArenaBytes;
+      size_t ProgIdx = static_cast<size_t>(Idx) % Corpus.size();
+      Req.Source = Corpus[ProgIdx];
+      std::string Payload = encodeRequest(Req);
+
+      // Replay on connection loss: output is a pure function of the
+      // request, so replaying the in-flight request reproduces the lost
+      // response exactly (at most once per connection epoch). Bounded at
+      // 4 connection failures because a freshly-reconnected socket can
+      // land in the listen backlog of a server that is already dying —
+      // the kernel accepts the connect before the process finishes
+      // aborting — so one replay can be burned without a second real
+      // crash. Everything (sends, sheds, backoff, awaits) shares one
+      // per-request wall budget of --timeout-ms.
+      ResponseMsg Resp;
+      OverloadMsg Over;
+      bool Got = false;
+      bool Shed = false;
+      uint64_t T0 = nowNs();
+      const uint64_t ReqDeadline = T0 + TimeoutNs;
+      int ConnFailures = 0;
+      uint32_t Round = 0; // shed-retry rounds completed (backoff growth)
+      bool Hedged = false;
+      bool NeedSend = true;
+      while (!Got && !Shed) {
+        if (NeedSend) {
+          if (nowNs() >= ReqDeadline)
+            break;
+          if (!Conn.send(FrameType::Request, Payload)) {
+            if (++ConnFailures >= 4)
+              break;
+            ++T.Replays;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            continue;
+          }
+          NeedSend = false;
+        }
+        uint64_t WaitDeadline = ReqDeadline;
+        if (Opt.HedgeMs > 0 && !Hedged)
+          WaitDeadline = std::min(
+              ReqDeadline, nowNs() + static_cast<uint64_t>(Opt.HedgeMs) *
+                                         NsPerMs);
+        Client::Event E = Conn.awaitEvent(Req.Id, WaitDeadline, Resp, Over);
+        switch (E) {
+        case Client::Event::Response:
+          Got = true;
+          break;
+        case Client::Event::Overload: {
+          ++T.Overloaded;
+          uint64_t SleepMs = backoffMs(Over.RetryAfterMs, Round, Req.Id);
+          ++Round;
+          if (nowNs() + SleepMs * NsPerMs >= ReqDeadline) {
+            // No budget left to honor the hint: the shed is this
+            // request's answer (terminal), not a client give-up.
+            Shed = true;
+          } else {
+            ++T.Retries;
+            std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+            NeedSend = true;
+          }
+          break;
+        }
+        case Client::Event::Timeout:
+          if (WaitDeadline < ReqDeadline) {
+            // The hedge timer fired, not the deadline: resend the same
+            // id on the same stream. Purity makes the duplicate safe;
+            // whichever response loses the race counts as a stray.
+            Hedged = true;
+            ++T.Hedges;
+            NeedSend = true;
+          } else {
+            // Hard timeout: poison the stream so a late response for
+            // this id cannot satisfy the next request.
+            Conn.drop();
+            Got = false;
+            Shed = false;
+            goto done;
+          }
+          break;
+        case Client::Event::Lost:
+          if (++ConnFailures >= 4)
+            goto done;
+          ++T.Replays;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          NeedSend = true;
+          break;
+        }
+      }
+    done:
+      if (Shed) {
+        ++T.OverloadedFinal;
+        continue;
+      }
+      if (!Got) {
+        ++T.GaveUp;
+        continue;
+      }
+      uint64_t LatNs = nowNs() - T0;
+      LocalLat.push_back(LatNs);
+      if (Opt.SloMs > 0 && LatNs > static_cast<uint64_t>(Opt.SloMs) * NsPerMs)
+        ++T.DeadlineMissed;
+      classifyResponse(Resp, ProgIdx, T, Opt, Oracle);
+    }
+    std::lock_guard<std::mutex> Lock(T.LatM);
+    T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
+                         LocalLat.end());
+  };
+
+  // Open loop: requests depart on a fixed global schedule (request k at
+  // WallStart + k/RPS) no matter how the server is doing — arrival rate
+  // never adapts to service rate, which is the honest way to measure
+  // goodput and shed rate at saturation. Sheds are terminal: the whole
+  // point is to count them, not to smooth them over with retries.
+  auto OpenLoopWorker = [&] {
+    Client Conn(Opt.Socket, T);
+    struct Pending {
+      size_t ProgIdx;
+      uint64_t SentNs;
+    };
+    std::map<uint64_t, Pending> Outstanding;
+    std::vector<uint64_t> LocalLat;
+    const double PeriodNs = 1e9 / Opt.OpenLoopRps;
+
+    auto HandleFrame = [&](const Frame &F) {
+      std::string Err;
+      if (F.Type == FrameType::Response) {
+        ResponseMsg Resp;
+        if (!decodeResponse(F.Payload, Resp, Err)) {
+          ++T.StrayResponses;
+          return;
+        }
+        Conn.noteGeneration(Resp.Generation);
+        auto It = Outstanding.find(Resp.Id);
+        if (It == Outstanding.end()) {
+          ++T.StrayResponses;
+          return;
+        }
+        uint64_t LatNs = nowNs() - It->second.SentNs;
+        LocalLat.push_back(LatNs);
+        if (Opt.SloMs > 0 &&
+            LatNs > static_cast<uint64_t>(Opt.SloMs) * NsPerMs)
+          ++T.DeadlineMissed;
+        classifyResponse(Resp, It->second.ProgIdx, T, Opt, Oracle);
+        Outstanding.erase(It);
+      } else if (F.Type == FrameType::Overloaded) {
+        OverloadMsg Over;
+        if (!decodeOverload(F.Payload, Over, Err)) {
+          ++T.StrayResponses;
+          return;
+        }
+        auto It = Outstanding.find(Over.Id);
+        if (It == Outstanding.end()) {
+          ++T.StrayResponses;
+          return;
+        }
+        ++T.Overloaded;
+        ++T.OverloadedFinal;
+        Outstanding.erase(It);
+      } else if (F.Type == FrameType::Reloaded) {
+        ReloadedMsg RM;
+        if (decodeReloaded(F.Payload, RM, Err)) {
+          ++T.ReloadAcks;
+          Conn.noteGeneration(RM.Generation);
+        } else {
+          ++T.StrayResponses;
+        }
+      } else {
+        ++T.StrayResponses;
+      }
+    };
+
+    auto AbandonOutstanding = [&] {
+      T.GaveUp += Outstanding.size();
+      Outstanding.clear();
+    };
+
+    uint64_t LastSendNs = nowNs();
+    bool MoreToSend = true;
+    while (true) {
+      if (MoreToSend) {
+        int Idx = NextRequest.fetch_add(1);
+        if (Idx >= Opt.Requests) {
+          MoreToSend = false;
+          continue;
+        }
+        uint64_t Due =
+            WallStart + static_cast<uint64_t>(Idx * PeriodNs);
+        // Drain arrivals until this request's scheduled departure.
+        while (true) {
+          uint64_t Now = nowNs();
+          if (Now >= Due)
+            break;
+          Frame F;
+          int R = Conn.pump(Due, F);
+          if (R > 0) {
+            HandleFrame(F);
+          } else if (R < 0) {
+            // Server died: everything outstanding on this connection is
+            // lost (open loop never replays). send() below reconnects.
+            AbandonOutstanding();
+            break;
+          } else {
+            break; // departure time
+          }
+        }
+        if (Opt.ReloadEvery > 0 && Idx > 0 && Idx % Opt.ReloadEvery == 0)
+          Conn.send(FrameType::Reload, "");
         RequestMsg Req;
         Req.Id = static_cast<uint64_t>(Idx) + 1;
         Req.DeadlineMs = Opt.DeadlineMs;
@@ -411,67 +841,36 @@ int main(int argc, char **argv) {
         Req.MaxArenaBytes = Opt.MaxArenaBytes;
         size_t ProgIdx = static_cast<size_t>(Idx) % Corpus.size();
         Req.Source = Corpus[ProgIdx];
-        std::string Payload = encodeRequest(Req);
-
-        // Replay on connection loss: output is a pure function of the
-        // request, so replaying the in-flight request reproduces the lost
-        // response exactly (at most once per connection epoch). Bounded at
-        // 4 attempts because a freshly-reconnected socket can land in the
-        // listen backlog of a server that is already dying — the kernel
-        // accepts the connect before the process finishes aborting — so
-        // one replay can be burned without a second real crash.
-        ResponseMsg Resp;
-        bool Got = false;
-        uint64_t T0 = nowNs();
-        for (int Attempt = 0; Attempt < 4 && !Got; ++Attempt) {
-          if (Attempt > 0) {
-            ++T.Replays;
-            std::this_thread::sleep_for(std::chrono::milliseconds(50));
-          }
-          if (!Conn.send(FrameType::Request, Payload))
-            continue;
-          Got = Conn.awaitResponse(Req.Id, TimeoutNs, Resp, T);
-        }
-        if (!Got) {
+        if (!Conn.send(FrameType::Request, encodeRequest(Req))) {
           ++T.GaveUp;
           continue;
         }
-        LocalLat.push_back(nowNs() - T0);
-
-        switch (Resp.Status) {
-        case ResponseStatus::Ok:
-          ++T.Ok;
-          T.AsmBytes += Resp.Payload.size();
-          if (Opt.Verify) {
-            if (Resp.BlockedTrees > 0 || Resp.RecoveredTrees > 0 ||
-                !Oracle.Expected[ProgIdx]) {
-              // A fault actually hit this request (or the local
-              // reference): quarantine semantics, nothing to compare.
-              ++T.VerifySkipped;
-            } else if (Resp.Payload != *Oracle.Expected[ProgIdx]) {
-              ++T.VerifyMismatches;
-              fprintf(stderr,
-                      "gg-load: VERIFY MISMATCH request %llu (program %zu): "
-                      "%zu vs %zu bytes\n",
-                      static_cast<unsigned long long>(Req.Id), ProgIdx,
-                      Resp.Payload.size(), Oracle.Expected[ProgIdx]->size());
-            } else {
-              ++T.Verified;
-            }
-          }
+        Outstanding.emplace(Req.Id, Pending{ProgIdx, nowNs()});
+        LastSendNs = nowNs();
+      } else {
+        if (Outstanding.empty())
           break;
-        case ResponseStatus::CompileError:
-          ++T.CompileErrors;
-          break;
-        default:
-          ++T.Quarantined;
-          break;
+        Frame F;
+        int R = Conn.pump(LastSendNs + TimeoutNs, F);
+        if (R > 0) {
+          HandleFrame(F);
+          continue;
         }
+        AbandonOutstanding(); // drain timed out or connection died
+        break;
       }
-      std::lock_guard<std::mutex> Lock(T.LatM);
-      T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
-                           LocalLat.end());
-    });
+    }
+    std::lock_guard<std::mutex> Lock(T.LatM);
+    T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
+                         LocalLat.end());
+  };
+
+  std::vector<std::thread> Workers;
+  for (int C = 0; C < Opt.Clients; ++C) {
+    if (Opt.OpenLoopRps > 0)
+      Workers.emplace_back(OpenLoopWorker);
+    else
+      Workers.emplace_back(ClosedLoopWorker);
   }
   for (std::thread &W : Workers)
     W.join();
@@ -480,7 +879,7 @@ int main(int argc, char **argv) {
   // Clean shutdown + death audit.
   bool UncleanDeath = false;
   if (Opt.Shutdown) {
-    Client Conn(Opt.Socket);
+    Client Conn(Opt.Socket, T);
     Conn.send(FrameType::Shutdown, "");
   }
   if (ServerPid > 0) {
@@ -513,10 +912,24 @@ int main(int argc, char **argv) {
          static_cast<unsigned long long>(T.Quarantined.load()),
          static_cast<unsigned long long>(T.Replays.load()),
          static_cast<unsigned long long>(T.GaveUp.load()));
-  printf("gg-load: wall %.3fs, throughput %.1f req/s, latency p50 %.4fs "
-         "p95 %.4fs p99 %.4fs\n",
-         WallSeconds, Answered / std::max(WallSeconds, 1e-9), Pct(0.50),
-         Pct(0.95), Pct(0.99));
+  printf("gg-load: %llu overloaded (%llu terminal), %llu retries, "
+         "%llu hedges, %llu reload-acks, generation max %llu "
+         "(%llu regressions)\n",
+         static_cast<unsigned long long>(T.Overloaded.load()),
+         static_cast<unsigned long long>(T.OverloadedFinal.load()),
+         static_cast<unsigned long long>(T.Retries.load()),
+         static_cast<unsigned long long>(T.Hedges.load()),
+         static_cast<unsigned long long>(T.ReloadAcks.load()),
+         static_cast<unsigned long long>(T.MaxGeneration.load()),
+         static_cast<unsigned long long>(T.GenerationRegressions.load()));
+  printf("gg-load: wall %.3fs, throughput %.1f req/s, goodput %.1f req/s, "
+         "latency p50 %.4fs p95 %.4fs p99 %.4fs\n",
+         WallSeconds, Answered / std::max(WallSeconds, 1e-9),
+         T.Ok.load() / std::max(WallSeconds, 1e-9), Pct(0.50), Pct(0.95),
+         Pct(0.99));
+  if (Opt.SloMs > 0)
+    printf("gg-load: slo %dms: %llu answered past it\n", Opt.SloMs,
+           static_cast<unsigned long long>(T.DeadlineMissed.load()));
   if (Opt.Verify)
     printf("gg-load: verified %llu byte-identical, %llu skipped (faulted), "
            "%llu MISMATCHED\n",
@@ -528,12 +941,25 @@ int main(int argc, char **argv) {
     // gg-bench-v1, same contract as bench/BenchCommon.h: metrics with
     // "seconds" in the name are wall-clock (sentinel-exempt unless
     // --time-threshold); the rest must be deterministic run to run.
+    // Overload legs write inherently noisy counts (sheds, retries) —
+    // bench.sh names them via --bench-prefix and passes the prefix to
+    // gg-report --noisy so the sentinel treats them as time-class.
     std::map<std::string, double> Metrics;
     Metrics["requests"] = Opt.Requests;
     Metrics["requests_ok"] = static_cast<double>(T.Ok.load());
     Metrics["compile_errors"] = static_cast<double>(T.CompileErrors.load());
     Metrics["error_frames"] = static_cast<double>(T.Quarantined.load());
     Metrics["gave_up"] = static_cast<double>(T.GaveUp.load());
+    Metrics["overloaded"] = static_cast<double>(T.Overloaded.load());
+    Metrics["shed_final"] = static_cast<double>(T.OverloadedFinal.load());
+    Metrics["retries"] = static_cast<double>(T.Retries.load());
+    Metrics["hedges"] = static_cast<double>(T.Hedges.load());
+    Metrics["replays"] = static_cast<double>(T.Replays.load());
+    Metrics["reload_acks"] = static_cast<double>(T.ReloadAcks.load());
+    Metrics["deadline_missed"] = static_cast<double>(T.DeadlineMissed.load());
+    Metrics["max_generation"] = static_cast<double>(T.MaxGeneration.load());
+    Metrics["generation_regressions"] =
+        static_cast<double>(T.GenerationRegressions.load());
     Metrics["verify_mismatches"] =
         static_cast<double>(T.VerifyMismatches.load());
     Metrics["asm_bytes"] = static_cast<double>(T.AsmBytes.load());
@@ -543,6 +969,35 @@ int main(int argc, char **argv) {
     Metrics["p99_seconds"] = Pct(0.99);
     Metrics["throughput_per_wall_seconds"] =
         Answered / std::max(WallSeconds, 1e-9);
+    Metrics["goodput_per_wall_seconds"] =
+        T.Ok.load() / std::max(WallSeconds, 1e-9);
+
+    std::map<std::string, double> Final;
+    for (const auto &[Name, Value] : Metrics)
+      Final[Opt.BenchPrefix + Name] = Value;
+
+    if (Opt.BenchMerge) {
+      // Keep whatever an earlier leg wrote under names this run did not
+      // produce — the throughput and overload legs share one artifact.
+      std::ifstream In(Opt.BenchJsonPath);
+      if (In) {
+        std::string Text((std::istreambuf_iterator<char>(In)),
+                         std::istreambuf_iterator<char>());
+        JsonValue Root;
+        std::string JErr;
+        if (parseJson(Text, Root, JErr)) {
+          if (const JsonValue *Old = Root.find("metrics"))
+            for (const auto &[Name, Value] : Old->Obj)
+              if (Value.K == JsonValue::Number && !Final.count(Name))
+                Final.emplace(Name, Value.Num);
+        } else {
+          fprintf(stderr, "gg-load: --bench-merge: ignoring unparsable %s: "
+                          "%s\n",
+                  Opt.BenchJsonPath.c_str(), JErr.c_str());
+        }
+      }
+    }
+
     std::ofstream Out(Opt.BenchJsonPath);
     if (!Out) {
       fprintf(stderr, "gg-load: cannot write %s\n", Opt.BenchJsonPath.c_str());
@@ -551,7 +1006,7 @@ int main(int argc, char **argv) {
     Out << "{\"schema\":\"gg-bench-v1\",\"bench\":\"server_throughput\","
            "\"metrics\":{";
     bool First = true;
-    for (const auto &[Name, Value] : Metrics) {
+    for (const auto &[Name, Value] : Final) {
       char Buf[64];
       snprintf(Buf, sizeof(Buf), "%.9g", Value);
       Out << (First ? "" : ",") << "\"" << Name << "\":" << Buf;
@@ -560,7 +1015,24 @@ int main(int argc, char **argv) {
     Out << "}}\n";
   }
 
-  bool Failed = UncleanDeath || T.VerifyMismatches.load() > 0 ||
-                T.GaveUp.load() > 0;
+  bool Failed = false;
+  auto Fail = [&](const char *Why) {
+    fprintf(stderr, "gg-load: FAIL: %s\n", Why);
+    Failed = true;
+  };
+  if (UncleanDeath)
+    Fail("unclean server death");
+  if (T.VerifyMismatches.load() > 0)
+    Fail("verify mismatches");
+  if (T.GaveUp.load() > 0)
+    Fail("client give-ups (lost or unanswered requests)");
+  if (T.GenerationRegressions.load() > 0)
+    Fail("table generation regressed within a connection");
+  if (Opt.SloMs > 0 && Pct(0.99) * 1000.0 > Opt.SloMs)
+    Fail("p99 latency above --slo-ms");
+  if (Opt.MinGeneration > 0 && T.MaxGeneration.load() < Opt.MinGeneration)
+    Fail("observed generation never reached --min-generation");
+  if (Opt.ExpectSheds && T.Overloaded.load() == 0)
+    Fail("--expect-sheds but no OVERLOADED frame arrived");
   return Failed ? ExitCompileFailure : ExitOk;
 }

@@ -9,7 +9,7 @@
 //             [--profile] [--profile-json=FILE] [--diff-pcc=FILE]
 //             [--fail-attribution-below=PCT]
 //             [--check-bench=FRESH:BASELINE] [--threshold=PCT]
-//             [--time-threshold=PCT]
+//             [--time-threshold=PCT] [--noisy=SUBSTR]
 //
 // Artifacts are dispatched on their "schema" field:
 //
@@ -27,7 +27,12 @@
 //                   prints the per-phase breakdown with the share of
 //                   cg.total wall time the instrumentation attributed.
 //   gg-stats-v1     per-phase *_seconds values are summed into a time
-//                   breakdown across all stats artifacts.
+//                   breakdown across all stats artifacts; counters and
+//                   histograms are summed too, and artifacts carrying
+//                   `server.*` keys (the compile server's --stats-json)
+//                   additionally get an overload/lifecycle summary: shed
+//                   rate by cause, queue-depth and queue-wait histograms,
+//                   drain/reload/watchdog counts.
 //   gg-bench-v1     via --check-bench only (see below).
 //
 // --json=FILE writes the merged coverage artifact (itself gg-coverage-v1,
@@ -50,9 +55,12 @@
 // count metric deviating from the baseline by more than --threshold
 // percent (default 0.5) fails, as does a metric missing from FRESH.
 // Metrics with "seconds" in the name are wall-clock and skipped unless
-// --time-threshold=PCT opts them in. This is the benchmark regression
-// sentinel: scripts/bench.sh writes the files, check.sh runs the compare
-// against the baselines committed at the repo root.
+// --time-threshold=PCT opts them in; --noisy=SUBSTR (repeatable) extends
+// that treatment to any metric whose name contains SUBSTR — bench.sh
+// uses it for the overload leg's inherently scheduling-dependent counts
+// (sheds, retries). This is the benchmark regression sentinel:
+// scripts/bench.sh writes the files, check.sh runs the compare against
+// the baselines committed at the repo root.
 //
 //===----------------------------------------------------------------------===//
 
@@ -542,16 +550,56 @@ struct BenchMetrics {
   }
 };
 
+/// One log-histogram summed across gg-stats-v1 artifacts (the JSON shape
+/// StatsRegistry::toJson emits: count/sum/min/max plus sparse buckets
+/// keyed by their upper bound).
+struct HistSummary {
+  uint64_t Count = 0, Sum = 0, Min = UINT64_MAX, Max = 0;
+  std::map<uint64_t, uint64_t> Buckets; ///< upper bound -> count
+
+  void mergeFrom(const JsonValue &H) {
+    uint64_t C = static_cast<uint64_t>(H.numberOr("count"));
+    if (!C)
+      return;
+    Count += C;
+    Sum += static_cast<uint64_t>(H.numberOr("sum"));
+    Min = std::min(Min, static_cast<uint64_t>(H.numberOr("min")));
+    Max = std::max(Max, static_cast<uint64_t>(H.numberOr("max")));
+    if (const JsonValue *B = H.find("buckets"))
+      for (const auto &[Upper, N] : B->Obj)
+        Buckets[strtoull(Upper.c_str(), nullptr, 10)] +=
+            static_cast<uint64_t>(N.Num);
+  }
+
+  double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+
+  /// "n=N mean=M max=X  <=1:..  <=4:.." on one line.
+  std::string render(const char *Unit) const {
+    std::string Line = strf("n=%llu mean=%.1f%s max=%llu%s",
+                            static_cast<unsigned long long>(Count), mean(),
+                            Unit, static_cast<unsigned long long>(Max), Unit);
+    for (const auto &[Upper, N] : Buckets)
+      Line += strf("  <=%llu:%llu", static_cast<unsigned long long>(Upper),
+                   static_cast<unsigned long long>(N));
+    return Line;
+  }
+};
+
 /// The sentinel compare: every baseline metric must exist in the fresh
 /// run and stay within the allowed relative deviation. Count metrics are
-/// deterministic, so the default threshold is tight; time metrics are
-/// noisy and only checked when --time-threshold opts them in.
+/// deterministic, so the default threshold is tight; time metrics (and
+/// any metric matching a --noisy substring) are noisy and only checked
+/// when --time-threshold opts them in.
 bool checkBench(const BenchMetrics &Fresh, const BenchMetrics &Baseline,
-                double ThresholdPct, double TimeThresholdPct) {
+                double ThresholdPct, double TimeThresholdPct,
+                const std::vector<std::string> &Noisy) {
   bool Ok = true;
   int Checked = 0, Skipped = 0;
   for (const auto &[Name, Base] : Baseline.Metrics) {
     bool IsTime = Name.find("seconds") != std::string::npos;
+    for (const std::string &Sub : Noisy)
+      if (Name.find(Sub) != std::string::npos)
+        IsTime = true;
     double Allowed = IsTime ? TimeThresholdPct : ThresholdPct;
     if (Allowed < 0) {
       ++Skipped;
@@ -590,7 +638,7 @@ void printUsage(FILE *To) {
           "[--diff-pcc=FILE]\n"
           "                 [--fail-attribution-below=PCT]\n"
           "                 [--check-bench=FRESH:BASELINE] [--threshold=PCT]\n"
-          "                 [--time-threshold=PCT]\n"
+          "                 [--time-threshold=PCT] [--noisy=SUBSTR]\n"
           "\n"
           "Merges gg-coverage-v1 / gg-profile-v1 / gg-stats-v1 artifacts\n"
           "into one report, and compares gg-bench-v1 baselines.\n");
@@ -608,6 +656,7 @@ int usageError(const char *Diag) {
 int main(int argc, char **argv) {
   std::vector<std::string> Artifacts;
   std::vector<std::pair<std::string, std::string>> BenchChecks;
+  std::vector<std::string> Noisy;
   std::string MergedJsonPath, ProfileJsonPath, DiffPccPath;
   int Top = 10;
   bool FailDeadBridge = false, FailZeroDyn = false, WantProfile = false;
@@ -635,6 +684,8 @@ int main(int argc, char **argv) {
       ThresholdPct = atof(A.c_str() + 12);
     else if (A.rfind("--time-threshold=", 0) == 0)
       TimeThresholdPct = atof(A.c_str() + 17);
+    else if (A.rfind("--noisy=", 0) == 0)
+      Noisy.push_back(A.substr(8));
     else if (A == "--help" || A == "-h") {
       printUsage(stdout);
       return 0;
@@ -663,6 +714,8 @@ int main(int argc, char **argv) {
   ProfileSnapshot MergedProf;
   bool HaveCov = false, HaveProf = false;
   std::map<std::string, double> PhaseSeconds;
+  std::map<std::string, uint64_t> StatCounters;
+  std::map<std::string, HistSummary> StatHists;
   int StatsFiles = 0;
   for (const std::string &Path : Artifacts) {
     std::string Text, Err;
@@ -698,6 +751,12 @@ int main(int argc, char **argv) {
         for (const auto &[Name, Val] : Vals->Obj)
           if (Name.find("seconds") != std::string::npos)
             PhaseSeconds[Name] += Val.Num;
+      if (const JsonValue *Cs = V.find("counters"))
+        for (const auto &[Name, Val] : Cs->Obj)
+          StatCounters[Name] += static_cast<uint64_t>(Val.Num);
+      if (const JsonValue *Hs = V.find("histograms"))
+        for (const auto &[Name, HV] : Hs->Obj)
+          StatHists[Name].mergeFrom(HV);
     } else {
       fprintf(stderr, "gg-report: %s: unrecognized schema \"%s\"\n",
               Path.c_str(), Kind.c_str());
@@ -804,11 +863,59 @@ int main(int argc, char **argv) {
              Total > 0 ? 100.0 * S / Total : 0.0);
   }
 
+  // Compile-server overload/lifecycle summary: only when an artifact
+  // actually came from a server (--stats-json touches the schema keys, so
+  // presence of server.requests is the discriminator).
+  if (StatsFiles && StatCounters.count("server.requests")) {
+    auto C = [&](const char *Name) -> uint64_t {
+      auto It = StatCounters.find(Name);
+      return It == StatCounters.end() ? 0 : It->second;
+    };
+    uint64_t Served = C("server.requests");
+    uint64_t Shed = C("server.overloaded");
+    uint64_t Offered = Served + Shed;
+    printf("\n== server (%d stats artifacts)\n", StatsFiles);
+    printf("  served %llu: %llu ok, %llu compile-error, %llu quarantined, "
+           "%llu watchdog kills\n",
+           static_cast<unsigned long long>(Served),
+           static_cast<unsigned long long>(C("server.ok")),
+           static_cast<unsigned long long>(C("server.compile_errors")),
+           static_cast<unsigned long long>(C("server.quarantined")),
+           static_cast<unsigned long long>(C("server.watchdog_kills")));
+    printf("  shed %llu (%.1f%% of %llu offered): %llu queue-full, "
+           "%llu shed-oldest, %llu queue-deadline, %llu admission-deadline, "
+           "%llu draining\n",
+           static_cast<unsigned long long>(Shed), pct(Shed, Offered),
+           static_cast<unsigned long long>(Offered),
+           static_cast<unsigned long long>(C("server.shed_queue_full")),
+           static_cast<unsigned long long>(C("server.shed_oldest")),
+           static_cast<unsigned long long>(C("server.shed_queue_deadline")),
+           static_cast<unsigned long long>(
+               C("server.shed_admission_deadline")),
+           static_cast<unsigned long long>(C("server.shed_draining")));
+    printf("  lifecycle: %llu drains, %llu reloads (%llu failed), "
+           "%llu restarts, %llu connections\n",
+           static_cast<unsigned long long>(C("server.drains")),
+           static_cast<unsigned long long>(C("server.reloads")),
+           static_cast<unsigned long long>(C("server.reload_failures")),
+           static_cast<unsigned long long>(C("server.restarts")),
+           static_cast<unsigned long long>(C("server.connections")));
+    for (const char *Name :
+         {"server.queue_depth", "server.queue_wait_ms", "server.request_ms"}) {
+      auto It = StatHists.find(Name);
+      if (It == StatHists.end() || !It->second.Count)
+        continue;
+      const char *Unit = strstr(Name, "_ms") ? "ms" : "";
+      printf("  %-20s %s\n", Name + strlen("server."),
+             It->second.render(Unit).c_str());
+    }
+  }
+
   for (const auto &[FreshPath, BasePath] : BenchChecks) {
     BenchMetrics Fresh, Base;
     if (!Fresh.load(FreshPath) || !Base.load(BasePath))
       return 1;
-    if (!checkBench(Fresh, Base, ThresholdPct, TimeThresholdPct))
+    if (!checkBench(Fresh, Base, ThresholdPct, TimeThresholdPct, Noisy))
       Ok = false;
   }
 
