@@ -32,7 +32,9 @@
 // --gen-corpus=N replaces FILE: it generates the N-seed deterministic
 // program corpus the differential tests use (seed 0xD1FF0000+i) and
 // compiles each program with the gg backend, cycling the worker count
-// through 1/2/4/8 unless --threads pins it. No assembly is printed; the
+// through 1/2/4/8 unless --threads pins it. Structurally identical
+// seeds (byte-identical generated source) are deduplicated and the
+// distinct-program count is reported. No assembly is printed; the
 // mode exists to accumulate telemetry (notably --coverage-json) over a
 // realistic program population in one process.
 //
@@ -73,6 +75,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace gg;
@@ -104,11 +107,21 @@ static void printGGStats(const CodeGenStats &S) {
 static int runCorpus(int Cases, const VaxTarget &Target, CodeGenOptions Opts,
                      int PinnedThreads) {
   static const int ThreadCycle[] = {1, 2, 4, 8};
+  // Structural dedup: the generator's identifiers are deterministic
+  // counters, so two seeds that collapse to the same program shape
+  // produce byte-identical source. Compiling a duplicate would double-
+  // count its telemetry and misrepresent corpus breadth.
+  std::set<std::string> Seen;
+  int Duplicates = 0;
   for (int Case = 0; Case < Cases; ++Case) {
     GenOptions GOpts;
     GOpts.Functions = 4 + Case % 3;
     GOpts.StmtsPerFunction = 6 + Case % 5;
     std::string Source = generateProgram(0xD1FF0000u + Case, GOpts);
+    if (!Seen.insert(Source).second) {
+      ++Duplicates;
+      continue;
+    }
 
     Program Prog;
     DiagnosticSink Diags;
@@ -127,7 +140,10 @@ static int runCorpus(int Cases, const VaxTarget &Target, CodeGenOptions Opts,
       return ExitCompileFailure;
     }
   }
-  fprintf(stderr, "gen-corpus: compiled %d programs\n", Cases);
+  fprintf(stderr,
+          "gen-corpus: compiled %zu distinct programs (%d seeds, %d "
+          "structural duplicates skipped)\n",
+          Seen.size(), Cases, Duplicates);
   return ExitOk;
 }
 

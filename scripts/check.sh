@@ -40,6 +40,11 @@
 #
 # --fast reuses the plain ./build tree (no sanitizers), runs only the
 # tier1 gate and skips the TSAN leg: a quick pre-commit pass.
+#
+# --fuzz-minutes=N extends the fuzz smoke leg into an N-minute soak:
+# gg-fuzz keeps re-running the full coverage plan under fresh per-round
+# bindings (deterministically derived from the base seed) until the
+# budget is spent. 0 (the default) runs the fixed-seed smoke only.
 #===------------------------------------------------------------------------===#
 
 set -euo pipefail
@@ -48,11 +53,23 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-asan
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  BUILD_DIR=build
-  SAN_FLAGS=""
-  FAST=1
-fi
+FUZZ_MINUTES=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast)
+      BUILD_DIR=build
+      SAN_FLAGS=""
+      FAST=1
+      ;;
+    --fuzz-minutes=*)
+      FUZZ_MINUTES="${arg#--fuzz-minutes=}"
+      ;;
+    *)
+      echo "usage: scripts/check.sh [--fast] [--fuzz-minutes=N]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== configure ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . \
@@ -223,6 +240,47 @@ echo "   coverage gates: bridge families live, dynamic ties exercised"
 cmp "$TMP/cov.t1.json" "$TMP/cov.t4.json" ||
   { echo "coverage artifact differs between thread counts" >&2; exit 1; }
 echo "   coverage artifact byte-identical at --threads=1 vs 4"
+
+echo "== fuzz smoke (grammar-aware differential fuzzer under sanitizers)"
+# Two fixed seeds through the full coverage plan: every program must pass
+# all three oracles (gg-fuzz exits nonzero on any differential mismatch
+# or prediction failure), and the run's own coverage artifact — recorded
+# by the *real* matcher, not the planning simulator — must reach 100% of
+# the reachable productions through the gg-report gate. A second seed
+# varies every bound attribute while reusing the same witness plan.
+for seed in 0xF0225EED 42; do
+  "$BUILD_DIR"/tools/gg-fuzz --seed=$seed --threads=4 \
+    --coverage-json="$TMP/fuzz.$seed.cov.json" >"$TMP/fuzz.$seed.out" ||
+    { echo "gg-fuzz --seed=$seed found failures" >&2
+      cat "$TMP/fuzz.$seed.out" >&2; exit 1; }
+  json_check "$TMP/fuzz.$seed.cov.json"
+  sed -n 's/^gg-fuzz: /   seed='$seed': /p' "$TMP/fuzz.$seed.out"
+done
+"$BUILD_DIR"/tools/gg-report "$TMP/fuzz.0xF0225EED.cov.json" \
+  --fail-production-coverage=100 >"$TMP/fuzz.report" ||
+  { echo "fuzz run left reachable productions uncovered" >&2
+    cat "$TMP/fuzz.report" >&2; exit 1; }
+grep "production coverage" "$TMP/fuzz.report" | sed 's/^ */   /'
+
+# The verdicts and the artifact are properties of (seed, plan), not the
+# schedule: byte-identical output and coverage at any --threads count.
+"$BUILD_DIR"/tools/gg-fuzz --seed=0xF0225EED --threads=1 \
+  --coverage-json="$TMP/fuzz.t1.cov.json" >"$TMP/fuzz.t1.out"
+cmp "$TMP/fuzz.0xF0225EED.out" "$TMP/fuzz.t1.out" ||
+  { echo "gg-fuzz output differs between thread counts" >&2; exit 1; }
+cmp "$TMP/fuzz.0xF0225EED.cov.json" "$TMP/fuzz.t1.cov.json" ||
+  { echo "fuzz coverage artifact differs between thread counts" >&2
+    exit 1; }
+echo "   verdicts + coverage artifact byte-identical at --threads=1 vs 4"
+
+if [[ "$FUZZ_MINUTES" -gt 0 ]]; then
+  echo "== fuzz soak (--fuzz-minutes=$FUZZ_MINUTES)"
+  "$BUILD_DIR"/tools/gg-fuzz --seed=0xF0225EED --threads="$(nproc)" \
+    --minutes="$FUZZ_MINUTES" >"$TMP/fuzz.soak.out" ||
+    { echo "fuzz soak found failures" >&2
+      cat "$TMP/fuzz.soak.out" >&2; exit 1; }
+  sed -n 's/^gg-fuzz: /   /p' "$TMP/fuzz.soak.out"
+fi
 
 echo "== profile smoke (gg-profile-v1 artifacts through gg-report)"
 # Compile the generated corpus under --profile=instr and feed the artifact

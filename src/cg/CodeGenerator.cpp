@@ -356,7 +356,11 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   // Phase 1 runs serially up front: it allocates from the program's shared
   // node arena, interner and label counter. Code generation proper never
   // touches those, so everything after this point is safe to parallelize.
-  {
+  // RawTrees (grammar fuzzing): statement forests synthesized directly
+  // from the machine grammar are already in post-phase-1 form by
+  // construction; canonicalization would rewrite them away from the
+  // productions they were built to exercise.
+  if (!Opts.Transform.RawTrees) {
     TimerScope TS(TransformT);
     ProfilePhaseScope PS(ProfPhase::Transform);
     for (Function &F : Prog.Functions) {

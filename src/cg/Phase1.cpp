@@ -152,6 +152,14 @@ private:
     }
     case Op::CallStmt: {
       Node *Dest = S->left() ? lvalue(S->left()) : nullptr;
+      // Already in post-1a shape (argument chain gone, count carried on
+      // the Call node): pass through. Re-factoring would find no chain
+      // and zero the count while the caller's Push statements survive.
+      if (!S->right()->right()) {
+        S->Kids[0] = Dest;
+        emit(S);
+        return;
+      }
       emitCall(S->right(), Dest);
       return;
     }

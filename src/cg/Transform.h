@@ -37,6 +37,8 @@ struct TransformOptions {
   bool ReverseOps = true;    ///< 1c may substitute reverse operators
   bool Reorder = true;       ///< 1c subtree reordering at all
   bool PreventSpills = true; ///< 1c explicit stores for spill-prone trees
+  bool RawTrees = false;     ///< skip phase 1 entirely: trees reach the
+                             ///< matcher exactly as built (grammar fuzzing)
 };
 
 /// Counters for the transformation experiments.

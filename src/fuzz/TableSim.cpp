@@ -1,0 +1,155 @@
+//===- TableSim.cpp - exact parse-table simulator -------------------------===//
+
+#include "fuzz/TableSim.h"
+#include "support/Strings.h"
+
+#include <unordered_map>
+
+using namespace gg;
+
+namespace {
+/// A unit-production cycle in a corrupt table could reduce forever without
+/// consuming input; the real Matcher is protected by its step budget, the
+/// simulator by this cap (far above any legitimate reduction cascade).
+constexpr size_t MaxReducesPerLookahead = 4096;
+} // namespace
+
+TableSim::TableSim(const Grammar &G, const PackedTables &T, size_t DepthCap)
+    : G(G), T(T), DepthCap(DepthCap), EofIdx(G.termIndex(G.eofSymbol())) {
+  TermNames.resize(G.terminals().size());
+  for (SymId S : G.terminals())
+    TermNames[G.termIndex(S)] = G.symbolName(S);
+}
+
+int TableSim::termIndexFor(const std::string &Name) const {
+  // Witness search calls this rarely (sentences are built over dense
+  // indices); a linear scan keeps the class allocation-free per query.
+  for (size_t I = 0; I < TermNames.size(); ++I)
+    if (TermNames[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int TableSim::reduceUntilShift(Config &Cfg, int TermIdx,
+                               SimTrace *Trace) const {
+  for (size_t Guard = 0; Guard < MaxReducesPerLookahead; ++Guard) {
+    if (Cfg.Stack.size() > DepthCap) {
+      if (Trace)
+        Trace->Error = strf("depth cap %zu exceeded in state %d",
+                            DepthCap, Cfg.top());
+      return 0;
+    }
+    Action A = T.actionAt(Cfg.top(), TermIdx);
+    switch (A.Kind) {
+    case ActionType::Shift:
+      return 1;
+    case ActionType::Accept:
+      return 2;
+    case ActionType::Error:
+      if (Trace)
+        Trace->Error =
+            strf("no action in state %d on '%s'", Cfg.top(),
+                 TermIdx < static_cast<int>(TermNames.size())
+                     ? TermNames[TermIdx].c_str()
+                     : "?");
+      return 0;
+    case ActionType::Reduce: {
+      int State = Cfg.top();
+      int Prod = A.Target; // null chooser: the static default always wins
+      if (T.dynChoicesAt(State, TermIdx) && Trace)
+        Trace->DynConsults.emplace_back(State, TermIdx);
+      if (Trace) {
+        Trace->Reduces.push_back(Prod);
+        ++Trace->Steps;
+      }
+      const Production &P = G.prod(Prod);
+      if (Cfg.Stack.size() <= P.Rhs.size()) {
+        if (Trace)
+          Trace->Error = strf("stack underflow reducing p%d", Prod);
+        return 0;
+      }
+      Cfg.Stack.resize(Cfg.Stack.size() - P.Rhs.size());
+      int GotoState = T.gotoAt(Cfg.top(), G.ntIndex(P.Lhs));
+      if (GotoState < 0) {
+        // The consult above already happened — mirroring the Matcher,
+        // which records the dyn point before the goto lookup.
+        if (Trace)
+          Trace->Error = strf("missing goto for '%s' in state %d",
+                              G.symbolName(P.Lhs).c_str(), Cfg.top());
+        return 0;
+      }
+      Cfg.Stack.push_back(GotoState);
+      if (Trace)
+        Trace->States.push_back(GotoState);
+      break;
+    }
+    }
+  }
+  if (Trace)
+    Trace->Error = "reduction cascade exceeded the simulator cap";
+  return 0;
+}
+
+bool TableSim::advance(Config &Cfg, int TermIdx, SimTrace *Trace) const {
+  if (TermIdx < 0 || TermIdx >= T.numTerms()) {
+    if (Trace)
+      Trace->Error = strf("unknown terminal index %d", TermIdx);
+    return false;
+  }
+  int R = reduceUntilShift(Cfg, TermIdx, Trace);
+  if (R != 1) {
+    if (R == 2 && Trace)
+      Trace->Error = "accept action on a non-EOF terminal";
+    return false;
+  }
+  Action A = T.actionAt(Cfg.top(), TermIdx);
+  Cfg.Stack.push_back(A.Target);
+  if (Trace) {
+    Trace->States.push_back(A.Target);
+    ++Trace->Steps;
+  }
+  // An overgrown stack is caught at the next lookahead's cap check, the
+  // same place the Matcher catches it.
+  return true;
+}
+
+bool TableSim::finish(Config &Cfg, SimTrace *Trace) const {
+  int R = reduceUntilShift(Cfg, EofIdx, Trace);
+  if (R == 2) {
+    if (Trace)
+      Trace->Accepted = true;
+    return true;
+  }
+  if (R == 1 && Trace)
+    Trace->Error = "shift action on end-of-input";
+  return false;
+}
+
+SimTrace TableSim::run(const std::vector<int> &TermIdxs) const {
+  SimTrace Trace;
+  Trace.States.push_back(0); // the Matcher notes the entry visit of state 0
+  Config Cfg;
+  for (int TI : TermIdxs)
+    if (!advance(Cfg, TI, &Trace))
+      return Trace;
+  finish(Cfg, &Trace);
+  return Trace;
+}
+
+SimTrace TableSim::runNames(const std::vector<std::string> &Tokens) const {
+  std::unordered_map<std::string, int> Index;
+  for (size_t I = 0; I < TermNames.size(); ++I)
+    Index.emplace(TermNames[I], static_cast<int>(I));
+  std::vector<int> Idxs;
+  Idxs.reserve(Tokens.size());
+  for (const std::string &Tok : Tokens) {
+    auto It = Index.find(Tok);
+    if (It == Index.end()) {
+      SimTrace Trace;
+      Trace.Error = strf("unknown terminal '%s'", Tok.c_str());
+      return Trace;
+    }
+    Idxs.push_back(It->second);
+  }
+  return run(Idxs);
+}

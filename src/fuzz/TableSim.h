@@ -1,0 +1,103 @@
+//===- TableSim.h - exact parse-table simulator -----------------*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact, side-effect-free mirror of the Matcher's null-chooser parse
+/// loop over the packed SLR tables. The grammar-aware fuzzer uses it to
+/// *predict* what the real pipeline will do — which productions reduce,
+/// which states are visited, which dynamic-tie points are consulted, and
+/// whether the parse accepts or blocks — without touching the process-wide
+/// coverage registry (which is enable-only by design; see
+/// support/Coverage.h). Searching for witnesses means simulating millions
+/// of prefixes, none of which may pollute the artifact the final corpus
+/// produces.
+///
+/// The simulator must track Matcher::match byte-for-byte on the decisions
+/// that matter: default tie resolution (the table's Reduce target, never a
+/// tie alternative), goto on the dense nonterminal index, dyn-point
+/// consultation *before* the goto lookup (so a consult is recorded even
+/// when the default reduction then strands on a missing goto), and the
+/// depth cap. FuzzTest cross-validates it against the real Matcher on the
+/// whole witness corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_FUZZ_TABLESIM_H
+#define GG_FUZZ_TABLESIM_H
+
+#include "mdl/Grammar.h"
+#include "tablegen/Packing.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// Everything one simulated parse observed, in event order. Mirrors what
+/// the coverage registry would record for the same token sequence.
+struct SimTrace {
+  bool Accepted = false;
+  std::string Error;         ///< human-readable block cause when !Accepted
+  std::vector<int> Reduces;  ///< production ids, in reduction order
+  std::vector<int> States;   ///< states visited (entry 0, shifts, gotos)
+  std::vector<std::pair<int, int>> DynConsults; ///< (state, termIdx)
+  size_t Steps = 0;          ///< shift + reduce count
+};
+
+/// Side-effect-free SLR table walker with the Matcher's exact null-chooser
+/// semantics. Immutable after construction; safe to share across threads.
+class TableSim {
+public:
+  TableSim(const Grammar &G, const PackedTables &T, size_t DepthCap = 4096);
+
+  /// A parser configuration: the LR state stack. Starts as {0}.
+  struct Config {
+    std::vector<int> Stack{0};
+    int top() const { return Stack.back(); }
+  };
+
+  /// Dense index for a terminal name; -1 if unknown.
+  int termIndexFor(const std::string &Name) const;
+  const std::string &termName(int TermIdx) const { return TermNames[TermIdx]; }
+  int eofIndex() const { return EofIdx; }
+  int numTerms() const { return T.numTerms(); }
+
+  /// Feeds one terminal: performs every reduction the lookahead triggers,
+  /// then the shift. Returns false on any block (no action, missing goto,
+  /// depth cap); \p Cfg is then unusable. Events append to \p Trace when
+  /// non-null.
+  bool advance(Config &Cfg, int TermIdx, SimTrace *Trace) const;
+
+  /// Feeds end-of-input: reduces until Accept. Returns false on a block.
+  bool finish(Config &Cfg, SimTrace *Trace) const;
+
+  /// Whole-sentence simulation from the initial configuration, by dense
+  /// terminal index. Records the entry visit of state 0 like the Matcher.
+  SimTrace run(const std::vector<int> &TermIdxs) const;
+
+  /// Whole-sentence simulation by terminal name (convenience; an unknown
+  /// name blocks with UnknownTerminal semantics).
+  SimTrace runNames(const std::vector<std::string> &Tokens) const;
+
+  const Grammar &grammar() const { return G; }
+  const PackedTables &tables() const { return T; }
+
+private:
+  /// Shared reduce loop: reduces under \p TermIdx until the action is a
+  /// shift (returns 1), accept (returns 2), or a block (returns 0).
+  int reduceUntilShift(Config &Cfg, int TermIdx, SimTrace *Trace) const;
+
+  const Grammar &G;
+  const PackedTables &T;
+  size_t DepthCap;
+  int EofIdx;
+  std::vector<std::string> TermNames; ///< dense index -> name
+};
+
+} // namespace gg
+
+#endif // GG_FUZZ_TABLESIM_H

@@ -1,0 +1,126 @@
+//===- TreeSynth.h - witness sentences to runnable IR programs --*- C++ -*-===//
+//
+// Part of the Graham-Glanville table-driven code generation reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns witness sentences (grammar terminal sequences from GrammarWalk)
+/// back into executable IR: each sentence is the prefix linearization of
+/// exactly one statement tree, so an arity-driven decode reconstructs the
+/// tree, and an attribute-binding pass fills in the semantic attributes
+/// the grammar does not encode (symbols, registers, constant values,
+/// condition codes) so the statement is *runnable* under all three
+/// oracles.
+///
+/// Binding discipline (what makes the differential triangle sound):
+///  * address expressions are anchored at exactly one base — a global
+///    array (Gaddr), an address register pre-loaded with one, or the
+///    pointer global — with all other leaves bound to small values, so
+///    both the IR interpreter and the VAX simulator touch the same
+///    logical cell even though their absolute addresses differ;
+///  * registers are partitioned: r6/r7 hold array bases (re-initialized
+///    before every statement), r8..r11 hold small known integers;
+///  * generic long constants avoid {0,1,2,4,8}, which linearize as the
+///    special terminals Zero/One/Two/Four/Eight — re-linearizing a bound
+///    tree must reproduce the witness sentence byte-for-byte;
+///  * a conservative abstract evaluator (values: exact constant /
+///    oracle-consistent memory value / base+offset address / poison)
+///    proves each statement safe to execute — in-bounds derefs, non-zero
+///    constant divisors, bounded shift counts, no address-valued data
+///    escaping into memory, registers or comparisons. Statements that
+///    fail the proof are wrapped in an always-taken forward branch: they
+///    still compile (table coverage is recorded at match time) but never
+///    run.
+///
+/// Statements are batched into functions called from main, each function
+/// preceded by its register/pointer initialization and followed by
+/// value-register prints, with a global-state dump before returning —
+/// maximizing the behavior the oracles actually compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GG_FUZZ_TREESYNTH_H
+#define GG_FUZZ_TREESYNTH_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+/// One witness sentence to synthesize, with the caller's prediction of
+/// how the pipeline will treat it.
+struct SynthStmt {
+  std::vector<std::string> Tokens; ///< grammar terminal names
+  bool ExpectBlocked = false; ///< simulator predicts a syntactic block
+                              ///< (deliberate, for toxic dyn points)
+  /// Probed capability: the hand-coded baseline can compile this
+  /// statement. Some deliberately blocked witnesses assign to constants
+  /// or carry Label operands — semantically void shapes only the grammar
+  /// accepts. The baseline (and thus the GG recovery ladder) rightly
+  /// refuses them, so the fuzzer routes such statements to the oracles
+  /// that can judge them instead of demanding the impossible.
+  bool PccOk = true;
+};
+
+struct SynthReport {
+  size_t Statements = 0; ///< synthesized witness statements
+  size_t Guarded = 0;    ///< wrapped in an always-taken skip branch
+  size_t Live = 0;       ///< executed at runtime
+  size_t ExpectedBlocks = 0; ///< statements predicted to block + recover
+};
+
+/// Builds whole programs from witness sentences. Stateless between calls;
+/// all variation is derived from the explicit seed.
+class TreeSynth {
+public:
+  TreeSynth();
+
+  /// Decodes \p Tokens into one statement tree in \p P's arena. When
+  /// \p AllowPartial, an arity-incomplete sentence (a blocked-witness
+  /// prefix) has its open operand slots filled with type-appropriate
+  /// leaves. Returns null and sets \p Err on unknown tokens, malformed
+  /// arities, or trailing tokens.
+  Node *decode(Program &P, const std::vector<std::string> &Tokens,
+               bool AllowPartial, std::string &Err);
+
+  /// Builds a complete program: globals, main, and batches of witness
+  /// statements in helper functions called from main. Returns false and
+  /// sets \p Err if any sentence fails to decode.
+  bool buildProgram(const std::vector<SynthStmt> &Stmts, uint64_t Seed,
+                    Program &Out, SynthReport &R, std::string &Err);
+
+  /// Open operand slots after consuming \p Tokens as a tree prefix: 1 for
+  /// the empty prefix, 0 exactly when the prefix is a complete statement
+  /// linearization. Returns -1 on an unknown token or when the tokens
+  /// overrun an already-completed tree.
+  int pendingAfter(const std::vector<std::string> &Tokens) const;
+
+private:
+  /// How one terminal name decodes: its operator, result type, and (for
+  /// conversions / the special constants) the extra attribute the name
+  /// itself encodes.
+  struct TokSpec {
+    enum Kind { Generic, Special, CvtTok, CBrTok, LabTok } K = Generic;
+    Op O = Op::Const;
+    Ty T = Ty::L;
+    Ty SrcT = Ty::L; ///< Cvt source type
+    int64_t Val = 0; ///< Special constant value
+  };
+  struct Binder;
+  const TokSpec *classify(const std::string &Name) const;
+
+  Node *decodeRec(Program &P, const std::vector<std::string> &Tokens,
+                  size_t &Pos, bool AllowPartial, Op ParentOp, int Slot,
+                  Ty SlotTy, std::string &Err);
+
+  std::vector<std::pair<std::string, int>> TokTable; ///< name -> spec idx
+  std::vector<TokSpec> Specs;
+};
+
+} // namespace gg
+
+#endif // GG_FUZZ_TREESYNTH_H

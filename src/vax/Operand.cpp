@@ -51,6 +51,10 @@ std::string gg::formatOperand(const Operand &O, const Interner &Syms) {
       Basis = O.Disp ? strf("%s+%lld", Syms.text(O.Sym).c_str(),
                             static_cast<long long>(O.Disp))
                      : Syms.text(O.Sym);
+    else if (O.Base < 0)
+      // Absolute indexed (a constant folded into the basis with no base
+      // register, e.g. Indir(Plus(con, Mul(scale, reg)))): disp[rX].
+      Basis = strf("%lld", static_cast<long long>(O.Disp));
     else
       Basis = O.Disp ? strf("%lld(%s)", static_cast<long long>(O.Disp),
                             regName(O.Base))

@@ -1,5 +1,6 @@
 //===- SupportTest.cpp - support library unit tests ---------------------------===//
 
+#include "support/CliOptions.h"
 #include "support/Error.h"
 #include "support/Interner.h"
 #include "support/Json.h"
@@ -226,6 +227,93 @@ TEST(Json, DepthLimitStopsRunawayNesting) {
   // 32 levels is comfortably inside the limit.
   std::string Ok = std::string(32, '[') + "1" + std::string(32, ']');
   EXPECT_TRUE(parseJson(Ok, V, Err)) << Err;
+}
+
+TEST(Json, DepthCapBoundaryIsExact) {
+  // The cap is 64 nested containers: exactly at the cap parses, one
+  // frame deeper is rejected — off-by-one drift here would either break
+  // legitimate artifacts or re-open the stack-exhaustion hole.
+  auto nest = [](int N) {
+    return std::string(N, '[') + "1" + std::string(N, ']');
+  };
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(nest(64), V, Err)) << Err;
+  EXPECT_FALSE(parseJson(nest(65), V, Err));
+  EXPECT_NE(Err.find("deep"), std::string::npos) << Err;
+  // Mixed object/array nesting charges the same depth accounting.
+  std::string Mixed;
+  for (int I = 0; I < 32; ++I)
+    Mixed += "{\"k\":[";
+  Mixed += "1";
+  for (int I = 0; I < 32; ++I)
+    Mixed += "]}";
+  EXPECT_TRUE(parseJson(Mixed, V, Err)) << Err;
+}
+
+TEST(Json, LoneSurrogatesDegradeToReplacement) {
+  // The repo's writers only emit ASCII; the reader's contract for \u is
+  // "never crash, never emit mojibake": any non-ASCII code unit —
+  // including a lone UTF-16 surrogate half — becomes '?'.
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(R"({"k":"a\uD800b"})", V, Err)) << Err;
+  EXPECT_EQ(V.find("k")->Str, "a?b");
+  ASSERT_TRUE(parseJson(R"({"k":"\uDC00"})", V, Err)) << Err; // low half
+  EXPECT_EQ(V.find("k")->Str, "?");
+  // A full escaped surrogate pair degrades to two replacement characters.
+  ASSERT_TRUE(parseJson("{\"k\":\"\\uD83D\\uDE00\"}", V, Err)) << Err;
+  EXPECT_EQ(V.find("k")->Str, "??");
+  EXPECT_FALSE(parseJson(R"({"k":"\uD8)", V, Err)); // truncated escape
+  EXPECT_FALSE(parseJson(R"({"k":"\uZZZZ"})", V, Err)); // bad hex digit
+}
+
+TEST(Json, TrailingGarbageVariants) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson("[1] [2]", V, Err));
+  EXPECT_FALSE(parseJson("1 1", V, Err));
+  EXPECT_FALSE(parseJson("{}{", V, Err));
+  EXPECT_FALSE(parseJson("null,", V, Err));
+  // Pure trailing whitespace is not garbage.
+  EXPECT_TRUE(parseJson("{\"a\":1}  \n\t ", V, Err)) << Err;
+}
+
+TEST(CliOptions, ParsesSharedOptions) {
+  CommonDriverOptions O;
+  EXPECT_EQ(parseCommonDriverOption("--threads=4", O), CliParse::Ok);
+  EXPECT_EQ(O.Threads, 4);
+  EXPECT_EQ(parseCommonDriverOption("--stats-json=-", O), CliParse::Ok);
+  EXPECT_EQ(O.StatsJsonPath, "-");
+  EXPECT_EQ(parseCommonDriverOption("--coverage-json=c.json", O),
+            CliParse::Ok);
+  EXPECT_EQ(O.CoverageJsonPath, "c.json");
+  EXPECT_EQ(parseCommonDriverOption("--profile=instr,steps", O),
+            CliParse::Ok);
+  EXPECT_TRUE(O.ProfileGiven);
+  // Driver-specific flags are not consumed here.
+  EXPECT_EQ(parseCommonDriverOption("--backend=gg", O), CliParse::NotMine);
+  EXPECT_EQ(parseCommonDriverOption("plain-arg", O), CliParse::NotMine);
+}
+
+TEST(CliOptions, RejectsBadValues) {
+  CommonDriverOptions O;
+  EXPECT_EQ(parseCommonDriverOption("--threads=abc", O), CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--threads=-1", O), CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--threads=257", O), CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--threads=4x", O), CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--profile=bogus", O), CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--profile=instr,bogus", O),
+            CliParse::Bad);
+  EXPECT_EQ(parseCommonDriverOption("--fault=definitely-not-a-spec", O),
+            CliParse::Bad);
+  // A rejected option must leave previously parsed state untouched.
+  EXPECT_EQ(O.Threads, -1);
+}
+
+TEST(CliOptions, WriteTextReportsUnwritablePaths) {
+  EXPECT_FALSE(
+      writeTextOrStdout("/nonexistent-dir-gg-test/out.txt", "body"));
 }
 
 TEST(Json, RoundTripsWriterOutput) {

@@ -6,6 +6,7 @@
 //
 //   gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE]
 //             [--fail-on-dead-bridge] [--fail-on-zero-dyn]
+//             [--fail-production-coverage=PCT]
 //             [--profile] [--profile-json=FILE] [--diff-pcc=FILE]
 //             [--fail-attribution-below=PCT]
 //             [--check-bench=FRESH:BASELINE] [--threshold=PCT]
@@ -41,6 +42,11 @@
 // nonzero when a bridge-production family (section 6.2.2; width replicas
 // grouped) has zero reductions; --fail-on-zero-dyn when no dynamic-tie
 // event was recorded. Both back the check.sh coverage gate.
+// --fail-production-coverage=PCT gates on the share of *reachable*
+// productions with at least one recorded reduction — the denominator
+// excludes productions GrammarWalk proves the shipped null chooser can
+// never reduce (statically or dynamically shadowed). gg-fuzz's
+// fixed-seed coverage artifact passes at PCT=100 (the check.sh fuzz leg).
 //
 // --profile requires at least one gg-profile-v1 artifact (diagnostic exit
 // otherwise). --diff-pcc=FILE ingests a PCC-leg profile (the one
@@ -64,6 +70,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/GrammarWalk.h"
 #include "mdl/Grammar.h"
 #include "support/Coverage.h"
 #include "support/Json.h"
@@ -634,6 +641,7 @@ void printUsage(FILE *To) {
   fprintf(To,
           "usage: gg-report [ARTIFACT.json ...] [--top=N] [--json=FILE]\n"
           "                 [--fail-on-dead-bridge] [--fail-on-zero-dyn]\n"
+          "                 [--fail-production-coverage=PCT]\n"
           "                 [--profile] [--profile-json=FILE] "
           "[--diff-pcc=FILE]\n"
           "                 [--fail-attribution-below=PCT]\n"
@@ -661,6 +669,7 @@ int main(int argc, char **argv) {
   int Top = 10;
   bool FailDeadBridge = false, FailZeroDyn = false, WantProfile = false;
   double ThresholdPct = 0.5, TimeThresholdPct = -1, FailAttrBelow = -1;
+  double FailProdCovBelow = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -672,6 +681,8 @@ int main(int argc, char **argv) {
       FailDeadBridge = true;
     else if (A == "--fail-on-zero-dyn")
       FailZeroDyn = true;
+    else if (A.rfind("--fail-production-coverage=", 0) == 0)
+      FailProdCovBelow = atof(A.c_str() + 27);
     else if (A == "--profile")
       WantProfile = true;
     else if (A.rfind("--profile-json=", 0) == 0)
@@ -783,6 +794,59 @@ int main(int argc, char **argv) {
       Report.Target = Target.get();
     if (!Report.print(Top, FailDeadBridge, FailZeroDyn))
       Ok = false;
+    if (FailProdCovBelow >= 0) {
+      // The production-coverage gate (docs/fuzzing.md): every production
+      // the shipped null-chooser pipeline can reach must have fired. The
+      // denominator excludes the statically and dynamically shadowed
+      // productions GrammarWalk proves unreachable — a 100% gate is
+      // meaningful only against what a parse can actually reduce.
+      if (!Report.Target) {
+        fprintf(stderr,
+                "gg-report: --fail-production-coverage needs a matching "
+                "target (artifact fingerprint differs from the freshly "
+                "built grammar/tables)\n");
+        Ok = false;
+      } else {
+        GrammarWalk Walk(Report.Target->grammar(), Report.Target->packed());
+        std::vector<char> Excluded(Report.Cov.NumProds, 0);
+        for (int P : Walk.shadowedProductions())
+          Excluded[P] = 1;
+        for (int P : Walk.dynamicallyShadowedProductions())
+          Excluded[P] = 1;
+        size_t Reachable = 0, Hit = 0;
+        std::vector<int> Missed;
+        for (uint64_t Id = 0; Id < Report.Cov.NumProds; ++Id) {
+          if (Excluded[Id])
+            continue;
+          ++Reachable;
+          auto It = Report.Cov.ProdHits.find(static_cast<int>(Id));
+          if (It != Report.Cov.ProdHits.end() && It->second)
+            ++Hit;
+          else
+            Missed.push_back(static_cast<int>(Id));
+        }
+        const double Pct = Reachable ? 100.0 * double(Hit) / double(Reachable)
+                                     : 100.0;
+        printf("\n  production coverage: %zu/%zu reachable (%.1f%%; %zu "
+               "shadowed productions excluded)\n",
+               Hit, Reachable, Pct,
+               Walk.shadowedProductions().size() +
+                   Walk.dynamicallyShadowedProductions().size());
+        if (Pct < FailProdCovBelow) {
+          fprintf(stderr,
+                  "gg-report: reachable-production coverage %.1f%% is below "
+                  "the --fail-production-coverage=%.1f%% gate (%zu "
+                  "missed)\n",
+                  Pct, FailProdCovBelow, Missed.size());
+          for (size_t I = 0; I < Missed.size() && I < 16; ++I)
+            fprintf(stderr, "  p%d %s\n", Missed[I],
+                    renderProduction(Report.Target->grammar(),
+                                     Report.Target->grammar().prod(Missed[I]))
+                        .c_str());
+          Ok = false;
+        }
+      }
+    }
     if (!MergedJsonPath.empty()) {
       std::ofstream Out(MergedJsonPath);
       if (!Out) {
@@ -793,10 +857,12 @@ int main(int argc, char **argv) {
       Out << Report.Cov.toJson() << "\n";
     }
     Merged = std::move(Report.Cov); // keep for the profile coverage join
-  } else if (FailDeadBridge || FailZeroDyn || !MergedJsonPath.empty()) {
-    fprintf(stderr, "gg-report: --fail-on-dead-bridge, --fail-on-zero-dyn "
-                    "and --json need at least one gg-coverage-v1 artifact "
-                    "(none of the given files had that schema)\n");
+  } else if (FailDeadBridge || FailZeroDyn || FailProdCovBelow >= 0 ||
+             !MergedJsonPath.empty()) {
+    fprintf(stderr, "gg-report: --fail-on-dead-bridge, --fail-on-zero-dyn, "
+                    "--fail-production-coverage and --json need at least "
+                    "one gg-coverage-v1 artifact (none of the given files "
+                    "had that schema)\n");
     return 1;
   }
 
