@@ -51,7 +51,9 @@
 // the admission queue (excess load is shed with Overloaded frames per
 // --serve-shed-policy); SIGTERM drains gracefully and SIGHUP hot-reloads
 // the table image under a fresh generation (--serve-drain-ms bounds
-// both waits).
+// both waits). Status frames (gg-top, docs/observability.md) answer with
+// a gg-status-v1 snapshot; --flight-json=FILE arms the always-on flight
+// recorder, dumped on crash, watchdog kill, SIGQUIT and normal exit.
 //
 // Exit codes (support/ExitCodes.h): 0 success, 1 recoverable compile
 // failure, 2 usage error, 3 fatal fault (broken description/tables —
@@ -301,6 +303,7 @@ int main(int argc, char **argv) {
     }
     Server S(Svc->handler(), SOpts);
     S.setReloader(Svc->reloader());
+    S.setStatusAugmenter(Svc->statusAugmenter());
     // Operator lifecycle signals: SIGTERM/SIGINT drain gracefully (finish
     // queued + in-flight work, then exit 0 so the supervisor stops
     // cleanly); SIGHUP hot-reloads the table image. The handler just sets

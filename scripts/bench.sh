@@ -22,7 +22,10 @@
 #                       and skipped; pass gg-report --time-threshold
 #                       manually to opt in). The overload_ metrics are
 #                       load-dependent, so --noisy=overload_ keeps them
-#                       informational like the time class.
+#                       informational like the time class. --check also
+#                       reruns the throughput leg with --trace-json armed
+#                       and fails if always-on tracing costs more than 2%
+#                       of the untraced run's throughput.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -87,6 +90,30 @@ rm -f "$BUILD_DIR/bench-serve.sock"
     --spawn="$BUILD_DIR/examples/compile_minic" \
     --requests=200 --clients=4 --corpus=16 --verify \
     --bench-json="$FRESH/server_throughput.json" > /dev/null
+
+# Always-on tracing overhead guard (docs/observability.md): the same
+# throughput leg with the server's trace recorder armed must stay within
+# 2% of the untraced run it just measured (which the sentinel below pins
+# to the committed baseline). The compare is scoped to the throughput
+# metric alone — latency percentiles jitter more than 2% between two
+# healthy runs, and gating on them would only measure the machine.
+THR=$(sed -n 's/.*"throughput_per_wall_seconds":\([0-9.eE+-]*\).*/\1/p' \
+      "$FRESH/server_throughput.json")
+[ -n "$THR" ] ||
+  { echo "bench.sh: no throughput metric in the untraced leg" >&2; exit 1; }
+printf '{"schema":"gg-bench-v1","bench":"server_throughput",%s\n' \
+  "\"metrics\":{\"throughput_per_wall_seconds\":$THR}}" \
+  > "$FRESH/server_throughput_untraced_gate.json"
+rm -f "$BUILD_DIR/bench-serve.sock"
+"$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \
+    --spawn="$BUILD_DIR/examples/compile_minic" \
+    --serve-arg=--trace-json=/dev/null \
+    --requests=200 --clients=4 --corpus=16 --verify \
+    --bench-json="$FRESH/server_throughput_traced.json" > /dev/null
+echo "== always-on tracing overhead guard (<=2% of untraced throughput)"
+"$BUILD_DIR/tools/gg-report" --time-threshold=2 \
+    --check-bench="$FRESH/server_throughput_traced.json:$FRESH/server_throughput_untraced_gate.json" \
+    > /dev/null
 rm -f "$BUILD_DIR/bench-serve.sock"
 GG_FAULT=overload-burst=20 \
 "$BUILD_DIR/tools/gg-load" --socket="$BUILD_DIR/bench-serve.sock" \

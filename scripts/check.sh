@@ -491,6 +491,82 @@ grep -q '"server.drains":[1-9]' "$TMP/serve.reload.stats.json" ||
 sed -n 's/^gg-load: /   /p' "$TMP/serve.reload.out" | head -3
 echo "   reload drill: hot reloads under load, clean SIGTERM drain"
 
+# Introspection smoke (docs/observability.md): a serving process must
+# answer in-band Status probes (gg-top --once --json), dump a parseable
+# gg-flight-v1 snapshot on SIGQUIT *while continuing to serve*, leave a
+# second dump on its drain exit, and leave a trace that joins back into
+# per-request timelines (gg-report --trace).
+echo "== introspection smoke (gg-top, flight recorder, trace join)"
+rm -f "$TMP/serve.sock" "$TMP/serve.flight.json"
+"$BUILD_DIR"/examples/compile_minic --serve="$TMP/serve.sock" \
+  --serve-workers=2 \
+  --trace-json="$TMP/serve.trace.json" \
+  --flight-json="$TMP/serve.flight.json" \
+  >"$TMP/serve.introspect.log" 2>&1 &
+SERVER=$!
+for _ in $(seq 1 100); do
+  [[ -S "$TMP/serve.sock" ]] && break
+  sleep 0.1
+done
+[[ -S "$TMP/serve.sock" ]] ||
+  { echo "introspection server never bound its socket" >&2; exit 1; }
+"$BUILD_DIR"/tools/gg-load --socket="$TMP/serve.sock" \
+  --requests=40 --clients=4 --corpus=8 --trace-ids=5000 \
+  --timeout-ms=30000 --no-shutdown >"$TMP/serve.introspect.out" 2>&1 ||
+  { echo "introspection load failed" >&2
+    cat "$TMP/serve.introspect.out" >&2; exit 1; }
+"$BUILD_DIR"/tools/gg-top --socket="$TMP/serve.sock" --once --json \
+  >"$TMP/serve.status.json" ||
+  { echo "gg-top one-shot failed against a live server" >&2; exit 1; }
+grep -q '"schema":"gg-status-v1"' "$TMP/serve.status.json" ||
+  { echo "gg-top returned no gg-status-v1 snapshot" >&2
+    cat "$TMP/serve.status.json" >&2; exit 1; }
+grep -q '"generation":' "$TMP/serve.status.json" ||
+  { echo "status snapshot is missing the service generation" >&2; exit 1; }
+kill -QUIT "$SERVER"
+for _ in $(seq 1 50); do
+  [[ -s "$TMP/serve.flight.json" ]] && break
+  sleep 0.1
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TMP/serve.flight.json" <<'PYEOF' ||
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "gg-flight-v1", d.get("schema")
+assert d["reason"] == "sigquit", d["reason"]
+seqs = [e["seq"] for e in d["events"]]
+assert seqs, "flight dump has no events"
+assert all(a < b for a, b in zip(seqs, seqs[1:])), "seq not strictly monotone"
+assert any(e["kind"] == "admit" and e["req"] >= 5000 for e in d["events"]), \
+    "no admit event carries a --trace-ids request id"
+PYEOF
+    { echo "SIGQUIT flight dump failed validation" >&2
+      head -c 400 "$TMP/serve.flight.json" >&2; exit 1; }
+else
+  grep -q '"schema":"gg-flight-v1"' "$TMP/serve.flight.json" ||
+    { echo "SIGQUIT left no gg-flight-v1 dump" >&2; exit 1; }
+fi
+# SIGQUIT must not have stopped the server: probe it again, then drain.
+"$BUILD_DIR"/tools/gg-top --socket="$TMP/serve.sock" --once --json \
+  >/dev/null ||
+  { echo "server stopped serving after SIGQUIT" >&2; exit 1; }
+kill -TERM "$SERVER"
+set +e
+wait "$SERVER"
+introspect_code=$?
+set -e
+[[ "$introspect_code" -eq 0 ]] ||
+  { echo "introspection server drain exited $introspect_code" >&2
+    cat "$TMP/serve.introspect.log" >&2; exit 1; }
+json_check "$TMP/serve.trace.json"
+"$BUILD_DIR"/tools/gg-report --trace "$TMP/serve.trace.json" --slowest=3 \
+  >"$TMP/serve.tracereport.out" ||
+  { echo "gg-report --trace failed on the server trace" >&2; exit 1; }
+grep -q 'req 50[0-9][0-9]' "$TMP/serve.tracereport.out" ||
+  { echo "trace report joined no --trace-ids request" >&2
+    cat "$TMP/serve.tracereport.out" >&2; exit 1; }
+echo "   status probes, SIGQUIT black box, trace join: all answered"
+
 echo "== benchmark regression sentinel (vs committed BENCH_*.json)"
 scripts/bench.sh --check --build-dir "$BUILD_DIR"
 

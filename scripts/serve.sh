@@ -34,6 +34,14 @@
 #
 #   SIGHUP   forwarded to the server, which hot-reloads its table image
 #            under a new generation; the supervisor keeps supervising.
+#
+# Flight recorder (docs/observability.md): unless the caller passes its
+# own --flight-json=, every child runs with the always-on flight recorder
+# dumping to SOCKET.flight.json. The recorder writes that file from the
+# crash handler, so after every crash-restart the supervisor moves the
+# dump to SOCKET.flight.crash-N.json before the replacement child can
+# overwrite it — the black box survives the restart that erases the
+# wreckage.
 #   SIGTERM/ SIGINT  forwarded, then the supervisor waits for the graceful
 #            drain: exit 0 (or 143: the server died on our own TERM before
 #            its handler was up) counts as a clean drain -> exit 0; any
@@ -63,6 +71,18 @@ if [ ! -x "$BIN" ]; then
   echo "serve.sh: $BIN is not executable" >&2
   exit 2
 fi
+
+# Arm the flight recorder by default; an explicit --flight-json= in the
+# forwarded args wins (it comes later on the command line, and the
+# server's option parsing is last-wins), and then the caller owns
+# collecting their own path.
+FLIGHT_FILE="$SOCKET.flight.json"
+FLIGHT_ARGS=(--flight-json="$FLIGHT_FILE")
+for ARG in ${EXTRA[@]+"${EXTRA[@]}"}; do
+  case "$ARG" in
+    --flight-json=*) FLIGHT_FILE=; FLIGHT_ARGS=() ;;
+  esac
+done
 
 BACKOFF_MS=100
 MAX_BACKOFF_MS=5000
@@ -108,7 +128,8 @@ trap 'if [ "$CHILD" -ne 0 ]; then kill -HUP "$CHILD" 2>/dev/null; fi' HUP
 while :; do
   rm -f "$SOCKET"
   START_MS=$(( $(date +%s%N) / 1000000 ))
-  "$BIN" --serve="$SOCKET" --serve-generation="$GENERATION" "${EXTRA[@]+"${EXTRA[@]}"}" &
+  "$BIN" --serve="$SOCKET" --serve-generation="$GENERATION" \
+         ${FLIGHT_ARGS[@]+"${FLIGHT_ARGS[@]}"} "${EXTRA[@]+"${EXTRA[@]}"}" &
   CHILD=$!
   wait_child
   CODE=$WAIT_CODE
@@ -130,6 +151,11 @@ while :; do
   esac
 
   GENERATION=$(( GENERATION + 1 ))
+  # Preserve the crash dump before the restarted child overwrites it.
+  if [ -n "$FLIGHT_FILE" ] && [ -f "$FLIGHT_FILE" ]; then
+    mv -f "$FLIGHT_FILE" "$SOCKET.flight.crash-$GENERATION.json"
+    echo "serve.sh: flight dump saved to $SOCKET.flight.crash-$GENERATION.json" >&2
+  fi
   if [ $(( END_MS - START_MS )) -ge "$PROVE_MS" ]; then
     BACKOFF_MS=100
   fi

@@ -5,6 +5,7 @@
 #include "pcc/PccCodeGen.h"
 #include "support/Coverage.h"
 #include "support/FaultInject.h"
+#include "support/FlightRecorder.h"
 #include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
@@ -172,6 +173,10 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
         ProfilePhaseScope PS(ProfPhase::Linearize);
         Input = linearize(Tree);
       }
+      if (Opts.Budget)
+        Opts.Budget->setPhase(RequestPhase::Match);
+      flightRecord(FlightKind::PhaseMatch,
+                   static_cast<int64_t>(Input.size()));
       // truncate-input fault: models a phase-1/linearizer bug. A proper
       // prefix of a prefix linearization can never parse to completion,
       // so the matcher blocks instead of accepting a wrong parse. The
@@ -192,6 +197,10 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
         R.TraceText += renderTrace(Target.grammar(), Input, MR, Prog.Syms);
         R.TraceText += "\n";
       }
+      if (Opts.Budget)
+        Opts.Budget->setPhase(RequestPhase::Replay);
+      flightRecord(FlightKind::PhaseReplay,
+                   static_cast<int64_t>(MR.Steps.size()));
       TimerScope TS(GenT);
       TraceSpan ReplaySpan("cg.replay");
       ProfilePhaseScope PS(ProfPhase::Replay);
@@ -216,6 +225,8 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
     // per-statement state, then regenerate it through the PCC baseline.
     ++R.BlockedTrees;
     ++gg::stats().counter("cg.blocked_trees");
+    flightRecord(FlightKind::Block,
+                 MR.Block ? static_cast<int64_t>(MR.Block->State) : -1);
     if (MR.Block && MR.Block->Why == BlockReport::Cause::Budget) {
       // Budget stops bypass the ladder by design (docs/server.md).
       R.Err = TreeErr;
@@ -232,6 +243,9 @@ void compileOneFunction(const VaxTarget &Target, const CodeGenOptions &Opts,
         strf("recovering via the baseline generator: %s", TreeErr.c_str()));
     DiagnosticSink FallbackDiags;
     {
+      if (Opts.Budget)
+        Opts.Budget->setPhase(RequestPhase::Fallback);
+      flightRecord(FlightKind::PhaseFallback);
       TimerScope TS(GenT);
       TraceSpan FallbackSpan("cg.fallback");
       ProfilePhaseScope PS(ProfPhase::Fallback);
@@ -361,6 +375,10 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   // construction; canonicalization would rewrite them away from the
   // productions they were built to exercise.
   if (!Opts.Transform.RawTrees) {
+    if (Opts.Budget)
+      Opts.Budget->setPhase(RequestPhase::Transform);
+    flightRecord(FlightKind::PhaseTransform,
+                 static_cast<int64_t>(Prog.Functions.size()));
     TimerScope TS(TransformT);
     ProfilePhaseScope PS(ProfPhase::Transform);
     for (Function &F : Prog.Functions) {
@@ -410,7 +428,13 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   // Every function runs even if another fails: the failure path then sees
   // identical global counters at any thread count (a worker cannot know
   // whether a source-order-earlier function has failed yet).
+  //
+  // Pool workers are request-agnostic threads: re-enter the caller's
+  // request scope inside each task so per-function spans and flight
+  // events carry the same request identity at any thread count.
+  const RequestContext ReqCtx = RequestScope::current();
   Stats.Parallel = parallelFor(NumFns, Opts.Parallel, [&](size_t I) {
+    RequestScope TaskScope(ReqCtx.Id, ReqCtx.Generation);
     faultInject().stallWorker(I);
     compileOneFunction(Target, Opts, Prog, Prog.Functions[I],
                        FirstOrdinal + OrdinalBase[I], Results[I]);
@@ -420,6 +444,9 @@ bool GGCodeGenerator::compile(Program &Prog, std::string &Asm,
   // with diagnostics merged up to and including it (serial semantics).
   // The stitch scope runs to function exit: append + peephole + final
   // render are all serial post-join work.
+  if (Opts.Budget)
+    Opts.Budget->setPhase(RequestPhase::Stitch);
+  flightRecord(FlightKind::PhaseStitch, static_cast<int64_t>(NumFns));
   ProfilePhaseScope StitchScope(ProfPhase::Stitch);
   double WorkerEmitSeconds = 0;
   StatsRegistry &Reg = gg::stats();

@@ -4,6 +4,7 @@
 #include "frontend/Parser.h"
 #include "support/FaultInject.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 #include "tablegen/Serialize.h"
 
 using namespace gg;
@@ -55,6 +56,14 @@ uint64_t CompileService::generation() const {
   return TableGeneration;
 }
 
+std::string CompileService::statusMembers() const {
+  auto [Snap, Gen] = snapshot();
+  return strf("\"generation\":%llu,\"fingerprint\":\"%s\"",
+              static_cast<unsigned long long>(Gen),
+              VaxTarget::fingerprint(Snap->grammar(), Snap->packed())
+                  .c_str());
+}
+
 bool CompileService::reload(uint64_t &NewGeneration, std::string &Err) {
   // Build and verify entirely off to the side; the swap at the end is the
   // only moment the serving state changes, and it is atomic under the
@@ -99,6 +108,10 @@ HandlerResult CompileService::compile(const RequestMsg &Req,
   // byte-identity per generation).
   auto [Snap, Gen] = snapshot();
   R.Generation = Gen;
+  // Patch the pinned generation into the thread's request scope, so the
+  // phase spans and flight events below carry the generation that is
+  // actually serving (the server entered the scope before we pinned).
+  RequestScope::setGeneration(Gen);
 
   // A request that spent its whole deadline queueing is already dead.
   if (Budget.shouldStop(0)) {

@@ -89,6 +89,16 @@ public:
   /// The table generation currently serving (starts at 1).
   uint64_t generation() const;
 
+  /// The service as a Server-compatible Status-snapshot augmenter:
+  /// contributes `"generation":N,"fingerprint":"..."` so a gg-status-v1
+  /// snapshot identifies the table image serving right now.
+  StatusAugmenter statusAugmenter() {
+    return [this] { return statusMembers(); };
+  }
+
+  /// The augmenter body (raw JSON members, no braces). Thread-safe.
+  std::string statusMembers() const;
+
   const VaxTarget &target() const { return *snapshot().first; }
 
 private:

@@ -3,6 +3,7 @@
 #include "support/CliOptions.h"
 #include "support/Coverage.h"
 #include "support/FaultInject.h"
+#include "support/FlightRecorder.h"
 #include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -50,6 +51,15 @@ CliParse gg::parseCommonDriverOption(const std::string &Arg,
     Opts.ProfileJsonPath = Arg.substr(15);
     return CliParse::Ok;
   }
+  if (Arg.rfind("--flight-json=", 0) == 0) {
+    Opts.FlightJsonPath = Arg.substr(14);
+    if (Opts.FlightJsonPath.empty() || Opts.FlightJsonPath == "-") {
+      fprintf(stderr, "--flight-json= requires a file path (the dump runs "
+                      "inside signal handlers, so stdout is not allowed)\n");
+      return CliParse::Bad;
+    }
+    return CliParse::Ok;
+  }
   if (Arg.rfind("--fault=", 0) == 0) {
     std::string Err;
     if (!faultInject().configure(Arg.substr(8), Err)) {
@@ -64,7 +74,8 @@ CliParse gg::parseCommonDriverOption(const std::string &Arg,
 const char *gg::commonDriverUsage() {
   return "[--threads=N] [--fault=SPEC] [--stats-json=FILE] "
          "[--trace-json=FILE] [--coverage-json=FILE] "
-         "[--profile=off|instr|perf[,cycles|,steps]] [--profile-json=FILE]";
+         "[--profile=off|instr|perf[,cycles|,steps]] [--profile-json=FILE] "
+         "[--flight-json=FILE]";
 }
 
 bool gg::writeTextOrStdout(const std::string &Path, const std::string &Text) {
@@ -92,6 +103,10 @@ TelemetryDump::TelemetryDump(const CommonDriverOptions &O) : Opts(O) {
     Opts.Profile = ProfileMode::Instr;
   if (Opts.Profile != ProfileMode::Off || Opts.ProfileGiven)
     profile().configure(Opts.Profile, Opts.ProfileTb);
+  if (!Opts.FlightJsonPath.empty()) {
+    flightSetDumpPath(Opts.FlightJsonPath.c_str());
+    flightInstallHandlers();
+  }
 }
 
 TelemetryDump::~TelemetryDump() {
@@ -104,4 +119,8 @@ TelemetryDump::~TelemetryDump() {
     writeTextOrStdout(Opts.CoverageJsonPath, coverage().toJson() + "\n");
   if (!Opts.ProfileJsonPath.empty())
     writeTextOrStdout(Opts.ProfileJsonPath, profile().toJson() + "\n");
+  // Every normal exit leaves a flight dump too, so the artifact exists
+  // whether the process died screaming (crash handler) or politely.
+  if (!Opts.FlightJsonPath.empty())
+    flightDump("exit");
 }

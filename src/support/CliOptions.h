@@ -35,6 +35,11 @@ struct CommonDriverOptions {
   std::string TraceJsonPath;    ///< --trace-json=FILE ("-" = stdout)
   std::string CoverageJsonPath; ///< --coverage-json=FILE ("-" = stdout)
   std::string ProfileJsonPath;  ///< --profile-json=FILE ("-" = stdout)
+  /// --flight-json=FILE: arm the always-on flight recorder's dump path
+  /// and crash/SIGQUIT handlers; the gg-flight-v1 artifact is written on
+  /// crash, SIGQUIT, and normal exit (reason "exit"). No "-" form — the
+  /// dump must be async-signal-safe, so it only writes to a real file.
+  std::string FlightJsonPath;
   /// --profile=off|instr|perf[,cycles|,steps]. A --profile-json=
   /// destination with no explicit --profile= implies instr.
   ProfileMode Profile = ProfileMode::Off;

@@ -17,7 +17,7 @@ constexpr size_t TrailerLen = 4;        ///< checksum
 
 bool knownFrameType(uint8_t T) {
   return T >= static_cast<uint8_t>(FrameType::Request) &&
-         T <= static_cast<uint8_t>(FrameType::Reloaded);
+         T <= static_cast<uint8_t>(FrameType::StatusReply);
 }
 
 void putU8(std::string &Out, uint8_t V) {
@@ -327,6 +327,53 @@ bool gg::decodeReloaded(std::string_view Payload, ReloadedMsg &M,
   }
   if (!R.atEnd()) {
     Err = "trailing garbage after reload outcome";
+    return false;
+  }
+  return true;
+}
+
+std::string gg::encodeStatus(const StatusMsg &M) {
+  std::string Out;
+  putU64(Out, M.Id);
+  return Out;
+}
+
+bool gg::decodeStatus(std::string_view Payload, StatusMsg &M,
+                      std::string &Err) {
+  ByteReader R(Payload);
+  if (!R.u64(M.Id)) {
+    Err = "truncated status probe";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing garbage after status probe";
+    return false;
+  }
+  return true;
+}
+
+std::string gg::encodeStatusReply(const StatusReplyMsg &M) {
+  std::string Out;
+  putU64(Out, M.Id);
+  putU32(Out, static_cast<uint32_t>(M.Text.size()));
+  Out.append(M.Text);
+  return Out;
+}
+
+bool gg::decodeStatusReply(std::string_view Payload, StatusReplyMsg &M,
+                           std::string &Err) {
+  ByteReader R(Payload);
+  uint32_t TextLen = 0;
+  if (!R.u64(M.Id) || !R.u32(TextLen)) {
+    Err = "truncated status reply";
+    return false;
+  }
+  if (!R.bytes(M.Text, TextLen)) {
+    Err = strf("status text truncated: header says %u bytes", TextLen);
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing garbage after status reply";
     return false;
   }
   return true;

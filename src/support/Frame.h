@@ -53,6 +53,10 @@ enum class FrameType : uint8_t {
   Reload = 8,     ///< client -> server: drain in-flight work and hot-swap
                   ///< a freshly verified table image (same as SIGHUP)
   Reloaded = 9,   ///< server -> client: outcome of a Reload frame
+  Status = 10,    ///< client -> server: request a live introspection
+                  ///< snapshot (queue depth, in-flight requests, latency
+                  ///< percentiles, generation) without compiling anything
+  StatusReply = 11, ///< server -> client: the snapshot, as one JSON object
 };
 
 /// Hard cap on one frame's payload; oversized length prefixes are rejected
@@ -168,6 +172,20 @@ struct ReloadedMsg {
   std::string Text;        ///< diagnostics on failure
 };
 
+/// Introspection probe carried in a Status frame (client -> server).
+struct StatusMsg {
+  uint64_t Id = 0; ///< echoed in the StatusReply so pollers can correlate
+};
+
+/// Introspection snapshot carried in a StatusReply frame. Text is one
+/// JSON object (the gg-status-v1 snapshot, docs/observability.md); the
+/// schema lives in the JSON itself so old clients can still display a
+/// newer server's snapshot.
+struct StatusReplyMsg {
+  uint64_t Id = 0;  ///< the probing StatusMsg's Id
+  std::string Text; ///< JSON snapshot
+};
+
 /// Payload codecs. Decoders are hardened: they return false (with \p Err
 /// set) on any truncation, trailing garbage, out-of-range enum or
 /// inconsistent length, and never read out of bounds.
@@ -179,6 +197,11 @@ std::string encodeOverload(const OverloadMsg &M);
 bool decodeOverload(std::string_view Payload, OverloadMsg &M, std::string &Err);
 std::string encodeReloaded(const ReloadedMsg &M);
 bool decodeReloaded(std::string_view Payload, ReloadedMsg &M, std::string &Err);
+std::string encodeStatus(const StatusMsg &M);
+bool decodeStatus(std::string_view Payload, StatusMsg &M, std::string &Err);
+std::string encodeStatusReply(const StatusReplyMsg &M);
+bool decodeStatusReply(std::string_view Payload, StatusReplyMsg &M,
+                       std::string &Err);
 
 /// FNV-1a over \p Data — the frame checksum primitive (shared with the
 /// tests' byte-flip sweep).

@@ -3,6 +3,7 @@
 #include "support/Server.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInject.h"
+#include "support/FlightRecorder.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/ThreadPool.h"
@@ -103,6 +104,10 @@ struct Server::Active {
   RequestBudget Budget;
   std::atomic<bool> Responded{false};
   uint64_t AdmitNs = 0;
+  /// The id this request is traced/introspected under: the client's Id
+  /// when nonzero, a server-minted one (high bit set) otherwise. The
+  /// wire response always echoes the client's Id.
+  uint64_t TraceId = 0;
 
   /// True for the caller that wins the right to respond.
   bool claimResponse() {
@@ -116,8 +121,128 @@ Server::Server(CompileHandler Handler, ServerOptions Opts)
     : Handler(std::move(Handler)), Opts(Opts) {
   touchServerSchemaKeys();
   stats().counter("server.restarts") += Opts.Generation;
+  LatRing = std::make_unique<LatSample[]>(LatRingSize);
   if (::pipe(WakePipe) != 0)
     WakePipe[0] = WakePipe[1] = -1;
+}
+
+void Server::recordLatency(uint64_t LatMs, bool Ok) {
+  LatSample &S =
+      LatRing[LatHead.fetch_add(1, std::memory_order_relaxed) % LatRingSize];
+  S.DoneNs.store(0, std::memory_order_release);
+  S.LatMs = static_cast<uint32_t>(std::min<uint64_t>(LatMs, 0xffffffffu));
+  S.Ok = Ok ? 1 : 0;
+  S.DoneNs.store(RequestBudget::nowNs(), std::memory_order_release);
+}
+
+std::string Server::statusJson() {
+  uint64_t Now = RequestBudget::nowNs();
+  constexpr uint64_t WindowNs = 10ull * 1000000000ull;
+  // The window never extends before serving started, so RPS on a young
+  // server divides by its real lifetime, not the full 10 s.
+  uint64_t EffWindow =
+      ServeStartNs && Now - ServeStartNs < WindowNs ? Now - ServeStartNs
+                                                    : WindowNs;
+  if (EffWindow == 0)
+    EffWindow = 1;
+
+  size_t Depth = 0;
+  bool Draining = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Depth = Queue.size();
+    Draining = Stopping;
+  }
+
+  std::string InFlightJson = "[";
+  size_t NInFlight = 0;
+  {
+    std::lock_guard<std::mutex> Lock(ActiveM);
+    for (const std::shared_ptr<Active> &A : InFlight) {
+      if (A->Responded.load(std::memory_order_acquire))
+        continue;
+      RequestPhase P = A->Budget.Phase.load(std::memory_order_relaxed);
+      InFlightJson += strf(
+          "%s{\"id\":%llu,\"age_ms\":%llu,\"phase\":\"%s\"}",
+          NInFlight ? "," : "",
+          static_cast<unsigned long long>(A->TraceId),
+          static_cast<unsigned long long>((Now - A->AdmitNs) / 1000000ull),
+          requestPhaseName(P));
+      ++NInFlight;
+    }
+  }
+  InFlightJson += "]";
+
+  // Windowed latency stats from the completion ring.
+  std::vector<uint32_t> Lats;
+  Lats.reserve(LatRingSize);
+  uint64_t WinOk = 0;
+  for (size_t I = 0; I < LatRingSize; ++I) {
+    uint64_t Done = LatRing[I].DoneNs.load(std::memory_order_acquire);
+    if (!Done || Now - Done > EffWindow)
+      continue;
+    Lats.push_back(LatRing[I].LatMs);
+    WinOk += LatRing[I].Ok;
+  }
+  std::sort(Lats.begin(), Lats.end());
+  auto Pct = [&](int P) -> uint64_t {
+    if (Lats.empty())
+      return 0;
+    return Lats[Lats.size() * P / 100 >= Lats.size()
+                    ? Lats.size() - 1
+                    : Lats.size() * P / 100];
+  };
+  double WindowS = static_cast<double>(EffWindow) / 1e9;
+
+  StatsRegistry &Reg = stats();
+  std::string Counters = "{";
+  bool FirstC = true;
+  for (const char *Name :
+       {"server.requests", "server.ok", "server.compile_errors",
+        "server.quarantined", "server.watchdog_kills", "server.overloaded",
+        "server.protocol_errors", "server.resyncs", "server.drains",
+        "server.reloads", "server.reload_failures", "server.connections",
+        "server.discarded_results"}) {
+    Counters += strf("%s\"%s\":%llu", FirstC ? "" : ",", Name + 7,
+                     static_cast<unsigned long long>(Reg.counter(Name)));
+    FirstC = false;
+  }
+  Counters += "}";
+
+  std::string Extra;
+  {
+    std::lock_guard<std::mutex> Lock(ReloadM);
+    if (Augmenter)
+      Extra = Augmenter();
+  }
+
+  std::string Out = strf(
+      "{\"schema\":\"gg-status-v1\",\"uptime_ms\":%llu,\"workers\":%u,"
+      "\"queue_depth\":%llu,\"executing\":%u,\"draining\":%d,"
+      "\"reloading\":%d,\"in_flight\":%s,"
+      "\"window_ms\":%llu,\"window\":{\"requests\":%llu,\"ok\":%llu,"
+      "\"rps\":%.3f,\"goodput_rps\":%.3f,\"p50_ms\":%llu,\"p90_ms\":%llu,"
+      "\"p99_ms\":%llu},\"counters\":%s",
+      static_cast<unsigned long long>(
+          ServeStartNs ? (Now - ServeStartNs) / 1000000ull : 0),
+      ResolvedWorkers, static_cast<unsigned long long>(Depth),
+      Executing.load(std::memory_order_relaxed), Draining ? 1 : 0,
+      ReloadRunning.load(std::memory_order_acquire) ? 1 : 0,
+      InFlightJson.c_str(),
+      static_cast<unsigned long long>(EffWindow / 1000000ull),
+      static_cast<unsigned long long>(Lats.size()),
+      static_cast<unsigned long long>(WinOk),
+      static_cast<double>(Lats.size()) / WindowS,
+      static_cast<double>(WinOk) / WindowS,
+      static_cast<unsigned long long>(Pct(50)),
+      static_cast<unsigned long long>(Pct(90)),
+      static_cast<unsigned long long>(Pct(99)), Counters.c_str());
+  if (!Extra.empty()) {
+    Out += ',';
+    Out += Extra;
+  }
+  Out += '}';
+  return Out;
 }
 
 Server::~Server() {
@@ -151,6 +276,7 @@ void Server::requestDrain() {
     DrainStartNs = RequestBudget::nowNs();
   }
   ++stats().counter("server.drains");
+  flightRecord(FlightKind::Drain);
   closeQueue(); // queued work still completes; only admissions stop
   wakePumps();
 }
@@ -258,6 +384,8 @@ void Server::watchdogScan() {
       continue;
     ++stats().counter("server.watchdog_kills");
     ++stats().counter("server.quarantined");
+    flightRecordFor(FlightKind::WatchdogKill, A->TraceId, 0,
+                    static_cast<int64_t>((Now - Deadline) / 1000000ull));
     ResponseMsg M;
     M.Id = A->Req.Id;
     M.Status = ResponseStatus::Watchdog;
@@ -267,6 +395,10 @@ void Server::watchdogScan() {
                      static_cast<unsigned long long>((Now - Deadline) /
                                                      1000000ull));
     A->C->respond(M);
+    // A wedged worker is the flight recorder's raison d'etre: dump now,
+    // while the kill is the freshest event in the rings, so the operator
+    // sees which request (and which phase events led up to it) wedged.
+    flightDump("watchdog-kill");
   }
 }
 
@@ -297,6 +429,8 @@ void Server::shed(const std::shared_ptr<Active> &A, OverloadCause Cause,
     return; // the watchdog already answered for this request
   StatsRegistry &Reg = stats();
   ++Reg.counter("server.overloaded");
+  flightRecordFor(FlightKind::Shed, A->TraceId, 0,
+                  static_cast<int64_t>(Cause));
   switch (Cause) {
   case OverloadCause::QueueFull:
     ++Reg.counter("server.shed_queue_full");
@@ -382,6 +516,7 @@ void Server::runReload() {
   // sent at that instant would be acked by reload N with N's generation
   // instead of starting reload N+1.
   ++stats().counter(Ok ? "server.reloads" : "server.reload_failures");
+  flightRecordFor(FlightKind::Reload, 0, Gen, Ok ? 1 : 0);
   ReloadRunning.store(false, std::memory_order_release);
 }
 
@@ -390,6 +525,10 @@ void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
   A->Req = std::move(Req);
   A->C = C;
   A->AdmitNs = RequestBudget::nowNs();
+  A->TraceId = A->Req.Id
+                   ? A->Req.Id
+                   : (0x8000000000000000ull |
+                      NextTraceId.fetch_add(1, std::memory_order_relaxed));
   // ~0u is the explicit "no deadline" escape hatch; 0 means "server
   // default". Budgets follow the same convention.
   uint32_t DeadlineMs = A->Req.DeadlineMs == 0
@@ -413,6 +552,7 @@ void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
   OverloadCause Cause = OverloadCause::QueueFull;
   size_t Depth = 0;
   std::shared_ptr<Active> Victim;
+  const uint64_t TraceId = A->TraceId; // A is moved into the queue below
   {
     std::lock_guard<std::mutex> Lock(QueueM);
     Depth = Queue.size();
@@ -449,6 +589,16 @@ void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
     shed(A, Cause, static_cast<uint32_t>(Depth), /*InFlightToo=*/true);
     return;
   }
+  // A near-zero-duration span marking the admission instant: gg-report
+  // --trace computes queue wait as server.request start minus this span's
+  // start, and the explicit req arg joins the two.
+  {
+    TraceSpan AdmitSpan("server.admit");
+    AdmitSpan.arg("req", static_cast<int64_t>(TraceId));
+    AdmitSpan.arg("depth", static_cast<int64_t>(Depth));
+  }
+  flightRecordFor(FlightKind::Admit, TraceId, 0,
+                  static_cast<int64_t>(Depth));
   if (Victim)
     shed(Victim, OverloadCause::ShedOldest, static_cast<uint32_t>(Depth),
          /*InFlightToo=*/true);
@@ -458,24 +608,37 @@ void Server::admit(const std::shared_ptr<Conn> &C, RequestMsg Req) {
 void Server::serveOne(const std::shared_ptr<Active> &A) {
   StatsRegistry &Reg = stats();
   ++Reg.counter("server.requests");
+  // The span is created *outside* the request scope (its req/gen/status
+  // args are attached explicitly below, once the handler has told us the
+  // serving generation), so it is not double-tagged by TraceSpan's
+  // automatic request stamping.
   TraceSpan Span("server.request");
   uint64_t StartNs = RequestBudget::nowNs();
-  Reg.histogram("server.queue_wait_ms")
-      .record((StartNs - A->AdmitNs) / 1000000ull);
+  uint64_t QueueWaitMs = (StartNs - A->AdmitNs) / 1000000ull;
+  Reg.histogram("server.queue_wait_ms").record(QueueWaitMs);
+  flightRecordFor(FlightKind::Dispatch, A->TraceId, 0,
+                  static_cast<int64_t>(QueueWaitMs));
   Executing.fetch_add(1, std::memory_order_acq_rel);
   // Soak drill: the overload-burst fault inflates service time here — in
   // the server's dispatch path, not the compile pipeline, so gg-load's
   // in-process verify oracle is unaffected by a shared GG_FAULT.
   faultInject().overloadBurst();
   HandlerResult R;
-  try {
-    R = Handler(A->Req, A->Budget);
-  } catch (...) {
-    // The handler contract is exception-free; honor the quarantine
-    // promise anyway rather than unwinding out of the pool.
-    R.Status = ResponseStatus::CompileError;
-    R.Payload = "internal error: handler threw";
+  {
+    // Everything the handler does — phase spans, flight events, block
+    // reports — is attributed to this request via the thread-local scope.
+    // The service layer patches in the generation once it pins a snapshot.
+    RequestScope Scope(A->TraceId);
+    try {
+      R = Handler(A->Req, A->Budget);
+    } catch (...) {
+      // The handler contract is exception-free; honor the quarantine
+      // promise anyway rather than unwinding out of the pool.
+      R.Status = ResponseStatus::CompileError;
+      R.Payload = "internal error: handler threw";
+    }
   }
+  A->Budget.setPhase(RequestPhase::Responding);
   // Service-time EWMA (alpha = 1/8) feeding the admission estimator.
   uint64_t Sample = RequestBudget::nowNs() - StartNs;
   uint64_t Prev = EwmaServiceNs.load(std::memory_order_relaxed);
@@ -485,10 +648,25 @@ void Server::serveOne(const std::shared_ptr<Active> &A) {
   Reg.counter("server.fallback_trees") += R.RecoveredTrees;
   Reg.counter("server.blocked_trees") += R.BlockedTrees;
 
+  Span.arg("req", static_cast<int64_t>(A->TraceId));
+  Span.arg("gen", static_cast<int64_t>(R.Generation));
+  Span.arg("status", static_cast<int64_t>(R.Status));
+  Span.arg("queue_wait_ms", static_cast<int64_t>(QueueWaitMs));
+
   if (!A->claimResponse()) {
     // The watchdog already failed this request; drop the late result.
     ++Reg.counter("server.discarded_results");
   } else {
+    switch (R.Status) {
+    case ResponseStatus::Deadline:
+    case ResponseStatus::StepBudget:
+    case ResponseStatus::MemBudget:
+      flightRecordFor(FlightKind::BudgetKill, A->TraceId, R.Generation,
+                      static_cast<int64_t>(R.Status));
+      break;
+    default:
+      break;
+    }
     switch (R.Status) {
     case ResponseStatus::Ok:
       ++Reg.counter("server.ok");
@@ -521,8 +699,11 @@ void Server::serveOne(const std::shared_ptr<Active> &A) {
     M.Generation = R.Generation;
     M.Payload = std::move(R.Payload);
     A->C->respond(M);
-    Reg.histogram("server.request_ms")
-        .record((RequestBudget::nowNs() - A->AdmitNs) / 1000000ull);
+    uint64_t TotalMs = (RequestBudget::nowNs() - A->AdmitNs) / 1000000ull;
+    Reg.histogram("server.request_ms").record(TotalMs);
+    recordLatency(TotalMs, R.Status == ResponseStatus::Ok);
+    flightRecordFor(FlightKind::Respond, A->TraceId, R.Generation,
+                    static_cast<int64_t>(R.Status));
   }
   // Decrement only after the response is on the wire: a reload waits for
   // Executing==0 before swapping and acking, and clients assert that
@@ -657,10 +838,31 @@ void Server::pumpInput(const std::shared_ptr<Conn> &C, int InFd,
         C->respond(M);
       }
       break;
+    case FrameType::Status: {
+      // Live introspection: answered inline on the pump thread so a
+      // snapshot works even when every worker is busy — that is exactly
+      // when the operator wants one.
+      StatusMsg SM;
+      std::string Err;
+      if (!decodeStatus(F.Payload, SM, Err)) {
+        ++Reg.counter("server.protocol_errors");
+        ResponseMsg M;
+        M.Status = ResponseStatus::Protocol;
+        M.Payload = "bad status payload: " + Err;
+        C->respond(M);
+        break;
+      }
+      StatusReplyMsg RM;
+      RM.Id = SM.Id;
+      RM.Text = statusJson();
+      C->writeFrame(FrameType::StatusReply, encodeStatusReply(RM));
+      break;
+    }
     case FrameType::Response:
     case FrameType::Pong:
     case FrameType::Overloaded:
     case FrameType::Reloaded:
+    case FrameType::StatusReply:
       ++Reg.counter("server.protocol_errors");
       break;
     }
@@ -672,6 +874,7 @@ int Server::serveFds(int InFd, int OutFd) {
   auto C = std::make_shared<Conn>(OutFd);
   ++stats().counter("server.connections");
   ResolvedWorkers = resolveWorkerCount(Opts.Workers, 1u << 16);
+  ServeStartNs = RequestBudget::nowNs();
   startWatchdog();
 
   bool SawShutdown = false;
@@ -721,6 +924,7 @@ int Server::serveUnixSocket(const std::string &Path) {
   }
 
   ResolvedWorkers = resolveWorkerCount(Opts.Workers, 1u << 16);
+  ServeStartNs = RequestBudget::nowNs();
   startWatchdog();
   std::atomic<bool> Shut{false};
   std::mutex ConnsM;

@@ -131,6 +131,12 @@ using CompileHandler =
 using ReloadHandler =
     std::function<bool(uint64_t &NewGeneration, std::string &Err)>;
 
+/// Extra members the service layer contributes to the Status snapshot
+/// (table generation, grammar fingerprint). Returns raw JSON members
+/// without braces, e.g. `"generation":3,"fingerprint":"ab12..."`; empty
+/// means nothing to add. Must be thread-safe (runs on pump threads).
+using StatusAugmenter = std::function<std::string()>;
+
 /// The long-lived server. One instance per process; serve*() blocks until
 /// shutdown and returns the process exit code.
 class Server {
@@ -157,6 +163,21 @@ public:
     Reloader = std::move(R);
   }
 
+  /// Installs the Status-snapshot augmenter (service-layer members:
+  /// generation, fingerprint). Install before serve*(); the hook runs on
+  /// pump threads for every Status frame.
+  void setStatusAugmenter(StatusAugmenter A) {
+    std::lock_guard<std::mutex> Lock(ReloadM);
+    Augmenter = std::move(A);
+  }
+
+  /// Builds the gg-status-v1 introspection snapshot served for Status
+  /// frames: queue depth, in-flight requests with age and phase, a
+  /// 10-second window of RPS/goodput/latency percentiles, and the
+  /// lifecycle counters. Public so tests and tools can snapshot without
+  /// a transport.
+  std::string statusJson();
+
   /// Begins a graceful drain: new admissions are shed with
   /// Overloaded(draining), already-queued and in-flight work completes
   /// (bounded by DrainDeadlineMs via the watchdog), then serve*() returns
@@ -181,6 +202,7 @@ private:
   CompileHandler Handler;
   ServerOptions Opts;
   ReloadHandler Reloader;
+  StatusAugmenter Augmenter; ///< guarded by ReloadM, like Reloader
 
   std::mutex QueueM;
   std::condition_variable QueueCV;
@@ -196,6 +218,27 @@ private:
   /// EWMA of observed handler service time, feeding the admission-
   /// deadline wait estimate. Relaxed: an approximate estimate is fine.
   std::atomic<uint64_t> EwmaServiceNs{0};
+
+  /// Windowed latency samples backing the Status snapshot's RPS/goodput
+  /// and latency percentiles. A fixed ring of completion records; the
+  /// snapshot keeps only samples inside its 10 s window. DoneNs doubles
+  /// as the publish flag (0 = empty slot; stored last, release order).
+  struct LatSample {
+    std::atomic<uint64_t> DoneNs{0};
+    uint32_t LatMs = 0;
+    uint8_t Ok = 0;
+  };
+  static constexpr size_t LatRingSize = 4096;
+  std::unique_ptr<LatSample[]> LatRing;
+  std::atomic<uint32_t> LatHead{0};
+  /// When serve*() started accepting work (for uptime and short windows).
+  uint64_t ServeStartNs = 0;
+  /// Trace ids minted for requests whose clients sent Id = 0; the high
+  /// bit keeps minted ids disjoint from client-chosen ones.
+  std::atomic<uint64_t> NextTraceId{1};
+
+  /// Records one completed request into the latency ring.
+  void recordLatency(uint64_t LatMs, bool Ok);
   /// Requests currently inside the handler (InFlight also counts queued
   /// ones); a reload waits for this to hit zero before swapping.
   std::atomic<unsigned> Executing{0};

@@ -14,6 +14,24 @@ TraceRecorder &TraceRecorder::global() {
   return R;
 }
 
+namespace {
+thread_local RequestContext CurRequest;
+} // namespace
+
+RequestScope::RequestScope(uint64_t Id, uint64_t Generation) {
+  Prev = CurRequest;
+  CurRequest.Id = Id;
+  CurRequest.Generation = Generation;
+}
+
+RequestScope::~RequestScope() { CurRequest = Prev; }
+
+RequestContext RequestScope::current() { return CurRequest; }
+
+void RequestScope::setGeneration(uint64_t Generation) {
+  CurRequest.Generation = Generation;
+}
+
 std::string TraceRecorder::toChromeJson() const {
   // Spans are recorded at destruction, so the vector is ordered by end
   // time; emit in start order, which viewers and humans both expect.

@@ -112,6 +112,39 @@ private:
   std::vector<TraceEvent> Events;
 };
 
+/// The request identity a thread is currently working for. Threaded
+/// through the compile server so every span (and flight-recorder event)
+/// a worker opens while executing a request is attributable to it —
+/// see docs/server.md "Per-request tracing".
+struct RequestContext {
+  uint64_t Id = 0;         ///< 0 = no request scope active
+  uint64_t Generation = 0; ///< table-image generation serving the request
+};
+
+/// RAII thread-local request scope. The server enters one around the
+/// handler call; requests compile with Threads = 1, so the scope covers
+/// every span the request opens. Scopes nest (a re-entrant handler
+/// restores the outer identity on exit).
+class RequestScope {
+public:
+  explicit RequestScope(uint64_t Id, uint64_t Generation = 0);
+  ~RequestScope();
+
+  /// The calling thread's active request identity ({0,0} when none).
+  static RequestContext current();
+
+  /// Updates the active scope's generation in place — the service layer
+  /// calls this once it has pinned a table snapshot, so phase spans
+  /// opened after the pin carry the generation that actually serves.
+  static void setGeneration(uint64_t Generation);
+
+  RequestScope(const RequestScope &) = delete;
+  RequestScope &operator=(const RequestScope &) = delete;
+
+private:
+  RequestContext Prev;
+};
+
 /// RAII span: records [construction, destruction) into a recorder when
 /// it is enabled, and nothing otherwise.
 class TraceSpan {
@@ -123,8 +156,7 @@ public:
       return;
     Live = true;
     E.Name = Name;
-    E.StartUs = R.nowUs();
-    E.Depth = R.enter();
+    begin();
   }
 
   /// Spans with formatted names (per-function, per-tree).
@@ -134,8 +166,7 @@ public:
       return;
     Live = true;
     E.Name = std::move(Name);
-    E.StartUs = R.nowUs();
-    E.Depth = R.enter();
+    begin();
   }
 
   ~TraceSpan() {
@@ -156,6 +187,19 @@ public:
   TraceSpan &operator=(const TraceSpan &) = delete;
 
 private:
+  /// Shared tail of both constructors: stamp the request identity (so a
+  /// single request's end-to-end timeline is reconstructable by the
+  /// "req" arg), then the timestamp and depth.
+  void begin() {
+    RequestContext C = RequestScope::current();
+    if (C.Id) {
+      E.Args.emplace_back("req", static_cast<int64_t>(C.Id));
+      E.Args.emplace_back("gen", static_cast<int64_t>(C.Generation));
+    }
+    E.StartUs = R.nowUs();
+    E.Depth = R.enter();
+  }
+
   TraceRecorder &R;
   TraceEvent E;
   bool Live = false;

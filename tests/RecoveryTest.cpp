@@ -22,7 +22,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 using namespace gg;
 
@@ -537,6 +541,76 @@ TEST(ExitCodes, DriversFollowTheTaxonomy) {
 
   // Success: a well-formed corpus run.
   EXPECT_EQ(runExit(CM + " --gen-corpus=1 >/dev/null 2>&1"), 0);
+}
+
+// Telemetry artifacts are part of the exit contract (the flush-on-every-
+// exit-path sweep, docs/observability.md): success, recoverable compile
+// failure, fatal startup fault and a SIGTERM drain must all leave the
+// requested --stats-json / --flight-json artifacts behind. A crash
+// post-mortem that depends on the process having exited cleanly is
+// useless exactly when it is needed.
+TEST(ExitCodes, EveryExitPathFlushesTelemetryArtifacts) {
+  const std::string CM = GG_COMPILE_MINIC_BIN;
+  std::string Dir = "/tmp/gg-exit-flush-" + std::to_string(getpid());
+  ASSERT_EQ(::mkdir(Dir.c_str(), 0755), 0);
+  auto Slurp = [](const std::string &P) {
+    std::ifstream In(P);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  };
+  auto WriteFile = [](const std::string &P, const char *Text) {
+    std::ofstream Out(P);
+    Out << Text;
+  };
+
+  // Success (exit 0).
+  WriteFile(Dir + "/good.c", "int main() { return 7; }\n");
+  ASSERT_EQ(runExit(CM + " " + Dir + "/good.c --stats-json=" + Dir +
+                    "/s0.json --flight-json=" + Dir +
+                    "/f0.json >/dev/null 2>&1"),
+            0);
+  EXPECT_NE(Slurp(Dir + "/s0.json").find("gg-stats-v1"), std::string::npos);
+  std::string F0 = Slurp(Dir + "/f0.json");
+  EXPECT_NE(F0.find("gg-flight-v1"), std::string::npos);
+  EXPECT_NE(F0.find("\"reason\":\"exit\""), std::string::npos);
+
+  // Recoverable compile failure (exit 1): artifacts still flush.
+  WriteFile(Dir + "/bad.c", "int main( { this is not minic\n");
+  ASSERT_EQ(runExit(CM + " " + Dir + "/bad.c --stats-json=" + Dir +
+                    "/s1.json --flight-json=" + Dir +
+                    "/f1.json >/dev/null 2>&1"),
+            1);
+  EXPECT_NE(Slurp(Dir + "/s1.json").find("gg-stats-v1"), std::string::npos);
+  EXPECT_NE(Slurp(Dir + "/f1.json").find("gg-flight-v1"), std::string::npos);
+
+  // Fatal fault (exit 3): the server's startup self-verification fails,
+  // but the artifacts for the autopsy are written before it gives up.
+  ASSERT_EQ(runExit("GG_FAULT=corrupt-table " + CM + " --serve=" + Dir +
+                    "/fatal.sock --stats-json=" + Dir +
+                    "/s3.json --flight-json=" + Dir +
+                    "/f3.json >/dev/null 2>&1"),
+            3);
+  EXPECT_NE(Slurp(Dir + "/s3.json").find("gg-stats-v1"), std::string::npos);
+  EXPECT_NE(Slurp(Dir + "/f3.json").find("gg-flight-v1"), std::string::npos);
+
+  // SIGTERM drain (exit 0): a live server, terminated gracefully, leaves
+  // stats, trace and flight artifacts on its way out.
+  std::string Drain =
+      "(" + CM + " --serve=" + Dir + "/drain.sock --serve-workers=1" +
+      " --stats-json=" + Dir + "/s4.json --trace-json=" + Dir +
+      "/t4.json --flight-json=" + Dir + "/f4.json >/dev/null 2>&1 & P=$!;"
+      " i=0; while [ $i -lt 200 ] && [ ! -S " + Dir + "/drain.sock ];"
+      " do sleep 0.05; i=$((i+1)); done;"
+      " kill -TERM $P; wait $P)";
+  ASSERT_EQ(runExit(Drain), 0);
+  EXPECT_NE(Slurp(Dir + "/s4.json").find("gg-stats-v1"), std::string::npos);
+  std::string T4 = Slurp(Dir + "/t4.json");
+  ASSERT_FALSE(T4.empty());
+  EXPECT_EQ(T4[0], '[') << "trace artifact is a Chrome trace_event array";
+  std::string F4 = Slurp(Dir + "/f4.json");
+  EXPECT_NE(F4.find("gg-flight-v1"), std::string::npos);
+  EXPECT_NE(F4.find("\"reason\":\"exit\""), std::string::npos);
 }
 #endif
 

@@ -9,15 +9,21 @@
 
 #include "cg/CompileService.h"
 #include "support/ExitCodes.h"
+#include "support/FlightRecorder.h"
 #include "support/Frame.h"
+#include "support/Json.h"
 #include "support/Server.h"
 #include "support/Stats.h"
+#include "support/Strings.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
+#include <sys/stat.h>
 #include <thread>
 #include <unistd.h>
 
@@ -173,6 +179,89 @@ TEST(ServerSlowTest, WatchdogFailsWedgedRequestAndDiscardsLateResult) {
   EXPECT_TRUE(WedgeDone.load()); // the worker did eventually return
   EXPECT_GE(stats().counter("server.watchdog_kills"), KillsBefore + 1);
   EXPECT_GE(stats().counter("server.discarded_results"), DiscardsBefore + 1);
+}
+
+// The flight-recorder half of the watchdog contract (docs/
+// observability.md): when the watchdog abandons a wedged worker it dumps
+// the gg-flight-v1 black box, and the last events in it NAME the request
+// that was executing — the post-mortem does not depend on the process
+// surviving to flush anything else.
+TEST(ServerSlowTest, WatchdogKillLeavesParseableFlightDump) {
+  std::string Path =
+      strf("/tmp/gg-flight-watchdog-%d.json", static_cast<int>(getpid()));
+  ::unlink(Path.c_str());
+  flightSetDumpPath(Path.c_str());
+
+  constexpr uint64_t WedgeId = 99123;
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Opts.WatchdogIntervalMs = 5;
+  Opts.WatchdogGraceMs = 50;
+  PipeHarness H(
+      [](const RequestMsg &Req, RequestBudget &) {
+        HandlerResult R;
+        if (Req.Source == "wedge") {
+          // Uncooperative: never polls the budget, so only the watchdog
+          // can declare the request dead.
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+          R.Payload = "late";
+          return R;
+        }
+        R.Payload = "healthy";
+        return R;
+      },
+      Opts);
+
+  H.sendRequest(WedgeId, "wedge", /*DeadlineMs=*/30);
+  // The kill dumps the flight rings synchronously; wait for the artifact
+  // instead of trusting timing.
+  ASSERT_TRUE(spinUntil([&] {
+    struct stat St;
+    return ::stat(Path.c_str(), &St) == 0 && St.st_size > 0;
+  }));
+  H.sendRequest(2, "probe", /*DeadlineMs=*/5000);
+  std::vector<ResponseMsg> Rs = H.finish();
+  flightSetDumpPath(""); // keep later kills from rewriting the artifact
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  const ResponseMsg *Wedged = findById(Rs, WedgeId);
+  ASSERT_NE(Wedged, nullptr);
+  EXPECT_EQ(Wedged->Status, ResponseStatus::Watchdog);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(SS.str(), V, Err)) << Err << "\n" << SS.str();
+  const JsonValue *Schema = V.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->Str, "gg-flight-v1");
+  const JsonValue *Reason = V.find("reason");
+  ASSERT_NE(Reason, nullptr);
+  EXPECT_EQ(Reason->Str, "watchdog-kill");
+  EXPECT_GE(V.numberOr("recorded"), V.numberOr("retained"));
+
+  const JsonValue *Events = V.find("events");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_FALSE(Events->Arr.empty());
+  bool SawKill = false, SawAdmit = false;
+  double PrevSeq = -1;
+  for (const JsonValue &E : Events->Arr) {
+    double Seq = E.numberOr("seq", -1);
+    EXPECT_GT(Seq, PrevSeq) << "event order must be monotone in seq";
+    PrevSeq = Seq;
+    const JsonValue *Kind = E.find("kind");
+    ASSERT_NE(Kind, nullptr);
+    if (Kind->Str == "watchdog-kill" && E.numberOr("req") == WedgeId)
+      SawKill = true;
+    if (Kind->Str == "admit" && E.numberOr("req") == WedgeId)
+      SawAdmit = true;
+  }
+  EXPECT_TRUE(SawKill) << "the dump must name the killing request";
+  EXPECT_TRUE(SawAdmit) << "the killed request's admission is in the ring";
+  ::unlink(Path.c_str());
 }
 
 // Requests that spend their whole deadline queueing behind a wedged

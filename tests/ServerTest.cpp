@@ -14,6 +14,7 @@
 #include "support/ExitCodes.h"
 #include "support/FaultInject.h"
 #include "support/Frame.h"
+#include "support/Json.h"
 #include "support/Server.h"
 #include "support/Stats.h"
 
@@ -178,6 +179,42 @@ TEST(FrameTest, ByteFlipSweepAlwaysRecovers) {
   }
 }
 
+// A frame from a future protocol revision: well-formed on the wire
+// (magic, length and checksum all valid) but with a type byte this build
+// does not know. The reader must treat it as Corrupt and resync, so real
+// frames on either side survive — an old server stays usable against a
+// newer client instead of desyncing on the first unknown kind.
+TEST(FrameTest, FutureFrameKindResyncsWithoutLosingNeighbors) {
+  std::string Wire;
+  appendFrame(Wire, FrameType::Request, "before");
+  appendFrame(Wire, static_cast<FrameType>(12), "from the future");
+  appendFrame(Wire, FrameType::Request, "between");
+  appendFrame(Wire, static_cast<FrameType>(200), std::string(1000, 'z'));
+  appendFrame(Wire, FrameType::Request, "after");
+
+  FrameReader R;
+  R.feed(Wire.data(), Wire.size());
+  Frame F;
+  std::vector<std::string> Payloads;
+  int Corrupts = 0;
+  for (int Spin = 0; Spin < 4096; ++Spin) {
+    FrameReader::Status S = R.next(F);
+    if (S == FrameReader::Status::NeedMore)
+      break;
+    if (S == FrameReader::Status::Corrupt) {
+      ++Corrupts;
+      continue;
+    }
+    Payloads.push_back(F.Payload);
+  }
+  ASSERT_EQ(Payloads.size(), 3u);
+  EXPECT_EQ(Payloads[0], "before");
+  EXPECT_EQ(Payloads[1], "between");
+  EXPECT_EQ(Payloads[2], "after");
+  EXPECT_GE(Corrupts, 2);
+  EXPECT_GE(R.resyncs(), 2u);
+}
+
 //===----------------------------------------------------------------------===//
 // Message codecs
 //===----------------------------------------------------------------------===//
@@ -283,6 +320,51 @@ TEST(FrameTest, ReloadedCodecRoundTripAndTruncation) {
   EXPECT_FALSE(decodeReloaded(Wire + "x", T, Err));
 }
 
+TEST(FrameTest, StatusCodecRoundTripAndTruncation) {
+  StatusMsg In;
+  In.Id = 0x1122334455667788ull;
+  std::string Wire = encodeStatus(In);
+  StatusMsg Out;
+  std::string Err;
+  ASSERT_TRUE(decodeStatus(Wire, Out, Err)) << Err;
+  EXPECT_EQ(Out.Id, In.Id);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    StatusMsg T;
+    EXPECT_FALSE(decodeStatus(Wire.substr(0, Cut), T, Err)) << "cut=" << Cut;
+    EXPECT_FALSE(Err.empty()) << "cut=" << Cut;
+  }
+  StatusMsg T;
+  EXPECT_FALSE(decodeStatus(Wire + "x", T, Err));
+}
+
+TEST(FrameTest, StatusReplyCodecRoundTripAndTruncation) {
+  StatusReplyMsg In;
+  In.Id = 9090;
+  In.Text = "{\"schema\":\"gg-status-v1\",\"queue_depth\":0}";
+  std::string Wire = encodeStatusReply(In);
+  StatusReplyMsg Out;
+  std::string Err;
+  ASSERT_TRUE(decodeStatusReply(Wire, Out, Err)) << Err;
+  EXPECT_EQ(Out.Id, 9090u);
+  EXPECT_EQ(Out.Text, In.Text);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    StatusReplyMsg T;
+    EXPECT_FALSE(decodeStatusReply(Wire.substr(0, Cut), T, Err))
+        << "cut=" << Cut;
+  }
+  // Trailing garbage and an empty snapshot: the former is rejected, the
+  // latter is legal (the length prefix makes it unambiguous).
+  StatusReplyMsg T;
+  EXPECT_FALSE(decodeStatusReply(Wire + "x", T, Err));
+  StatusReplyMsg Empty;
+  Empty.Id = 1;
+  std::string EmptyWire = encodeStatusReply(Empty);
+  StatusReplyMsg EmptyOut;
+  ASSERT_TRUE(decodeStatusReply(EmptyWire, EmptyOut, Err)) << Err;
+  EXPECT_EQ(EmptyOut.Id, 1u);
+  EXPECT_TRUE(EmptyOut.Text.empty());
+}
+
 //===----------------------------------------------------------------------===//
 // Server loop over pipes
 //===----------------------------------------------------------------------===//
@@ -297,8 +379,9 @@ struct PipeHarness {
   std::unique_ptr<Server> Srv; ///< lets tests drive drain/reload directly
   std::thread T;
   int ExitCode = -1;
-  std::vector<OverloadMsg> Overloads; ///< filled by finish()
-  std::vector<ReloadedMsg> Reloads;   ///< filled by finish()
+  std::vector<OverloadMsg> Overloads;        ///< filled by finish()
+  std::vector<ReloadedMsg> Reloads;          ///< filled by finish()
+  std::vector<StatusReplyMsg> StatusReplies; ///< filled by finish()
 
   explicit PipeHarness(CompileHandler H, ServerOptions Opts = {}) {
     EXPECT_EQ(pipe(In), 0);
@@ -358,6 +441,10 @@ struct PipeHarness {
         ReloadedMsg M;
         if (decodeReloaded(F.Payload, M, Err))
           Reloads.push_back(std::move(M));
+      } else if (F.Type == FrameType::StatusReply) {
+        StatusReplyMsg M;
+        if (decodeStatusReply(F.Payload, M, Err))
+          StatusReplies.push_back(std::move(M));
       }
     }
     close(In[0]);
@@ -898,6 +985,156 @@ TEST(ServerTest, ReloadWithoutReloaderAcksFailure) {
   ASSERT_EQ(H.Reloads.size(), 1u);
   EXPECT_EQ(H.Reloads[0].Ok, 0u);
   EXPECT_NE(H.Reloads[0].Text.find("no reloader"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Live introspection: Status frames and statusJson
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, FutureFrameKindQuarantinedAsProtocolError) {
+  // A checksum-valid frame with a type byte from a future protocol
+  // revision (>= 12) interleaved with real requests: the server must
+  // answer it with a structured Protocol error and keep serving — the
+  // stream does not desync.
+  uint64_t BaseResyncs = stats().counter("server.resyncs").load();
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  PipeHarness H(
+      [](const RequestMsg &Req, RequestBudget &) {
+        HandlerResult R;
+        R.Payload = "served:" + Req.Source;
+        return R;
+      },
+      Opts);
+  H.sendRequest(1, "first");
+  std::string Forged;
+  appendFrame(Forged, static_cast<FrameType>(12), "future frame kind");
+  H.sendRaw(Forged);
+  H.sendRequest(2, "second");
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  const ResponseMsg *First = findById(Rs, 1);
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->Status, ResponseStatus::Ok);
+  const ResponseMsg *Second = findById(Rs, 2);
+  ASSERT_NE(Second, nullptr);
+  EXPECT_EQ(Second->Status, ResponseStatus::Ok);
+  EXPECT_EQ(Second->Payload, "served:second");
+  // The unknown kind produced a Protocol error frame (id 0) naming it.
+  const ResponseMsg *Proto = findById(Rs, 0);
+  ASSERT_NE(Proto, nullptr);
+  EXPECT_EQ(Proto->Status, ResponseStatus::Protocol);
+  EXPECT_NE(Proto->Payload.find("unknown frame type"), std::string::npos);
+  EXPECT_GT(stats().counter("server.resyncs").load(), BaseResyncs);
+}
+
+TEST(ServerTest, StatusProbeReturnsLiveSnapshot) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseOk = Reg.counter("server.ok").load();
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  PipeHarness H(
+      [](const RequestMsg &, RequestBudget &) {
+        HandlerResult R;
+        R.Payload = "ok";
+        return R;
+      },
+      Opts);
+  H.sendRequest(1, "warm");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.ok").load() > BaseOk; }));
+
+  StatusMsg SM;
+  SM.Id = 7777;
+  H.send(FrameType::Status, encodeStatus(SM));
+  // A malformed probe payload is a protocol error, not a desync.
+  H.send(FrameType::Status, "\x01");
+
+  std::vector<ResponseMsg> Rs = H.finish();
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_EQ(H.StatusReplies.size(), 1u);
+  EXPECT_EQ(H.StatusReplies[0].Id, 7777u);
+
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(H.StatusReplies[0].Text, V, Err))
+      << Err << "\n" << H.StatusReplies[0].Text;
+  const JsonValue *Schema = V.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->Str, "gg-status-v1");
+  EXPECT_EQ(V.numberOr("workers"), 2);
+  const JsonValue *InFlight = V.find("in_flight");
+  ASSERT_NE(InFlight, nullptr);
+  EXPECT_TRUE(InFlight->isArray());
+  const JsonValue *Window = V.find("window");
+  ASSERT_NE(Window, nullptr);
+  EXPECT_GE(Window->numberOr("requests"), 1.0)
+      << "the warm request is inside the 10s window";
+  const JsonValue *Counters = V.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->numberOr("requests"), 1.0);
+  EXPECT_GE(Counters->numberOr("ok"), 1.0);
+
+  const ResponseMsg *Proto = findById(Rs, 0);
+  ASSERT_NE(Proto, nullptr);
+  EXPECT_EQ(Proto->Status, ResponseStatus::Protocol);
+  EXPECT_NE(Proto->Payload.find("status"), std::string::npos);
+}
+
+TEST(ServerTest, StatusJsonReportsInFlightAndDraining) {
+  StatsRegistry &Reg = stats();
+  uint64_t BaseReq = Reg.counter("server.requests").load();
+  std::atomic<bool> Release{false};
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  PipeHarness H(
+      [&Release](const RequestMsg &Req, RequestBudget &) {
+        if (Req.Source == "gate")
+          spinUntil([&Release] { return Release.load(); });
+        HandlerResult R;
+        R.Payload = "served";
+        return R;
+      },
+      Opts);
+
+  auto Snapshot = [&](JsonValue &V) {
+    std::string Err;
+    std::string Json = H.Srv->statusJson();
+    ASSERT_TRUE(parseJson(Json, V, Err)) << Err << "\n" << Json;
+  };
+
+  H.sendRequest(4242, "gate");
+  ASSERT_TRUE(spinUntil(
+      [&] { return Reg.counter("server.requests").load() > BaseReq; }));
+
+  // The gate is executing: the snapshot names it, with an age and phase.
+  JsonValue Busy;
+  Snapshot(Busy);
+  EXPECT_EQ(Busy.numberOr("executing"), 1);
+  EXPECT_EQ(Busy.numberOr("draining"), 0);
+  const JsonValue *InFlight = Busy.find("in_flight");
+  ASSERT_NE(InFlight, nullptr);
+  ASSERT_EQ(InFlight->Arr.size(), 1u);
+  EXPECT_EQ(InFlight->Arr[0].numberOr("id"), 4242);
+  const JsonValue *Phase = InFlight->Arr[0].find("phase");
+  ASSERT_NE(Phase, nullptr);
+  EXPECT_TRUE(Phase->isString());
+  EXPECT_FALSE(Phase->Str.empty());
+
+  // A drain flips the draining flag in the next snapshot.
+  H.Srv->requestDrain();
+  ASSERT_TRUE(spinUntil([&] {
+    JsonValue V;
+    std::string Err;
+    return parseJson(H.Srv->statusJson(), V, Err) &&
+           V.numberOr("draining") == 1;
+  }));
+  Release.store(true);
+
+  std::vector<ResponseMsg> Rs = H.finish(/*SendShutdown=*/false);
+  EXPECT_EQ(H.ExitCode, ExitOk);
+  ASSERT_NE(findById(Rs, 4242), nullptr);
+  EXPECT_EQ(findById(Rs, 4242)->Status, ResponseStatus::Ok);
 }
 
 //===----------------------------------------------------------------------===//

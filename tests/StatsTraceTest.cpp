@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/FlightRecorder.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
@@ -17,8 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
 
 using namespace gg;
 
@@ -328,6 +335,179 @@ TEST(Trace, TextRenderingOrderedByStart) {
   EXPECT_LT(First, Second) << "text form must be in start order, not "
                               "destruction order:\n"
                            << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Request scopes and the flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, RequestScopeTagsSpansAndNestsCorrectly) {
+  TraceRecorder R;
+  R.enable();
+  {
+    TraceSpan Outside("outside", R);
+  }
+  {
+    RequestScope Scope(314, 2);
+    EXPECT_EQ(RequestScope::current().Id, 314u);
+    EXPECT_EQ(RequestScope::current().Generation, 2u);
+    {
+      TraceSpan Tagged("tagged", R);
+    }
+    // setGeneration patches the active scope in place — the service layer
+    // calls it once it has pinned the table snapshot actually serving.
+    RequestScope::setGeneration(5);
+    {
+      TraceSpan Patched("patched", R);
+    }
+    {
+      RequestScope Inner(999, 1);
+      EXPECT_EQ(RequestScope::current().Id, 999u);
+    }
+    // The nested scope restored the outer identity on exit.
+    EXPECT_EQ(RequestScope::current().Id, 314u);
+    EXPECT_EQ(RequestScope::current().Generation, 5u);
+  }
+  EXPECT_EQ(RequestScope::current().Id, 0u);
+
+  auto ArgOf = [&](const char *Name, const char *Key) -> int64_t {
+    for (const TraceEvent &E : R.events())
+      if (E.Name == Name)
+        for (const auto &A : E.Args)
+          if (A.first == Key)
+            return A.second;
+    return -1;
+  };
+  EXPECT_EQ(ArgOf("outside", "req"), -1) << "no scope, no req arg";
+  EXPECT_EQ(ArgOf("tagged", "req"), 314);
+  EXPECT_EQ(ArgOf("tagged", "gen"), 2);
+  EXPECT_EQ(ArgOf("patched", "gen"), 5);
+}
+
+TEST(Flight, DumpIsParseableOrderedAndNamesTheRequest) {
+  {
+    RequestScope Scope(424242, 7);
+    flightRecord(FlightKind::Admit, 3);
+    flightRecord(FlightKind::Dispatch, 1);
+    flightRecord(FlightKind::Respond, 0);
+  }
+  flightRecord(FlightKind::Drain);
+  uint64_t Recorded = flightEventCount();
+  EXPECT_GE(Recorded, 4u);
+
+  std::string Path =
+      strf("/tmp/gg-flight-unit-%d.json", static_cast<int>(getpid()));
+  int Fd = ::open(Path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(Fd, 0);
+  flightDumpFd(Fd, "unit-test");
+  ::close(Fd);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  ::unlink(Path.c_str());
+  ASSERT_TRUE(jsonValid(SS.str())) << SS.str();
+
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(SS.str(), V, Err)) << Err;
+  const JsonValue *Schema = V.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->Str, "gg-flight-v1");
+  const JsonValue *Reason = V.find("reason");
+  ASSERT_NE(Reason, nullptr);
+  EXPECT_EQ(Reason->Str, "unit-test");
+  EXPECT_GE(V.numberOr("recorded"), static_cast<double>(Recorded));
+  EXPECT_GE(V.numberOr("recorded"), V.numberOr("retained"));
+
+  const JsonValue *Events = V.find("events");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  // Seq-ordered merge across rings, and the scoped events carry the
+  // request identity: admit -> dispatch -> respond for req 424242 in
+  // that order, each stamped with generation 7.
+  double PrevSeq = -1;
+  std::vector<std::string> ReqKinds;
+  for (const JsonValue &E : Events->Arr) {
+    double Seq = E.numberOr("seq", -1);
+    EXPECT_GT(Seq, PrevSeq);
+    PrevSeq = Seq;
+    if (E.numberOr("req") == 424242) {
+      const JsonValue *Kind = E.find("kind");
+      ASSERT_NE(Kind, nullptr);
+      ReqKinds.push_back(Kind->Str);
+      EXPECT_EQ(E.numberOr("gen"), 7);
+    }
+  }
+  ASSERT_EQ(ReqKinds.size(), 3u);
+  EXPECT_EQ(ReqKinds[0], "admit");
+  EXPECT_EQ(ReqKinds[1], "dispatch");
+  EXPECT_EQ(ReqKinds[2], "respond");
+
+  // Kind names are stable dump vocabulary.
+  EXPECT_STREQ(flightKindName(FlightKind::WatchdogKill), "watchdog-kill");
+  EXPECT_STREQ(flightKindName(FlightKind::Admit), "admit");
+  EXPECT_STREQ(flightKindName(FlightKind::CrashSignal), "crash-signal");
+}
+
+// The acceptance criterion behind gg-report --trace: one request's span
+// structure is a deterministic function of the request, not of the
+// worker count. Filtering the trace by the req arg must yield the same
+// multiset of spans (names and request identity) at --threads=1 and 4.
+TEST(Trace, RequestSpanStructureIsThreadCountInvariant) {
+  const char *Source = R"(
+int a(int x) { return x * 3 + 1; }
+int b(int x) { int i; int s; i = 0; s = 0; while (i < x) { s = s + i * i; i = i + 1; } return s; }
+int c(int x) { return a(x) + b(x); }
+int main() { print(c(6)); return a(1) + b(3); }
+)";
+  std::string Err;
+  std::unique_ptr<VaxTarget> Target = VaxTarget::create(Err);
+  ASSERT_TRUE(Target) << Err;
+
+  TraceRecorder &R = TraceRecorder::global();
+  auto SpansFor = [&](int Threads, uint64_t ReqId) {
+    R.clear();
+    R.enable();
+    {
+      RequestScope Scope(ReqId, 3);
+      Program P;
+      DiagnosticSink D;
+      EXPECT_TRUE(compileMiniC(Source, P, D)) << D.renderAll();
+      CodeGenOptions Opts;
+      Opts.Parallel.Threads = Threads;
+      GGCodeGenerator CG(*Target, Opts);
+      std::string Asm;
+      EXPECT_TRUE(CG.compile(P, Asm, Err)) << Err;
+    }
+    R.disable();
+    std::vector<std::string> Names;
+    for (const TraceEvent &E : R.events()) {
+      int64_t Req = -1, Gen = -1;
+      for (const auto &A : E.Args) {
+        if (A.first == "req")
+          Req = A.second;
+        else if (A.first == "gen")
+          Gen = A.second;
+      }
+      if (Req != static_cast<int64_t>(ReqId))
+        continue;
+      EXPECT_EQ(Gen, 3) << E.Name;
+      Names.push_back(E.Name);
+    }
+    std::sort(Names.begin(), Names.end());
+    return Names;
+  };
+
+  std::vector<std::string> Serial = SpansFor(1, 6001);
+  std::vector<std::string> Parallel = SpansFor(4, 6002);
+  ASSERT_FALSE(Serial.empty());
+  // Per-function spans reached the trace from pool workers too.
+  EXPECT_NE(std::find(Serial.begin(), Serial.end(), "cg.function main"),
+            Serial.end());
+  EXPECT_EQ(Serial, Parallel)
+      << "span structure must not depend on the worker count";
 }
 
 //===----------------------------------------------------------------------===//

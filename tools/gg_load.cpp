@@ -10,8 +10,8 @@
 //           [--max-steps=N] [--max-arena=BYTES] [--crash-every=N]
 //           [--timeout-ms=N] [--hedge-ms=N] [--open-loop=RPS] [--slo-ms=N]
 //           [--reload-every=N] [--min-generation=N] [--expect-sheds]
-//           [--verify] [--bench-json=FILE] [--bench-prefix=STR]
-//           [--bench-merge] [--no-shutdown]
+//           [--trace-ids=BASE] [--verify] [--bench-json=FILE]
+//           [--bench-prefix=STR] [--bench-merge] [--no-shutdown]
 //
 // --spawn=BIN forks BIN (compile_minic, or scripts/serve.sh for
 // supervisor drills) with --serve=SOCKET plus every --serve-arg, and
@@ -42,6 +42,15 @@
 // generation observed in responses reached N. Responses carry the serving
 // table generation, and gg-load asserts it never regresses within one
 // connection (a crash restart legally resets it).
+//
+// Request ids are client-chosen and deterministic: request k carries id
+// BASE+k (BASE defaults to 1). --trace-ids=BASE moves the id namespace,
+// so several gg-load runs against one server (or one --trace-json trace)
+// stay distinguishable — the server threads the client id through its
+// spans and flight events, and gg-report --trace joins on it. Latencies
+// are also recorded per observed table generation and emitted as
+// gen<G>_* metrics in the gg-bench-v1 artifact, so a reload mid-run
+// shows up as two latency populations instead of one smeared tail.
 //
 // --verify recomputes each program's single-shot assembly in-process
 // (same CompileService the server uses) and asserts byte-identical
@@ -109,6 +118,7 @@ struct LoadOptions {
   int OpenLoopRps = 0;   ///< fixed arrival rate per client thread; 0 = closed
   int SloMs = 0;         ///< p99 target; missing it fails the run
   uint64_t MinGeneration = 0; ///< require the observed generation to reach N
+  uint64_t TraceIdBase = 1;   ///< request k carries id BASE+k (--trace-ids=)
   bool ExpectSheds = false;   ///< fail unless at least one OVERLOADED arrived
   bool Verify = false;
   bool Shutdown = true;
@@ -183,6 +193,10 @@ struct Tally {
   std::atomic<uint64_t> AsmBytes{0};
   std::mutex LatM;
   std::vector<uint64_t> LatenciesNs;
+  /// Latency population per serving table generation (response-stamped),
+  /// for the gen<G>_* bench metrics. Generation 0 collects responses
+  /// that carried no generation stamp (e.g. protocol errors).
+  std::map<uint64_t, std::vector<uint64_t>> LatenciesByGenNs;
 };
 
 /// One client connection, reconnecting across server restarts.
@@ -440,7 +454,8 @@ void usage() {
           "               [--crash-every=N] [--reload-every=N] "
           "[--timeout-ms=N]\n"
           "               [--hedge-ms=N] [--open-loop=RPS] [--slo-ms=N]\n"
-          "               [--min-generation=N] [--expect-sheds] [--verify]\n"
+          "               [--min-generation=N] [--trace-ids=BASE]\n"
+          "               [--expect-sheds] [--verify]\n"
           "               [--bench-json=FILE] [--bench-prefix=STR]\n"
           "               [--bench-merge] [--no-shutdown]\n");
 }
@@ -527,6 +542,10 @@ int main(int argc, char **argv) {
       return ExitUsage;
     else if (M)
       Opt.MinGeneration = static_cast<uint64_t>(V);
+    else if (!intFlag(A, "--trace-ids=", 1, INT64_MAX, V, M))
+      return ExitUsage;
+    else if (M)
+      Opt.TraceIdBase = static_cast<uint64_t>(V);
     else if (A == "--expect-sheds")
       Opt.ExpectSheds = true;
     else if (A == "--verify")
@@ -606,6 +625,7 @@ int main(int argc, char **argv) {
   auto ClosedLoopWorker = [&] {
     Client Conn(Opt.Socket, T);
     std::vector<uint64_t> LocalLat;
+    std::map<uint64_t, std::vector<uint64_t>> LocalLatByGen;
     while (true) {
       int Idx = NextRequest.fetch_add(1);
       if (Idx >= Opt.Requests)
@@ -624,7 +644,7 @@ int main(int argc, char **argv) {
       }
 
       RequestMsg Req;
-      Req.Id = static_cast<uint64_t>(Idx) + 1;
+      Req.Id = Opt.TraceIdBase + static_cast<uint64_t>(Idx);
       Req.DeadlineMs = Opt.DeadlineMs;
       Req.MaxSteps = Opt.MaxSteps;
       Req.MaxArenaBytes = Opt.MaxArenaBytes;
@@ -726,6 +746,7 @@ int main(int argc, char **argv) {
       }
       uint64_t LatNs = nowNs() - T0;
       LocalLat.push_back(LatNs);
+      LocalLatByGen[Resp.Generation].push_back(LatNs);
       if (Opt.SloMs > 0 && LatNs > static_cast<uint64_t>(Opt.SloMs) * NsPerMs)
         ++T.DeadlineMissed;
       classifyResponse(Resp, ProgIdx, T, Opt, Oracle);
@@ -733,6 +754,10 @@ int main(int argc, char **argv) {
     std::lock_guard<std::mutex> Lock(T.LatM);
     T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
                          LocalLat.end());
+    for (auto &[Gen, Lats] : LocalLatByGen) {
+      std::vector<uint64_t> &Dst = T.LatenciesByGenNs[Gen];
+      Dst.insert(Dst.end(), Lats.begin(), Lats.end());
+    }
   };
 
   // Open loop: requests depart on a fixed global schedule (request k at
@@ -748,6 +773,7 @@ int main(int argc, char **argv) {
     };
     std::map<uint64_t, Pending> Outstanding;
     std::vector<uint64_t> LocalLat;
+    std::map<uint64_t, std::vector<uint64_t>> LocalLatByGen;
     const double PeriodNs = 1e9 / Opt.OpenLoopRps;
 
     auto HandleFrame = [&](const Frame &F) {
@@ -766,6 +792,7 @@ int main(int argc, char **argv) {
         }
         uint64_t LatNs = nowNs() - It->second.SentNs;
         LocalLat.push_back(LatNs);
+        LocalLatByGen[Resp.Generation].push_back(LatNs);
         if (Opt.SloMs > 0 &&
             LatNs > static_cast<uint64_t>(Opt.SloMs) * NsPerMs)
           ++T.DeadlineMissed;
@@ -835,7 +862,7 @@ int main(int argc, char **argv) {
         if (Opt.ReloadEvery > 0 && Idx > 0 && Idx % Opt.ReloadEvery == 0)
           Conn.send(FrameType::Reload, "");
         RequestMsg Req;
-        Req.Id = static_cast<uint64_t>(Idx) + 1;
+        Req.Id = Opt.TraceIdBase + static_cast<uint64_t>(Idx);
         Req.DeadlineMs = Opt.DeadlineMs;
         Req.MaxSteps = Opt.MaxSteps;
         Req.MaxArenaBytes = Opt.MaxArenaBytes;
@@ -863,6 +890,10 @@ int main(int argc, char **argv) {
     std::lock_guard<std::mutex> Lock(T.LatM);
     T.LatenciesNs.insert(T.LatenciesNs.end(), LocalLat.begin(),
                          LocalLat.end());
+    for (auto &[Gen, Lats] : LocalLatByGen) {
+      std::vector<uint64_t> &Dst = T.LatenciesByGenNs[Gen];
+      Dst.insert(Dst.end(), Lats.begin(), Lats.end());
+    }
   };
 
   std::vector<std::thread> Workers;
@@ -903,6 +934,14 @@ int main(int argc, char **argv) {
     size_t I = static_cast<size_t>(P * (T.LatenciesNs.size() - 1));
     return static_cast<double>(T.LatenciesNs[I]) / 1e9;
   };
+  for (auto &[Gen, Lats] : T.LatenciesByGenNs)
+    std::sort(Lats.begin(), Lats.end());
+  auto GenPct = [](const std::vector<uint64_t> &Lats, double P) -> double {
+    if (Lats.empty())
+      return 0;
+    size_t I = static_cast<size_t>(P * (Lats.size() - 1));
+    return static_cast<double>(Lats[I]) / 1e9;
+  };
 
   uint64_t Answered = T.Ok + T.CompileErrors + T.Quarantined;
   printf("gg-load: %d requests, %llu ok, %llu compile-error, "
@@ -930,6 +969,14 @@ int main(int argc, char **argv) {
   if (Opt.SloMs > 0)
     printf("gg-load: slo %dms: %llu answered past it\n", Opt.SloMs,
            static_cast<unsigned long long>(T.DeadlineMissed.load()));
+  // With a reload mid-run there is one latency population per serving
+  // generation; break them out so a slow new image is visible instead of
+  // smearing the aggregate tail.
+  if (T.LatenciesByGenNs.size() > 1)
+    for (const auto &[Gen, Lats] : T.LatenciesByGenNs)
+      printf("gg-load: generation %llu: %zu answered, p50 %.4fs p99 %.4fs\n",
+             static_cast<unsigned long long>(Gen), Lats.size(),
+             GenPct(Lats, 0.50), GenPct(Lats, 0.99));
   if (Opt.Verify)
     printf("gg-load: verified %llu byte-identical, %llu skipped (faulted), "
            "%llu MISMATCHED\n",
@@ -971,6 +1018,17 @@ int main(int argc, char **argv) {
         Answered / std::max(WallSeconds, 1e-9);
     Metrics["goodput_per_wall_seconds"] =
         T.Ok.load() / std::max(WallSeconds, 1e-9);
+    // Per-generation latency histograms. The percentile names carry
+    // "seconds" so the sentinel gives them time-class treatment; the
+    // gen<G>_requests counts are deterministic in reload-free runs
+    // (every answered request lands in generation 1).
+    for (const auto &[Gen, Lats] : T.LatenciesByGenNs) {
+      std::string GPrefix = strf("gen%llu_",
+                                 static_cast<unsigned long long>(Gen));
+      Metrics[GPrefix + "requests"] = static_cast<double>(Lats.size());
+      Metrics[GPrefix + "p50_seconds"] = GenPct(Lats, 0.50);
+      Metrics[GPrefix + "p99_seconds"] = GenPct(Lats, 0.99);
+    }
 
     std::map<std::string, double> Final;
     for (const auto &[Name, Value] : Metrics)

@@ -11,6 +11,7 @@
 //             [--fail-attribution-below=PCT]
 //             [--check-bench=FRESH:BASELINE] [--threshold=PCT]
 //             [--time-threshold=PCT] [--noisy=SUBSTR]
+//             [--trace] [--slowest=N] [--fail-queue-wait-p99-ms=MS]
 //
 // Artifacts are dispatched on their "schema" field:
 //
@@ -35,6 +36,20 @@
 //                   rate by cause, queue-depth and queue-wait histograms,
 //                   drain/reload/watchdog counts.
 //   gg-bench-v1     via --check-bench only (see below).
+//
+// A file whose top level is a bare JSON *array* is a Chrome trace (the
+// shape --trace-json writes; it has no schema key because viewers want
+// the raw event array). The server tags every span it emits with the
+// request id ("req" arg) and serving generation, so gg-report can join
+// each request's spans back into one end-to-end timeline: admission
+// (server.admit) -> queue wait (gap to server.request) -> the cg.* /
+// match.* phase spans -> total service time. --trace prints that
+// per-request report (and fails if no trace artifact was given);
+// --slowest=N expands the N slowest requests with their per-phase
+// breakdown; --fail-queue-wait-p99-ms=MS exits nonzero when the joined
+// queue-wait p99 exceeds MS — the "was the slowness queueing or
+// compiling?" gate, straight from the artifacts a live incident leaves
+// behind (docs/observability.md).
 //
 // --json=FILE writes the merged coverage artifact (itself gg-coverage-v1,
 // so reports can be merged hierarchically); --profile-json=FILE does the
@@ -73,6 +88,7 @@
 #include "fuzz/GrammarWalk.h"
 #include "mdl/Grammar.h"
 #include "support/Coverage.h"
+#include "support/Frame.h"
 #include "support/Json.h"
 #include "support/Profile.h"
 #include "support/Strings.h"
@@ -524,6 +540,147 @@ void ProfileReport::diffPcc(const ProfileSnapshot &Pcc) const {
            double(GgTotal - std::min(Ticks, GgTotal)) / double(PccTotal));
 }
 
+/// One request's spans joined from Chrome trace events, keyed by the
+/// "req" arg the server stamps on every span in the request's scope.
+struct TraceRequest {
+  uint64_t Id = 0;
+  double AdmitTs = -1;  ///< server.admit start (us); -1 = not seen
+  double StartTs = -1;  ///< server.request start (us); -1 = never dispatched
+  double TotalUs = 0;   ///< server.request duration
+  int64_t Gen = -1;     ///< serving table generation (span arg)
+  int64_t Status = -1;  ///< wire ResponseStatus (span arg)
+  std::map<std::string, double> PhaseUs; ///< cg.*/match.* name -> summed dur
+
+  /// Queue wait reconstructed from the admission-to-dispatch gap; the
+  /// two spans live on different threads, but both timestamps come from
+  /// the recorder's one clock.
+  double queueWaitMs() const {
+    if (AdmitTs >= 0 && StartTs >= AdmitTs)
+      return (StartTs - AdmitTs) / 1000.0;
+    return 0;
+  }
+};
+
+/// The --trace half of the report: per-request timelines from however
+/// many trace files the incident left behind (server + clients merge
+/// fine — only spans tagged with a request id participate).
+struct TraceReport {
+  std::map<uint64_t, TraceRequest> Requests;
+  size_t Events = 0; ///< all events ingested
+  size_t Tagged = 0; ///< events carrying a "req" arg
+
+  void ingest(const JsonValue &Root) {
+    for (const JsonValue &E : Root.Arr) {
+      ++Events;
+      const JsonValue *Name = E.find("name");
+      const JsonValue *Args = E.find("args");
+      if (!Name || !Args)
+        continue;
+      const JsonValue *Req = Args->find("req");
+      if (!Req || Req->K != JsonValue::Number)
+        continue;
+      ++Tagged;
+      TraceRequest &R = Requests[static_cast<uint64_t>(Req->Num)];
+      R.Id = static_cast<uint64_t>(Req->Num);
+      double Ts = E.numberOr("ts"), Dur = E.numberOr("dur");
+      const std::string &N = Name->Str;
+      if (N == "server.admit") {
+        // Keep the earliest admission: a shed-then-retried id admits
+        // more than once, and queue wait is measured from the first.
+        if (R.AdmitTs < 0 || Ts < R.AdmitTs)
+          R.AdmitTs = Ts;
+      } else if (N == "server.request") {
+        R.StartTs = Ts;
+        R.TotalUs = Dur;
+        if (const JsonValue *G = Args->find("gen"))
+          R.Gen = static_cast<int64_t>(G->Num);
+        if (const JsonValue *S = Args->find("status"))
+          R.Status = static_cast<int64_t>(S->Num);
+      } else if (N.rfind("cg.", 0) == 0 || N.rfind("match.", 0) == 0) {
+        R.PhaseUs[N] += Dur;
+      }
+    }
+  }
+
+  /// Prints the report; returns false when the queue-wait gate fires.
+  bool print(int Slowest, double FailQueueP99Ms) const;
+};
+
+bool TraceReport::print(int Slowest, double FailQueueP99Ms) const {
+  std::vector<const TraceRequest *> Served;
+  size_t AdmitOnly = 0;
+  for (const auto &[Id, R] : Requests) {
+    if (R.StartTs >= 0)
+      Served.push_back(&R);
+    else
+      ++AdmitOnly; // admitted (or shed) but never dispatched to a worker
+  }
+  printf("\n== trace (%zu events, %zu request-tagged, %zu requests: "
+         "%zu served, %zu admitted-only)\n",
+         Events, Tagged, Requests.size(), Served.size(), AdmitOnly);
+  if (Served.empty())
+    return FailQueueP99Ms < 0;
+
+  auto Pctl = [](std::vector<double> V, double P) {
+    std::sort(V.begin(), V.end());
+    return V[static_cast<size_t>(P * (V.size() - 1))];
+  };
+  std::vector<double> Waits, Totals;
+  for (const TraceRequest *R : Served) {
+    Waits.push_back(R->queueWaitMs());
+    Totals.push_back(R->TotalUs / 1000.0);
+  }
+  double WaitP99 = Pctl(Waits, 0.99);
+  printf("  queue wait   p50 %8.2fms  p99 %8.2fms\n", Pctl(Waits, 0.50),
+         WaitP99);
+  printf("  service time p50 %8.2fms  p99 %8.2fms  (server.request)\n",
+         Pctl(Totals, 0.50), Pctl(Totals, 0.99));
+
+  // The N slowest end-to-end requests, each with where the time went:
+  // queueing, or which phase of the compile.
+  std::sort(Served.begin(), Served.end(),
+            [](const TraceRequest *A, const TraceRequest *B) {
+              return A->TotalUs != B->TotalUs ? A->TotalUs > B->TotalUs
+                                              : A->Id < B->Id;
+            });
+  printf("  slowest %d:\n", Slowest);
+  for (size_t I = 0;
+       I < Served.size() && I < static_cast<size_t>(Slowest); ++I) {
+    const TraceRequest &R = *Served[I];
+    const char *St =
+        R.Status >= 0 && R.Status <= 6
+            ? responseStatusName(static_cast<ResponseStatus>(R.Status))
+            : "?";
+    std::string Line =
+        strf("    req %-12llu gen %-3lld %-13s queue %8.2fms  "
+             "total %8.2fms",
+             static_cast<unsigned long long>(R.Id),
+             static_cast<long long>(R.Gen), St, R.queueWaitMs(),
+             R.TotalUs / 1000.0);
+    // Phase breakdown, largest first; cg.compile wraps the others, so
+    // name it separately rather than double-counting it into the sum.
+    std::vector<std::pair<double, std::string>> Phases;
+    for (const auto &[Name, Us] : R.PhaseUs)
+      if (Name != "cg.compile")
+        Phases.push_back({Us, Name});
+    std::sort(Phases.begin(), Phases.end(),
+              [](const auto &A, const auto &B) { return A.first > B.first; });
+    for (size_t P = 0; P < Phases.size() && P < 3; ++P)
+      Line += strf("  %s %.2fms", Phases[P].second.c_str(),
+                   Phases[P].first / 1000.0);
+    printf("%s\n", Line.c_str());
+  }
+
+  if (FailQueueP99Ms >= 0 && WaitP99 > FailQueueP99Ms) {
+    fprintf(stderr,
+            "gg-report: queue-wait p99 %.2fms exceeds the "
+            "--fail-queue-wait-p99-ms=%.2f gate\n",
+            WaitP99, FailQueueP99Ms);
+    return false;
+  }
+  return true;
+}
+
 /// One gg-bench-v1 file: {"schema":...,"bench":NAME,"metrics":{k:v}}.
 struct BenchMetrics {
   std::string Bench;
@@ -647,9 +804,12 @@ void printUsage(FILE *To) {
           "                 [--fail-attribution-below=PCT]\n"
           "                 [--check-bench=FRESH:BASELINE] [--threshold=PCT]\n"
           "                 [--time-threshold=PCT] [--noisy=SUBSTR]\n"
+          "                 [--trace] [--slowest=N]\n"
+          "                 [--fail-queue-wait-p99-ms=MS]\n"
           "\n"
           "Merges gg-coverage-v1 / gg-profile-v1 / gg-stats-v1 artifacts\n"
-          "into one report, and compares gg-bench-v1 baselines.\n");
+          "into one report, compares gg-bench-v1 baselines, and joins\n"
+          "--trace-json Chrome traces into per-request timelines.\n");
 }
 
 /// Diagnostic + usage + the conventional usage-error exit code.
@@ -666,10 +826,11 @@ int main(int argc, char **argv) {
   std::vector<std::pair<std::string, std::string>> BenchChecks;
   std::vector<std::string> Noisy;
   std::string MergedJsonPath, ProfileJsonPath, DiffPccPath;
-  int Top = 10;
+  int Top = 10, Slowest = 5;
   bool FailDeadBridge = false, FailZeroDyn = false, WantProfile = false;
+  bool WantTrace = false;
   double ThresholdPct = 0.5, TimeThresholdPct = -1, FailAttrBelow = -1;
-  double FailProdCovBelow = -1;
+  double FailProdCovBelow = -1, FailQueueP99Ms = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -685,6 +846,12 @@ int main(int argc, char **argv) {
       FailProdCovBelow = atof(A.c_str() + 27);
     else if (A == "--profile")
       WantProfile = true;
+    else if (A == "--trace")
+      WantTrace = true;
+    else if (A.rfind("--slowest=", 0) == 0)
+      Slowest = atoi(A.c_str() + 10);
+    else if (A.rfind("--fail-queue-wait-p99-ms=", 0) == 0)
+      FailQueueP99Ms = atof(A.c_str() + 25);
     else if (A.rfind("--profile-json=", 0) == 0)
       ProfileJsonPath = A.substr(15);
     else if (A.rfind("--diff-pcc=", 0) == 0)
@@ -728,6 +895,8 @@ int main(int argc, char **argv) {
   std::map<std::string, uint64_t> StatCounters;
   std::map<std::string, HistSummary> StatHists;
   int StatsFiles = 0;
+  TraceReport Traces;
+  int TraceFiles = 0;
   for (const std::string &Path : Artifacts) {
     std::string Text, Err;
     JsonValue V;
@@ -735,6 +904,13 @@ int main(int argc, char **argv) {
       if (!Err.empty())
         fprintf(stderr, "gg-report: %s: %s\n", Path.c_str(), Err.c_str());
       return 1;
+    }
+    // A bare array is a Chrome trace (--trace-json writes no schema key
+    // because trace viewers want the raw event array).
+    if (V.K == JsonValue::Array) {
+      ++TraceFiles;
+      Traces.ingest(V);
+      continue;
     }
     const JsonValue *Schema = V.find("schema");
     std::string Kind = Schema ? Schema->Str : "";
@@ -916,6 +1092,21 @@ int main(int argc, char **argv) {
     fprintf(stderr, "gg-report: --diff-pcc, --profile-json and "
                     "--fail-attribution-below need at least one "
                     "gg-profile-v1 artifact\n");
+    return 1;
+  }
+
+  if (WantTrace && !TraceFiles) {
+    fprintf(stderr, "gg-report: --trace needs at least one Chrome trace "
+                    "artifact (a --trace-json file; none of the given "
+                    "files was a bare JSON array)\n");
+    return 1;
+  }
+  if (TraceFiles) {
+    if (!Traces.print(Slowest, FailQueueP99Ms))
+      Ok = false;
+  } else if (FailQueueP99Ms >= 0) {
+    fprintf(stderr, "gg-report: --fail-queue-wait-p99-ms needs at least "
+                    "one Chrome trace artifact\n");
     return 1;
   }
 
